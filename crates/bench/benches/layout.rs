@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks for layout transformations — the overhead the
+//! §3.2 graph pass eliminates. Measures blocking, un-blocking, direct
+//! re-blocking, and the weight pre-transformation, all on a
+//! ResNet-50-sized activation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neocpu_tensor::{transform::to_layout, Layout, Tensor};
+
+fn bench_activation_transforms(c: &mut Criterion) {
+    let nchw = Tensor::random([1, 256, 56, 56], Layout::Nchw, 1, 1.0).expect("activation");
+    let blocked16 = to_layout(&nchw, Layout::NchwC(16)).expect("blockable");
+    let mut group = c.benchmark_group("layout_transform");
+    group.sample_size(20);
+    group.bench_function("nchw_to_nchw16c", |b| {
+        b.iter(|| to_layout(&nchw, Layout::NchwC(16)).expect("transform"))
+    });
+    group.bench_function("nchw16c_to_nchw", |b| {
+        b.iter(|| to_layout(&blocked16, Layout::Nchw).expect("transform"))
+    });
+    group.bench_function("reblock_16c_to_8c", |b| {
+        b.iter(|| to_layout(&blocked16, Layout::NchwC(8)).expect("transform"))
+    });
+    group.bench_function("nchw_to_nhwc", |b| {
+        b.iter(|| to_layout(&nchw, Layout::Nhwc).expect("transform"))
+    });
+    group.finish();
+}
+
+fn bench_weight_pretransform(c: &mut Criterion) {
+    let w = Tensor::random([512, 256, 3, 3], Layout::Oihw, 2, 1.0).expect("weights");
+    let mut group = c.benchmark_group("weight_pretransform");
+    group.sample_size(10);
+    group.bench_function("oihw_to_oihw16i16o", |b| {
+        b.iter(|| to_layout(&w, Layout::OihwIo { i: 16, o: 16 }).expect("transform"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_activation_transforms, bench_weight_pretransform);
+criterion_main!(benches);

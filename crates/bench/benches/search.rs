@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the scheme search: local-search walk of a
+//! workload's candidate space and DP/PBQP solve times on real model
+//! problems (the paper: DP ≈ 1 min, PBQP ≈ 10 s for full models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neocpu_graph::passes::{fuse_ops, simplify_inference};
+use neocpu_kernels::Conv2dParams;
+use neocpu_models::{build, ModelKind, ModelScale};
+use neocpu_search::{
+    extract_problem, global::solve_dp, global::solve_pbqp, local_search, AnalyticalModel,
+    LocalSearchCfg, SearchProblem,
+};
+
+fn problem_for(kind: ModelKind) -> SearchProblem {
+    let g = build(kind, ModelScale::tiny(kind), 3);
+    let g = fuse_ops(&simplify_inference(&g).expect("simplify")).expect("fuse");
+    let model = AnalyticalModel::default();
+    let cfg = LocalSearchCfg { keep: 8, ..Default::default() };
+    let mut ranked = |_, p: &Conv2dParams| local_search(p, &model, &cfg);
+    extract_problem(&g, &mut ranked, &model).expect("extract")
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search");
+    group.sample_size(10);
+    let model = AnalyticalModel::default();
+    for (label, p) in [
+        ("resnet_conv3", Conv2dParams::square(128, 128, 28, 3, 1, 1)),
+        ("vgg_conv1", Conv2dParams::square(64, 64, 224, 3, 1, 1)),
+        ("pointwise", Conv2dParams::square(256, 512, 14, 1, 1, 0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| local_search(p, &model, &LocalSearchCfg::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_solvers");
+    group.sample_size(10);
+    for kind in [ModelKind::ResNet50, ModelKind::DenseNet121, ModelKind::SsdResNet50] {
+        let p = problem_for(kind);
+        group.bench_with_input(
+            BenchmarkId::new("dp", kind.name()),
+            &p,
+            |b, p| b.iter(|| solve_dp(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pbqp", kind.name()),
+            &p,
+            |b, p| b.iter(|| solve_pbqp(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_search, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks for the thread pools: per-region fork-join
+//! overhead (the quantity behind Figure 4's scalability gap) and a real
+//! parallel operator workload on both pools.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neocpu_kernels::conv::{conv2d_nchwc, Conv2dParams, ConvSchedule, Epilogue};
+use neocpu_tensor::{transform::to_layout, Layout, Tensor};
+use neocpu_threadpool::{OmpLikePool, Parallelism, Sequential, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Empty-region dispatch: isolates the fork-join machinery.
+fn bench_region_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_region_overhead");
+    group.sample_size(20);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let custom = ThreadPool::new(threads);
+    let omp = OmpLikePool::new(threads);
+    let sink = AtomicU64::new(0);
+    group.bench_function("custom_spsc", |b| {
+        b.iter(|| {
+            custom.run(threads, &|_, r| {
+                sink.fetch_add(r.len() as u64, Ordering::Relaxed);
+            })
+        })
+    });
+    group.bench_function("omp_like", |b| {
+        b.iter(|| {
+            omp.run(threads, &|_, r| {
+                sink.fetch_add(r.len() as u64, Ordering::Relaxed);
+            })
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            Sequential.run(threads, &|_, r| {
+                sink.fetch_add(r.len() as u64, Ordering::Relaxed);
+            })
+        })
+    });
+    group.finish();
+}
+
+/// A real blocked convolution under each pool — what one operator of a
+/// model inference pays end to end.
+fn bench_conv_on_pools(c: &mut Criterion) {
+    let p = Conv2dParams::square(64, 64, 28, 3, 1, 1);
+    let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true };
+    let input = Tensor::random([1, 64, 28, 28], Layout::Nchw, 1, 1.0).expect("input");
+    let bi = to_layout(&input, Layout::NchwC(16)).expect("blockable");
+    let weights = Tensor::random([64, 64, 3, 3], Layout::Oihw, 2, 1.0).expect("weights");
+    let bw = to_layout(&weights, Layout::OihwIo { i: 16, o: 16 }).expect("blockable");
+    let mut out = Tensor::zeros([1, 64, 28, 28], Layout::NchwC(16)).expect("out");
+
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let pools: Vec<(&str, Box<dyn Parallelism>)> = vec![
+        ("sequential", Box::new(Sequential)),
+        ("custom_spsc", Box::new(ThreadPool::new(threads))),
+        ("omp_like", Box::new(OmpLikePool::new(threads))),
+    ];
+    let mut group = c.benchmark_group("conv_on_pools");
+    group.sample_size(10);
+    for (name, pool) in &pools {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &**pool, usize::MAX)
+                    .expect("conv")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_region_overhead, bench_conv_on_pools);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: thread-pool strong scaling (custom SPSC pool vs
+//! OpenMP-like pool), measured on-host plus the calibrated projection.
+fn main() {
+    let cfg = neocpu_bench::HarnessCfg::from_args();
+    neocpu_bench::run_fig4(&cfg);
+}

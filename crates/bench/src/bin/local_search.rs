@@ -1,0 +1,6 @@
+//! Reports the §3.3.1 local search per distinct conv workload (default:
+//! ResNet-50), timed on the real convolution template.
+fn main() {
+    let cfg = neocpu_bench::HarnessCfg::from_args();
+    neocpu_bench::run_local_search(&cfg);
+}

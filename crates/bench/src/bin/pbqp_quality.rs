@@ -1,0 +1,6 @@
+//! Validates the PBQP approximation against the DP optimum across the
+//! model zoo (§3.3.2's ≥ 88% quality claim), with solver timings.
+fn main() {
+    let cfg = neocpu_bench::HarnessCfg::from_args();
+    neocpu_bench::run_pbqp_quality(&cfg);
+}

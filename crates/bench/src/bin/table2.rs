@@ -1,0 +1,7 @@
+//! Regenerates Table 2: overall latency of the 15 models under the three
+//! software stacks. `--full` for paper-size workloads; `--models`,
+//! `--reps`, `--threads` to narrow.
+fn main() {
+    let cfg = neocpu_bench::HarnessCfg::from_args();
+    neocpu_bench::run_table2(&cfg);
+}

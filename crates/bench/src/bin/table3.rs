@@ -1,0 +1,6 @@
+//! Regenerates Table 3: the per-optimization ablation (Layout Opt. /
+//! Transform Elim. / Global Search speedups over the NCHW baseline).
+fn main() {
+    let cfg = neocpu_bench::HarnessCfg::from_args();
+    neocpu_bench::run_table3(&cfg);
+}

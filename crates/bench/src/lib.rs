@@ -1,0 +1,556 @@
+//! Benchmark harness regenerating the NeoCPU evaluation (§4).
+//!
+//! Each experiment of the paper maps to a binary in `src/bin` built on the
+//! runners here:
+//!
+//! | Paper artifact | Runner | Binary |
+//! |---|---|---|
+//! | Table 2a/b/c — overall latency, 15 models × 3 stacks | [`run_table2`] | `table2` |
+//! | Table 3 — per-optimization ablation speedups | [`run_table3`] | `table3` |
+//! | Figure 4 — thread-pool strong scaling | [`run_fig4`] | `fig4` |
+//! | §3.3.2 — PBQP vs DP quality | [`run_pbqp_quality`] | `pbqp_quality` |
+//! | §3.3.1 — local-search behaviour per workload | [`run_local_search`] | `local_search` |
+//!
+//! Microbenchmarks (Criterion) for the conv template, thread pools, layout
+//! transforms, and the solvers live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use neocpu::{
+    compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, SearchStrategy,
+};
+use neocpu_models::{build, ModelKind, ModelScale};
+use neocpu_search::SchemeDatabase;
+use neocpu_tensor::{Layout, Tensor};
+use neocpu_threadpool::{OmpLikePool, Parallelism, Sequential, ThreadPool};
+
+/// Common harness configuration parsed from CLI flags.
+#[derive(Debug, Clone)]
+pub struct HarnessCfg {
+    /// Use the paper's full-size workloads (default: reduced).
+    pub full: bool,
+    /// Timed repetitions per configuration (the paper uses 1000).
+    pub reps: usize,
+    /// Warm-up runs.
+    pub warmup: usize,
+    /// Threads for end-to-end runs.
+    pub threads: usize,
+    /// Model subset (empty = experiment default).
+    pub models: Vec<ModelKind>,
+}
+
+impl Default for HarnessCfg {
+    fn default() -> Self {
+        Self { full: false, reps: 5, warmup: 1, threads: 1, models: Vec::new() }
+    }
+}
+
+impl HarnessCfg {
+    /// Parses `--full`, `--reps N`, `--warmup N`, `--threads N`,
+    /// `--models a,b` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cfg.full = true,
+                "--reps" if i + 1 < args.len() => {
+                    cfg.reps = args[i + 1].parse().unwrap_or(cfg.reps);
+                    i += 1;
+                }
+                "--warmup" if i + 1 < args.len() => {
+                    cfg.warmup = args[i + 1].parse().unwrap_or(cfg.warmup);
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    cfg.threads = args[i + 1].parse().unwrap_or(cfg.threads);
+                    i += 1;
+                }
+                "--models" if i + 1 < args.len() => {
+                    cfg.models = args[i + 1]
+                        .split(',')
+                        .filter_map(|name| {
+                            neocpu_models::zoo().into_iter().find(|k| {
+                                k.name().eq_ignore_ascii_case(name)
+                                    || k.name().replace('-', "").eq_ignore_ascii_case(name)
+                            })
+                        })
+                        .collect();
+                    i += 1;
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// The scale this run uses for `kind`.
+    pub fn scale(&self, kind: ModelKind) -> ModelScale {
+        if self.full {
+            ModelScale::full(kind)
+        } else {
+            ModelScale::tiny(kind)
+        }
+    }
+}
+
+/// Mean and standard error of repeated latency measurements, in ms —
+/// Table 2's "mean value of 1000 runs and the corresponding standard
+/// error" format.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Standard error of the mean (ms).
+    pub std_err_ms: f64,
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}, {:.2}", self.mean_ms, self.std_err_ms)
+    }
+}
+
+/// Times `reps` inferences of `module` on `input`.
+pub fn measure(module: &Module, input: &Tensor, warmup: usize, reps: usize) -> Stats {
+    for _ in 0..warmup {
+        module.run(std::slice::from_ref(input)).expect("warm-up inference");
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        module.run(std::slice::from_ref(input)).expect("timed inference");
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+        / samples.len().max(2).saturating_sub(1) as f64;
+    Stats { mean_ms: mean, std_err_ms: (var / samples.len() as f64).sqrt() }
+}
+
+/// The three software stacks Table 2 compares, mapped onto this
+/// reproduction (see EXPERIMENTS.md for the mapping rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// MXNet+MKL-DNN-like: well-tuned blocked kernels called per-op
+    /// (transform in/out around every CONV), epilogue fusion, OpenMP-style
+    /// pool.
+    LibraryStyle,
+    /// TensorFlow-like: same per-op library calls but without epilogue
+    /// fusion, OpenMP-style pool.
+    TfLike,
+    /// NeoCPU: globally searched layouts, fusion, custom SPSC pool.
+    NeoCpu,
+}
+
+impl Stack {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::LibraryStyle => "library-style",
+            Self::TfLike => "tf-like",
+            Self::NeoCpu => "NeoCPU",
+        }
+    }
+
+    fn options(&self, threads: usize, full: bool) -> (CompileOptions, bool) {
+        // Returns (options, use_custom_pool).
+        match self {
+            Self::LibraryStyle => {
+                let mut o = CompileOptions::level(OptLevel::O1).with_threads(threads);
+                o.fuse = true;
+                (o, false)
+            }
+            Self::TfLike => {
+                let mut o = CompileOptions::level(OptLevel::O1).with_threads(threads);
+                o.fuse = false;
+                (o, false)
+            }
+            Self::NeoCpu => {
+                let mut o = CompileOptions::level(OptLevel::O3).with_threads(threads);
+                o.search = if full {
+                    SearchStrategy::Hybrid { preselect: 8, repeats: 1 }
+                } else {
+                    SearchStrategy::Hybrid { preselect: 6, repeats: 1 }
+                };
+                (o, true)
+            }
+        }
+    }
+}
+
+fn make_pool(threads: usize, custom: bool) -> Arc<dyn Parallelism> {
+    if threads <= 1 {
+        Arc::new(Sequential)
+    } else if custom {
+        Arc::new(ThreadPool::new(threads))
+    } else {
+        Arc::new(OmpLikePool::new(threads))
+    }
+}
+
+/// Compiles `kind` under `stack` and measures its latency.
+pub fn bench_stack(
+    kind: ModelKind,
+    stack: Stack,
+    cfg: &HarnessCfg,
+    db: &mut SchemeDatabase,
+) -> Stats {
+    let scale = cfg.scale(kind);
+    let graph = build(kind, scale, 42);
+    let target = CpuTarget::host();
+    let (opts, custom) = stack.options(cfg.threads, cfg.full);
+    let pool = make_pool(cfg.threads, custom);
+    let module =
+        compile_with_pool(&graph, &target, &opts, pool, db).expect("compilation succeeds");
+    let input = Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 7, 1.0)
+        .expect("valid input");
+    measure(&module, &input, cfg.warmup, cfg.reps)
+}
+
+/// Table 2: overall latency of every model under the three stacks.
+pub fn run_table2(cfg: &HarnessCfg) {
+    let models = if cfg.models.is_empty() { neocpu_models::zoo() } else { cfg.models.clone() };
+    let mut db = SchemeDatabase::new();
+    println!(
+        "Table 2 — overall performance (ms/inference: mean, std-err; {} scale, {} reps, {} threads)",
+        if cfg.full { "FULL" } else { "reduced" },
+        cfg.reps,
+        cfg.threads,
+    );
+    println!(
+        "{:<16} {:>20} {:>20} {:>20}  best",
+        "Unit: ms",
+        Stack::LibraryStyle.label(),
+        Stack::TfLike.label(),
+        Stack::NeoCpu.label()
+    );
+    let mut neo_wins = 0usize;
+    let mut total = 0usize;
+    for kind in models {
+        let lib = bench_stack(kind, Stack::LibraryStyle, cfg, &mut db);
+        let tf = bench_stack(kind, Stack::TfLike, cfg, &mut db);
+        let neo = bench_stack(kind, Stack::NeoCpu, cfg, &mut db);
+        let best = [(lib.mean_ms, "library-style"), (tf.mean_ms, "tf-like"), (neo.mean_ms, "NeoCPU")]
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("three entries")
+            .1;
+        if best == "NeoCPU" {
+            neo_wins += 1;
+        }
+        total += 1;
+        println!(
+            "{:<16} {:>20} {:>20} {:>20}  {best}",
+            kind.name(),
+            lib.to_string(),
+            tf.to_string(),
+            neo.to_string()
+        );
+    }
+    println!("\nNeoCPU best on {neo_wins}/{total} models (paper: 13/15 Intel, 14/15 AMD, 15/15 ARM)");
+}
+
+/// Table 3: ablation — speedup over the NCHW baseline as each optimization
+/// is stacked (Layout Opt. → Transform Elim. → Global Search).
+pub fn run_table3(cfg: &HarnessCfg) {
+    use ModelKind::*;
+    let models = if cfg.models.is_empty() {
+        vec![ResNet50, Vgg19, DenseNet201, InceptionV3, SsdResNet50]
+    } else {
+        cfg.models.clone()
+    };
+    let mut db = SchemeDatabase::new();
+    let target = CpuTarget::host();
+    println!(
+        "Table 3 — individual optimization speedups over the NCHW baseline ({} scale)",
+        if cfg.full { "FULL" } else { "reduced" }
+    );
+    println!(
+        "{:<18} {:>10} {:>12} {:>15} {:>14}",
+        "Speedup", "Baseline", "Layout Opt.", "Transform Elim.", "Global Search"
+    );
+    for kind in models {
+        let scale = cfg.scale(kind);
+        let graph = build(kind, scale, 42);
+        let input = Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 7, 1.0)
+            .expect("valid input");
+        let mut row = Vec::new();
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let mut opts = CompileOptions::level(level).with_threads(cfg.threads);
+            if level == OptLevel::O3 {
+                opts.search = SearchStrategy::Hybrid { preselect: 6, repeats: 1 };
+            }
+            let pool = make_pool(cfg.threads, true);
+            let module = compile_with_pool(&graph, &target, &opts, pool, &mut db)
+                .expect("compilation succeeds");
+            // The O0 baseline is expensive; fewer reps suffice for a ratio.
+            let reps = if level == OptLevel::O0 { cfg.reps.min(3).max(1) } else { cfg.reps };
+            row.push(measure(&module, &input, cfg.warmup.min(1), reps).mean_ms);
+        }
+        println!(
+            "{:<18} {:>10.2} {:>12.2} {:>15.2} {:>14.2}",
+            kind.name(),
+            1.0,
+            row[0] / row[1],
+            row[0] / row[2],
+            row[0] / row[3],
+        );
+    }
+    println!("\n(paper at full scale: Layout Opt. 4.08–8.33×, Transform Elim. 5.51–9.33×, Global Search 6.89–12.49×)");
+}
+
+/// A [`Parallelism`] wrapper counting parallel regions per inference, used
+/// to calibrate the Figure 4 strong-scaling projection.
+pub struct CountingPool {
+    inner: Sequential,
+    regions: AtomicU64,
+}
+
+impl CountingPool {
+    /// Creates a fresh counter.
+    pub fn new() -> Self {
+        Self { inner: Sequential, regions: AtomicU64::new(0) }
+    }
+
+    /// Regions observed so far.
+    pub fn regions(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parallelism for CountingPool {
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn run(&self, total: usize, body: &(dyn Fn(usize, Range<usize>) + Sync)) {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        self.inner.run(total, body);
+    }
+}
+
+/// Measures the per-region fork-join overhead of a pool (µs).
+pub fn region_overhead_us(pool: &dyn Parallelism, regions: usize) -> f64 {
+    let sink = AtomicU64::new(0);
+    // Warm the pool (threads parked/woken at least once).
+    pool.run(pool.num_threads(), &|_, r| {
+        sink.fetch_add(r.len() as u64, Ordering::Relaxed);
+    });
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        pool.run(pool.num_threads(), &|_, r| {
+            sink.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+    }
+    t0.elapsed().as_secs_f64() / regions as f64 * 1e6
+}
+
+/// Figure 4: images/sec as a function of thread count for the custom pool
+/// vs the OpenMP-like pool.
+///
+/// Two tables are printed: *measured* throughput on this host (meaningful
+/// up to the host's physical core count) and a *projection* for the
+/// paper's core counts, computed from the measured single-thread work and
+/// the measured per-region overhead of each pool:
+/// `T(n) = T₁/n + regions · overhead(n)`.
+pub fn run_fig4(cfg: &HarnessCfg) {
+    use ModelKind::*;
+    let models = if cfg.models.is_empty() {
+        vec![ResNet50, Vgg19, InceptionV3]
+    } else {
+        cfg.models.clone()
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut db = SchemeDatabase::new();
+    let target = CpuTarget::host();
+
+    for kind in models {
+        let scale = cfg.scale(kind);
+        let graph = build(kind, scale, 42);
+        let input = Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 7, 1.0)
+            .expect("valid input");
+        let opts = CompileOptions::level(OptLevel::O2);
+
+        // Calibration: serial time and region count per inference.
+        let counter = Arc::new(CountingPool::new());
+        let module = compile_with_pool(
+            &graph,
+            &target,
+            &opts,
+            Arc::clone(&counter) as Arc<dyn Parallelism>,
+            &mut db,
+        )
+        .expect("compilation succeeds");
+        let serial = measure(&module, &input, cfg.warmup, cfg.reps);
+        let before = counter.regions();
+        module.run(std::slice::from_ref(&input)).expect("inference");
+        let regions = (counter.regions() - before) as f64;
+
+        println!(
+            "\nFigure 4 — {} (batch 1): serial {:.2} ms, {} parallel regions/inference",
+            kind.name(),
+            serial.mean_ms,
+            regions as u64
+        );
+
+        // Measured on-host throughput (only thread counts the host can
+        // genuinely run in parallel are meaningful).
+        println!("measured on this host ({host_cores} hardware threads):");
+        println!("{:>8} {:>16} {:>16}", "threads", "custom (img/s)", "omp-like (img/s)");
+        for n in 1..=host_cores.min(8) {
+            let mut row = Vec::new();
+            for custom in [true, false] {
+                let pool = make_pool(n, custom);
+                let m = compile_with_pool(&graph, &target, &opts, pool, &mut db)
+                    .expect("compilation succeeds");
+                let s = measure(&m, &input, cfg.warmup, cfg.reps);
+                row.push(1e3 / s.mean_ms);
+            }
+            println!("{n:>8} {:>16.2} {:>16.2}", row[0], row[1]);
+        }
+
+        // Projection for the paper's core counts. Per-region overheads are
+        // *measured* where the host has enough cores to run the pool
+        // un-oversubscribed; beyond that they fall back to calibration
+        // constants representative of multicore hardware (custom pool: one
+        // SPSC push + unpark per worker; OMP-like: broadcast wake plus a
+        // contended mutex per worker) — DESIGN.md's Figure 4 substitution.
+        println!(
+            "projection (T(n) = T1/n + R*ovh(n)); overheads measured up to {host_cores} threads, modelled beyond:"
+        );
+        println!("{:>8} {:>16} {:>16}", "threads", "custom (img/s)", "omp-like (img/s)");
+        for &n in &[1usize, 2, 4, 8, 12, 16, 18] {
+            let (o_custom, o_omp) = overheads_us(n, host_cores);
+            let t_custom = serial.mean_ms / n as f64 + regions * o_custom / 1e3;
+            let t_omp = serial.mean_ms / n as f64 + regions * o_omp / 1e3;
+            println!("{n:>8} {:>16.2} {:>16.2}", 1e3 / t_custom, 1e3 / t_omp);
+        }
+    }
+    println!("\n(paper: the custom pool scales further than every OpenMP-backed stack in Figures 4a-4c)");
+}
+
+
+/// Per-region overheads (µs) for the custom and OMP-like pools at `n`
+/// threads: measured when the host can run `n` threads on distinct cores,
+/// modelled otherwise (see `run_fig4`).
+fn overheads_us(n: usize, host_cores: usize) -> (f64, f64) {
+    if n == 1 {
+        return (0.0, 0.0);
+    }
+    if n <= host_cores {
+        (
+            region_overhead_us(&ThreadPool::new(n), 300),
+            region_overhead_us(&OmpLikePool::new(n), 300),
+        )
+    } else {
+        // Calibration constants representative of multicore x86 servers:
+        // SPSC push + unpark per worker vs broadcast wake + contended lock.
+        (0.8 + 0.15 * (n as f64 - 1.0), 4.0 + 1.2 * (n as f64 - 1.0))
+    }
+}
+
+/// §3.3.2 validation: PBQP quality vs DP across the model zoo, with solve
+/// times (the paper: DP ≈ 1 min, PBQP ≈ 10 s, quality ≥ 88%).
+pub fn run_pbqp_quality(cfg: &HarnessCfg) {
+    use neocpu_graph::passes::{fuse_ops, simplify_inference};
+    use neocpu_search::{extract_problem, global::solve_dp, global::solve_pbqp, local_search,
+        LocalSearchCfg};
+
+    let models = if cfg.models.is_empty() { neocpu_models::zoo() } else { cfg.models.clone() };
+    println!("PBQP vs DP quality across the zoo (analytical cost tables)");
+    println!(
+        "{:<16} {:>6} {:>7} {:>7} {:>11} {:>11} {:>9} {:>10} {:>10}",
+        "model", "convs", "edges", "forest", "DP obj(ms)", "PBQP obj", "dp/pbqp", "DP (µs)", "PBQP (µs)"
+    );
+    for kind in models {
+        let g = build(kind, cfg.scale(kind), 3);
+        let g = fuse_ops(&simplify_inference(&g).expect("simplify")).expect("fuse");
+        let model = CpuTarget::host().analytical_model();
+        let lcfg = LocalSearchCfg { keep: 6, ..Default::default() };
+        let mut ranked =
+            |_, p: &neocpu_kernels::Conv2dParams| local_search(p, &model, &lcfg);
+        let problem = extract_problem(&g, &mut ranked, &model).expect("extract");
+        let t0 = Instant::now();
+        let dp = solve_dp(&problem);
+        let dp_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        let pb = solve_pbqp(&problem);
+        let pb_us = t0.elapsed().as_secs_f64() * 1e6;
+        let (dpo, pbo) = (problem.objective(&dp), problem.objective(&pb));
+        println!(
+            "{:<16} {:>6} {:>7} {:>7} {:>11.3} {:>11.3} {:>8.1}% {:>10.0} {:>10.0}",
+            kind.name(),
+            problem.nodes.len(),
+            problem.edges.len(),
+            problem.is_forest(),
+            dpo * 1e3,
+            pbo * 1e3,
+            100.0 * dpo as f64 / pbo.max(f32::EPSILON) as f64,
+            dp_us,
+            pb_us,
+        );
+    }
+    println!(
+        "\n(paper: PBQP achieves at least 88% of the best available result; >100% here means\n\
+         PBQP beat the Algorithm 2 DP, which is itself approximate on non-forest graphs)"
+    );
+}
+
+/// §3.3.1: local-search report for ResNet-50's distinct conv workloads.
+pub fn run_local_search(cfg: &HarnessCfg) {
+    use neocpu_kernels::conv::ConvSchedule;
+    use neocpu_search::{local_search, LocalSearchCfg, TimedMeasurer};
+
+    let kind = cfg.models.first().copied().unwrap_or(ModelKind::ResNet50);
+    let scale = cfg.scale(kind);
+    let graph = build(kind, scale, 3);
+    let timed = TimedMeasurer { repeats: cfg.reps.min(3).max(1), warmup: 1, max_lanes: usize::MAX };
+    let lcfg = LocalSearchCfg { preselect: Some(10), keep: 3, ..Default::default() };
+    let mut db = SchemeDatabase::new();
+    let mut distinct = 0;
+    println!(
+        "Local search over {}'s conv workloads ({} scale; timed on the real template)",
+        kind.name(),
+        if cfg.full { "FULL" } else { "reduced" }
+    );
+    let t0 = Instant::now();
+    for id in graph.conv_ids() {
+        let neocpu_graph::Op::Conv2d { params, .. } = &graph.nodes[id].op else { unreachable!() };
+        let p = *params;
+        let space = ConvSchedule::candidates(&p, 64).len();
+        let before = db.len();
+        db.get_or_insert_with("host", &p, || local_search(&p, &timed, &lcfg));
+        if db.len() > before {
+            distinct += 1;
+            let best = db.get("host", &p).expect("inserted")[0];
+            println!(
+                "C{:4}→{:4} @{:3}x{:<3} k{}x{} s{}: space {:4}, best (ic={:2}, oc={:2}, reg_n={:2}, unroll={}) {:9.1} µs",
+                p.in_channels, p.out_channels, p.in_h, p.in_w, p.kernel_h, p.kernel_w,
+                p.stride_h, space,
+                best.schedule.ic_bn, best.schedule.oc_bn, best.schedule.reg_n,
+                best.schedule.unroll_ker, best.time * 1e6,
+            );
+        }
+    }
+    println!(
+        "\n{} convolutions → {distinct} distinct workloads, searched in {:.1}s \
+         (paper: 20 workloads for ResNet-50, ~6h exhaustive on 18-core Skylake)",
+        graph.conv_ids().len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,334 @@
+//! The compile pipeline: passes + search + weight pre-transformation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use neocpu_graph::passes::{
+    fuse_ops, plan_assigned, plan_uniform, precompute_weights, simplify_inference,
+    wrap_convs_with_transforms, UniformPlanCfg,
+};
+use neocpu_graph::{infer_layouts, infer_shapes, Graph};
+use neocpu_search::{
+    extract_problem, local_search, solve, GlobalCfg, LocalSearchCfg,
+    SchemeDatabase, TimedMeasurer,
+};
+use neocpu_threadpool::{OmpLikePool, Parallelism, Sequential, ThreadPool};
+
+use crate::executor::Module;
+use crate::target::CpuTarget;
+use crate::Result;
+
+/// Optimization levels — the Table 3 ablation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Plain NCHW direct convolution (normalized baseline).
+    O0,
+    /// Blocked CONVs with per-op transform pairs ("Layout Opt.").
+    O1,
+    /// Uniform block + graph transform elimination ("Transform Elim.").
+    O2,
+    /// Global scheme search ("Global Search").
+    O3,
+}
+
+/// Thread-pool implementation choice (the Figure 4 axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolChoice {
+    /// The custom SPSC fork-join pool (§3.1.2).
+    #[default]
+    Custom,
+    /// The OpenMP-style mutex/condvar pool.
+    OmpLike,
+    /// Single-threaded inline execution.
+    Sequential,
+}
+
+/// How the O3 local search prices candidate schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchStrategy {
+    /// Deterministic analytical model only (fast, used in tests).
+    Analytical,
+    /// Full timed sweep (the paper's hours-long method, scaled by repeats).
+    Timed {
+        /// Timed repetitions per candidate.
+        repeats: usize,
+    },
+    /// Analytical pre-selection of `preselect` candidates, then timed
+    /// measurement of those (the harness default).
+    Hybrid {
+        /// Candidates surviving pre-selection.
+        preselect: usize,
+        /// Timed repetitions per surviving candidate.
+        repeats: usize,
+    },
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Optimization level (Table 3 ladder).
+    pub opt_level: OptLevel,
+    /// Epilogue fusion (on for every published configuration; off models a
+    /// framework with weaker graph support).
+    pub fuse: bool,
+    /// Executor threads (caller + workers).
+    pub threads: usize,
+    /// Thread-pool implementation.
+    pub pool: PoolChoice,
+    /// Local-search pricing for O3.
+    pub search: SearchStrategy,
+    /// Candidates per CONV entering the global search.
+    pub keep_candidates: usize,
+}
+
+impl CompileOptions {
+    /// Defaults at a given level: fusion on, one thread, custom pool,
+    /// analytical search.
+    pub fn level(opt_level: OptLevel) -> Self {
+        Self {
+            opt_level,
+            fuse: true,
+            threads: 1,
+            pool: PoolChoice::Custom,
+            search: SearchStrategy::Analytical,
+            keep_candidates: 8,
+        }
+    }
+
+    /// Sets the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the pool implementation.
+    pub fn with_pool(mut self, pool: PoolChoice) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
+/// Compiles `graph` for `target`, using a throwaway scheme database.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a pass fails.
+pub fn compile(graph: &Graph, target: &CpuTarget, opts: &CompileOptions) -> Result<Module> {
+    let mut db = SchemeDatabase::new();
+    compile_with_db(graph, target, opts, &mut db)
+}
+
+/// Compiles `graph` for `target`, reading/writing local-search results in
+/// `db` (§3.3.1's cross-model workload cache).
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a pass fails.
+pub fn compile_with_db(
+    graph: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    db: &mut SchemeDatabase,
+) -> Result<Module> {
+    let simplified = simplify_inference(graph)?;
+    let fused = if opts.fuse { fuse_ops(&simplified)? } else { simplified };
+
+    let cfg = UniformPlanCfg {
+        block: target.preferred_block(),
+        reg_n: default_reg_n(target),
+        unroll: true,
+    };
+    let planned = match opts.opt_level {
+        OptLevel::O0 => fused,
+        OptLevel::O1 => wrap_convs_with_transforms(&fused, &cfg)?,
+        OptLevel::O2 => plan_uniform(&fused, &cfg)?,
+        OptLevel::O3 => {
+            let schedules = global_search(&fused, target, opts, db)?;
+            plan_assigned(&fused, &schedules, &cfg)?
+        }
+    };
+    let pre = precompute_weights(&planned)?;
+    let shapes = infer_shapes(&pre)?;
+    let layouts = infer_layouts(&pre, &shapes)?;
+    let pool = make_pool(opts);
+    Ok(Module::new(pre, shapes, layouts, pool, target.max_lanes()))
+}
+
+/// Compiles `graph` with a caller-supplied thread pool (used by the
+/// benchmark harness to instrument parallel regions); `opts.pool` and
+/// `opts.threads` are ignored.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a pass fails.
+pub fn compile_with_pool(
+    graph: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    pool: Arc<dyn Parallelism>,
+    db: &mut SchemeDatabase,
+) -> Result<Module> {
+    let module = compile_with_db(graph, target, opts, db)?;
+    Ok(module.with_pool(pool))
+}
+
+/// Runs the two-stage search and returns per-conv schedules.
+fn global_search(
+    g: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    db: &mut SchemeDatabase,
+) -> Result<HashMap<neocpu_graph::NodeId, neocpu_kernels::ConvSchedule>> {
+    let analytical = target.analytical_model();
+    let local_cfg = match opts.search {
+        SearchStrategy::Analytical => {
+            LocalSearchCfg { preselect: None, keep: opts.keep_candidates, ..Default::default() }
+        }
+        SearchStrategy::Timed { .. } => {
+            LocalSearchCfg { preselect: None, keep: opts.keep_candidates, ..Default::default() }
+        }
+        SearchStrategy::Hybrid { preselect, .. } => LocalSearchCfg {
+            preselect: Some(preselect),
+            keep: opts.keep_candidates,
+            ..Default::default()
+        },
+    };
+    let timed = match opts.search {
+        SearchStrategy::Analytical => None,
+        SearchStrategy::Timed { repeats } | SearchStrategy::Hybrid { repeats, .. } => {
+            Some(TimedMeasurer { repeats, warmup: 1, max_lanes: target.max_lanes() })
+        }
+    };
+    let tname = target.name.clone();
+    let mut ranked = |_, params: &neocpu_kernels::Conv2dParams| {
+        db.get_or_insert_with(&tname, params, || match timed {
+            Some(t) => local_search(params, &t, &local_cfg),
+            None => local_search(params, &analytical, &local_cfg),
+        })
+        .to_vec()
+    };
+    let problem = extract_problem(g, &mut ranked, &analytical)?;
+    let (assignment, _obj) = solve(&problem, &GlobalCfg::default());
+    Ok(problem.assignment_to_schedules(&assignment))
+}
+
+fn default_reg_n(target: &CpuTarget) -> usize {
+    match target.isa {
+        crate::IsaKind::Avx512 => 16,
+        crate::IsaKind::Avx2 => 8,
+        crate::IsaKind::Neon => 8,
+        crate::IsaKind::Generic => 4,
+    }
+}
+
+fn make_pool(opts: &CompileOptions) -> Arc<dyn Parallelism> {
+    match (opts.pool, opts.threads) {
+        (PoolChoice::Sequential, _) | (_, 0 | 1) => Arc::new(Sequential),
+        (PoolChoice::Custom, n) => Arc::new(ThreadPool::new(n)),
+        (PoolChoice::OmpLike, n) => Arc::new(OmpLikePool::new(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neocpu_graph::GraphBuilder;
+    use neocpu_tensor::{Layout, Tensor};
+
+    fn small_net() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        let x = b.input([1, 8, 12, 12]);
+        let c1 = b.conv_bn_relu(x, 16, 3, 1, 1);
+        let p = b.max_pool(c1, 2, 2, 0);
+        let c2 = b.conv_bn_relu(p, 16, 3, 1, 1);
+        let f = b.flatten(c2);
+        let d = b.dense(f, 4);
+        let s = b.softmax(d);
+        b.finish(vec![s])
+    }
+
+    #[test]
+    fn all_levels_compile_and_agree() {
+        let g = small_net();
+        let target = CpuTarget::host();
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 3, 1.0).unwrap();
+        let mut outputs = Vec::new();
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let m = compile(&g, &target, &CompileOptions::level(level)).unwrap();
+            let out = m.run(std::slice::from_ref(&input)).unwrap();
+            outputs.push(out.into_iter().next().unwrap());
+        }
+        for o in &outputs[1..] {
+            assert!(
+                outputs[0].approx_eq(o, 1e-4),
+                "optimization changed semantics: diff {}",
+                outputs[0].max_abs_diff(o)
+            );
+        }
+    }
+
+    #[test]
+    fn transform_counts_fall_along_the_ladder() {
+        let g = small_net();
+        let target = CpuTarget::host();
+        let o1 = compile(&g, &target, &CompileOptions::level(OptLevel::O1)).unwrap();
+        let o2 = compile(&g, &target, &CompileOptions::level(OptLevel::O2)).unwrap();
+        assert!(o2.transform_count() < o1.transform_count());
+        assert_eq!(o1.transform_count(), 4); // 2 convs × (in + out)
+        assert_eq!(o2.transform_count(), 2); // entry + exit only
+    }
+
+    #[test]
+    fn o3_reuses_database_entries() {
+        let g = small_net();
+        let target = CpuTarget::host();
+        let mut db = SchemeDatabase::new();
+        let opts = CompileOptions::level(OptLevel::O3);
+        let _ = compile_with_db(&g, &target, &opts, &mut db).unwrap();
+        let n = db.len();
+        assert!(n >= 1);
+        // Second compile hits the cache; the count is unchanged.
+        let _ = compile_with_db(&g, &target, &opts, &mut db).unwrap();
+        assert_eq!(db.len(), n);
+    }
+
+    #[test]
+    fn narrower_target_still_correct() {
+        let g = small_net();
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 4, 1.0).unwrap();
+        let host = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let neon =
+            compile(&g, &CpuTarget::arm_a72_neon(), &CompileOptions::level(OptLevel::O2))
+                .unwrap();
+        let a = host.run(std::slice::from_ref(&input)).unwrap();
+        let b = neon.run(std::slice::from_ref(&input)).unwrap();
+        assert!(a[0].approx_eq(&b[0], 1e-4));
+    }
+
+    #[test]
+    fn multithreaded_module_matches_sequential() {
+        let g = small_net();
+        let target = CpuTarget::host();
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 5, 1.0).unwrap();
+        let seq = compile(&g, &target, &CompileOptions::level(OptLevel::O2)).unwrap();
+        let par = compile(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O2).with_threads(4),
+        )
+        .unwrap();
+        let omp = compile(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O2)
+                .with_threads(4)
+                .with_pool(PoolChoice::OmpLike),
+        )
+        .unwrap();
+        let a = seq.run(std::slice::from_ref(&input)).unwrap();
+        let b = par.run(std::slice::from_ref(&input)).unwrap();
+        let c = omp.run(std::slice::from_ref(&input)).unwrap();
+        assert!(a[0].approx_eq(&b[0], 1e-5));
+        assert!(a[0].approx_eq(&c[0], 1e-5));
+    }
+}

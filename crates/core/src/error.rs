@@ -1,0 +1,54 @@
+//! Top-level error type.
+
+use std::fmt;
+
+use neocpu_graph::GraphError;
+use neocpu_kernels::KernelError;
+use neocpu_tensor::TensorError;
+
+/// Errors from compilation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeoError {
+    /// Graph construction/pass failure.
+    Graph(GraphError),
+    /// Kernel invocation failure.
+    Kernel(KernelError),
+    /// Tensor operation failure.
+    Tensor(TensorError),
+    /// Input tensors handed to `Module::run` do not match the graph.
+    BadInput(String),
+    /// Internal invariant broken (a compiler bug, not user error).
+    Internal(String),
+}
+
+impl fmt::Display for NeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Graph(e) => write!(f, "graph error: {e}"),
+            Self::Kernel(e) => write!(f, "kernel error: {e}"),
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::BadInput(m) => write!(f, "bad input: {m}"),
+            Self::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NeoError {}
+
+impl From<GraphError> for NeoError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<KernelError> for NeoError {
+    fn from(e: KernelError) -> Self {
+        Self::Kernel(e)
+    }
+}
+
+impl From<TensorError> for NeoError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}

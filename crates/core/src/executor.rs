@@ -1,0 +1,431 @@
+//! The module executor: a topological interpreter over the compiled graph.
+//!
+//! Buffers are liveness-managed: a node's output tensor is dropped as soon
+//! as its last consumer has executed (in-place reuse for unary ops when the
+//! producer dies there), so peak memory tracks the widest live set rather
+//! than the whole network — the runtime-side half of memory planning.
+
+use std::sync::Arc;
+
+use neocpu_graph::{Graph, Op};
+use neocpu_kernels::conv::{conv2d_nchw_direct, conv2d_nchwc, Epilogue};
+use neocpu_kernels::elementwise::{
+    add, batchnorm_fold, concat_channels, relu_inplace, scale_shift,
+};
+use neocpu_kernels::pool2d::{global_avg_pool, pool2d};
+use neocpu_kernels::{dense, softmax};
+use neocpu_tensor::{transform::to_layout, Layout, Shape, Tensor};
+use neocpu_threadpool::Parallelism;
+
+use crate::{NeoError, Result};
+
+/// Aggregated wall time of one operator kind during a profiled inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpProfile {
+    /// Operator name (e.g. `"conv2d"`, `"layout_transform"`).
+    pub op: &'static str,
+    /// Number of nodes of this kind executed.
+    pub count: usize,
+    /// Total wall time across those nodes, milliseconds.
+    pub total_ms: f64,
+}
+
+/// A compiled, executable model.
+pub struct Module {
+    graph: Graph,
+    shapes: Vec<Shape>,
+    layouts: Vec<Layout>,
+    pool: Arc<dyn Parallelism>,
+    max_lanes: usize,
+    /// For each node, the index of its last consumer (or `usize::MAX` for
+    /// graph outputs, pinning them).
+    last_use: Vec<usize>,
+}
+
+impl Module {
+    pub(crate) fn new(
+        graph: Graph,
+        shapes: Vec<Shape>,
+        layouts: Vec<Layout>,
+        pool: Arc<dyn Parallelism>,
+        max_lanes: usize,
+    ) -> Self {
+        let mut last_use = vec![0usize; graph.len()];
+        for (id, node) in graph.nodes.iter().enumerate() {
+            for &i in &node.inputs {
+                last_use[i] = last_use[i].max(id);
+            }
+        }
+        for &o in &graph.outputs {
+            last_use[o] = usize::MAX;
+        }
+        Self { graph, shapes, layouts, pool, max_lanes, last_use }
+    }
+
+    /// The optimized graph this module executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Replaces the executor's thread pool (benchmark instrumentation).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<dyn Parallelism>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Number of `LayoutTransform` nodes on the inference path (the §3.2
+    /// metric the ablation reports).
+    pub fn transform_count(&self) -> usize {
+        self.graph.transform_count()
+    }
+
+    /// Executors participating in parallel regions.
+    pub fn threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Runs one inference and reports per-operator wall time, aggregated by
+    /// operator name — the profile that shows where transforms and CONVs
+    /// spend the inference budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on input mismatch or kernel failure.
+    pub fn run_profiled(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, Vec<OpProfile>)> {
+        let mut per_op: std::collections::HashMap<&'static str, OpProfile> =
+            std::collections::HashMap::new();
+        let mut probe = |name: &'static str, secs: f64| {
+            let e = per_op.entry(name).or_insert(OpProfile { op: name, count: 0, total_ms: 0.0 });
+            e.count += 1;
+            e.total_ms += secs * 1e3;
+        };
+        let outputs = self.run_inner(inputs, Some(&mut probe))?;
+        let mut profiles: Vec<OpProfile> = per_op.into_values().collect();
+        profiles.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        Ok((outputs, profiles))
+    }
+
+    /// Runs one inference.
+    ///
+    /// `inputs` are matched to the graph's `Input` nodes in id order and
+    /// must be `NCHW` (rank 4) or `NC` (rank 2) tensors of the declared
+    /// shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on input mismatch or kernel failure.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.run_inner(inputs, None)
+    }
+
+    fn run_inner(
+        &self,
+        inputs: &[Tensor],
+        mut probe: Option<&mut dyn FnMut(&'static str, f64)>,
+    ) -> Result<Vec<Tensor>> {
+        let g = &self.graph;
+        let mut values: Vec<Option<Tensor>> = vec![None; g.len()];
+        let mut next_input = 0usize;
+        let par: &dyn Parallelism = &*self.pool;
+
+        for id in 0..g.len() {
+            let node = &g.nodes[id];
+            let t0 = probe.is_some().then(std::time::Instant::now);
+            let out = match &node.op {
+                Op::Input { shape } => {
+                    let t = inputs.get(next_input).ok_or_else(|| {
+                        NeoError::BadInput(format!("missing input #{next_input}"))
+                    })?;
+                    next_input += 1;
+                    if t.shape().dims() != &shape[..] {
+                        return Err(NeoError::BadInput(format!(
+                            "input #{} has shape {}, expected {:?}",
+                            next_input - 1,
+                            t.shape(),
+                            shape
+                        )));
+                    }
+                    if t.layout() != self.layouts[id] {
+                        return Err(NeoError::BadInput(format!(
+                            "input #{} must be {}, got {}",
+                            next_input - 1,
+                            self.layouts[id],
+                            t.layout()
+                        )));
+                    }
+                    t.clone()
+                }
+                Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let res = if *residual {
+                        Some(self.value(&values, node.inputs[1])?)
+                    } else {
+                        None
+                    };
+                    let bias_data = bias.map(|b| g.params[b].data());
+                    let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
+                    let mut out =
+                        Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    match schedule {
+                        Some(s) => {
+                            conv2d_nchwc(
+                                x,
+                                &g.params[*weight],
+                                &mut out,
+                                params,
+                                s,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                            )?;
+                        }
+                        None => {
+                            conv2d_nchw_direct(x, &g.params[*weight], &mut out, params, &epi, par)?;
+                        }
+                    }
+                    out
+                }
+                Op::ScaleShift { scale, shift } => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    scale_shift(x, &mut out, g.params[*scale].data(), g.params[*shift].data(), par)?;
+                    out
+                }
+                Op::BatchNorm { gamma, beta, mean, var, eps } => {
+                    // Normally folded away; kept total for un-simplified graphs.
+                    let (scale, shift) = batchnorm_fold(
+                        g.params[*gamma].data(),
+                        g.params[*beta].data(),
+                        g.params[*mean].data(),
+                        g.params[*var].data(),
+                        *eps,
+                    );
+                    let x = self.value(&values, node.inputs[0])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    scale_shift(x, &mut out, &scale, &shift, par)?;
+                    out
+                }
+                Op::Relu => {
+                    let mut t = self.take_or_clone(&mut values, node.inputs[0], id)?;
+                    relu_inplace(&mut t, par);
+                    t
+                }
+                Op::Dropout => self.take_or_clone(&mut values, node.inputs[0], id)?,
+                Op::Pool { params, kind } => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    pool2d(x, &mut out, params, *kind, par)?;
+                    out
+                }
+                Op::GlobalAvgPool => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    global_avg_pool(x, &mut out, par)?;
+                    out
+                }
+                Op::Add => {
+                    let a = self.value(&values, node.inputs[0])?;
+                    let b = self.value(&values, node.inputs[1])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    add(a, b, &mut out, par)?;
+                    out
+                }
+                Op::Concat => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| self.value(&values, i))
+                        .collect::<Result<_>>()?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    concat_channels(&ins, &mut out, par)?;
+                    out
+                }
+                Op::Flatten => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    x.reshaped(self.shapes[id].clone())?
+                }
+                Op::Dense { weight, bias, relu } => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let bias_data = bias.map(|b| g.params[b].data());
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    dense::dense(x, &g.params[*weight], &mut out, bias_data, *relu, par)?;
+                    out
+                }
+                Op::Softmax => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
+                    softmax::softmax(x, &mut out, par)?;
+                    out
+                }
+                Op::LayoutTransform { to } => {
+                    let x = self.value(&values, node.inputs[0])?;
+                    to_layout(x, *to)?
+                }
+            };
+            if let (Some(p), Some(t0)) = (probe.as_deref_mut(), t0) {
+                p(node.op.name(), t0.elapsed().as_secs_f64());
+            }
+            values[id] = Some(out);
+            // Liveness: drop every input whose last consumer was this node.
+            for &i in &node.inputs {
+                if self.last_use[i] == id {
+                    values[i] = None;
+                }
+            }
+        }
+
+        g.outputs
+            .iter()
+            .map(|&o| {
+                values[o]
+                    .clone()
+                    .ok_or_else(|| NeoError::Internal(format!("output {o} not computed")))
+            })
+            .collect()
+    }
+
+    fn value<'v>(&self, values: &'v [Option<Tensor>], id: usize) -> Result<&'v Tensor> {
+        values[id]
+            .as_ref()
+            .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
+    }
+
+    /// Takes ownership of an input value when this node is its last
+    /// consumer (enabling in-place unary ops), cloning otherwise.
+    fn take_or_clone(
+        &self,
+        values: &mut [Option<Tensor>],
+        id: usize,
+        consumer: usize,
+    ) -> Result<Tensor> {
+        if self.last_use[id] == consumer {
+            values[id]
+                .take()
+                .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
+        } else {
+            values[id]
+                .clone()
+                .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
+        }
+    }
+}
+
+impl std::fmt::Debug for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Module")
+            .field("nodes", &self.graph.len())
+            .field("transforms", &self.transform_count())
+            .field("threads", &self.pool.num_threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, CpuTarget, OptLevel};
+    use neocpu_graph::GraphBuilder;
+
+    #[test]
+    fn rejects_wrong_inputs() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 4, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O0)).unwrap();
+        // Missing input.
+        assert!(m.run(&[]).is_err());
+        // Wrong shape.
+        let bad = Tensor::zeros([1, 4, 9, 9], Layout::Nchw).unwrap();
+        assert!(m.run(&[bad]).is_err());
+        // Wrong layout.
+        let bad = Tensor::zeros([1, 4, 8, 8], Layout::NchwC(4)).unwrap();
+        assert!(m.run(&[bad]).is_err());
+    }
+
+    #[test]
+    fn residual_network_executes_correctly_at_all_levels() {
+        let mut b = GraphBuilder::new(2);
+        let x = b.input([1, 8, 8, 8]);
+        let c0 = b.conv2d(x, 8, 1, 1, 0);
+        let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+        let c2 = b.conv2d_opts(c1, 8, 3, 1, 1, false);
+        let bn = b.batch_norm(c2);
+        let a = b.add(bn, c0);
+        let r = b.relu(a);
+        let g = b.finish(vec![r]);
+        let input = Tensor::random([1, 8, 8, 8], Layout::Nchw, 7, 1.0).unwrap();
+        let target = CpuTarget::host();
+        let base = compile(&g, &target, &CompileOptions::level(OptLevel::O0))
+            .unwrap()
+            .run(std::slice::from_ref(&input))
+            .unwrap();
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let out = compile(&g, &target, &CompileOptions::level(level))
+                .unwrap()
+                .run(std::slice::from_ref(&input))
+                .unwrap();
+            assert!(
+                base[0].approx_eq(&out[0], 1e-4),
+                "{level:?} diverged: {}",
+                base[0].max_abs_diff(&out[0])
+            );
+        }
+    }
+
+    #[test]
+    fn multi_output_graph() {
+        let mut b = GraphBuilder::new(3);
+        let x = b.input([1, 4, 8, 8]);
+        let c1 = b.conv2d(x, 8, 3, 1, 1);
+        let c2 = b.conv2d(x, 8, 3, 2, 1);
+        let g = b.finish(vec![c1, c2]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let input = Tensor::random([1, 4, 8, 8], Layout::Nchw, 9, 1.0).unwrap();
+        let out = m.run(&[input]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].shape().dims(), &[1, 8, 8, 8]);
+        assert_eq!(out[1].shape().dims(), &[1, 8, 4, 4]);
+        // Outputs come back in framework-default layout.
+        assert_eq!(out[0].layout(), Layout::Nchw);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_accounts_ops() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input([1, 8, 8, 8]);
+        let c = b.conv_bn_relu(x, 16, 3, 1, 1);
+        let p = b.max_pool(c, 2, 2, 0);
+        let g = b.finish(vec![p]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let input = Tensor::random([1, 8, 8, 8], Layout::Nchw, 21, 1.0).unwrap();
+        let plain = m.run(std::slice::from_ref(&input)).unwrap();
+        let (profiled, profile) = m.run_profiled(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(plain[0].data(), profiled[0].data());
+        let names: Vec<&str> = profile.iter().map(|p| p.op).collect();
+        assert!(names.contains(&"conv2d"));
+        assert!(names.contains(&"max_pool"));
+        assert!(names.contains(&"layout_transform"));
+        let conv = profile.iter().find(|p| p.op == "conv2d").unwrap();
+        assert_eq!(conv.count, 1);
+        assert!(conv.total_ms >= 0.0);
+        // Sorted by descending total time.
+        for w in profile.windows(2) {
+            assert!(w[0].total_ms >= w[1].total_ms);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let mut b = GraphBuilder::new(4);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv_bn_relu(x, 8, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let input = Tensor::random([1, 4, 8, 8], Layout::Nchw, 11, 1.0).unwrap();
+        let a = m.run(std::slice::from_ref(&input)).unwrap();
+        let b2 = m.run(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(a[0].data(), b2[0].data());
+    }
+}

@@ -1,0 +1,356 @@
+//! Ergonomic graph construction with deterministic parameter
+//! initialization.
+//!
+//! The model zoo builds every network through this builder. Weights are
+//! seeded pseudo-randomly with fan-in-scaled ranges (Xavier-style) so deep
+//! stacks keep activations well-conditioned — the reproduction validates
+//! semantics by reference-vs-optimized equivalence, not ImageNet accuracy,
+//! so any fixed, well-scaled weights serve (see DESIGN.md).
+
+use neocpu_kernels::conv::Conv2dParams;
+use neocpu_kernels::pool2d::{Pool2dParams, PoolKind};
+use neocpu_tensor::{Layout, Shape, Tensor};
+
+use crate::ir::{Graph, NodeId, Op};
+
+/// Incremental graph builder that tracks output shapes as nodes are added.
+pub struct GraphBuilder {
+    graph: Graph,
+    shapes: Vec<Shape>,
+    seed: u64,
+}
+
+impl GraphBuilder {
+    /// Creates a builder whose parameters derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { graph: Graph::default(), shapes: Vec::new(), seed }
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<NodeId>, shape: Shape) -> NodeId {
+        let id = self.graph.push(op, inputs);
+        self.shapes.push(shape);
+        id
+    }
+
+    /// Shape of an already-added node.
+    pub fn shape(&self, id: NodeId) -> &Shape {
+        &self.shapes[id]
+    }
+
+    /// Read-only access to the graph under construction (for tests).
+    pub fn graph_ref(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Adds an external input.
+    pub fn input(&mut self, shape: impl Into<Vec<usize>>) -> NodeId {
+        let shape = shape.into();
+        let s = Shape::new(shape.clone());
+        self.push(Op::Input { shape }, vec![], s)
+    }
+
+    /// Adds a (biased) convolution with square kernel geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 (builder misuse).
+    pub fn conv2d(&mut self, x: NodeId, out_c: usize, kernel: usize, stride: usize, pad: usize) -> NodeId {
+        self.conv2d_opts(x, out_c, kernel, stride, pad, true)
+    }
+
+    /// Adds a convolution, optionally without bias (ResNet-style convs that
+    /// are always followed by BatchNorm omit it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn conv2d_opts(
+        &mut self,
+        x: NodeId,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+    ) -> NodeId {
+        let d = self.shapes[x].dims().to_vec();
+        assert_eq!(d.len(), 4, "conv2d input must be rank 4");
+        let params = Conv2dParams {
+            in_channels: d[1],
+            out_channels: out_c,
+            in_h: d[2],
+            in_w: d[3],
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        };
+        let fan_in = (d[1] * kernel * kernel) as f32;
+        let scale = (3.0 / fan_in).sqrt();
+        let seed = self.next_seed();
+        let weight = self.graph.push_param(
+            Tensor::random([out_c, d[1], kernel, kernel], Layout::Oihw, seed, scale)
+                .expect("conv weight shape is always valid"),
+        );
+        let bias = bias.then(|| {
+            let seed = self.next_seed();
+            self.graph.push_param(
+                Tensor::random([out_c], Layout::Flat, seed, 0.1)
+                    .expect("bias shape is always valid"),
+            )
+        });
+        let shape = Shape::from([d[0], out_c, params.out_h(), params.out_w()]);
+        self.push(
+            Op::Conv2d { params, weight, bias, schedule: None, relu: false, residual: false },
+            vec![x],
+            shape,
+        )
+    }
+
+    /// Adds a convolution with rectangular kernel/stride/padding (needed by
+    /// Inception-v3's factorized 1×7/7×1 convolutions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn conv2d_rect(
+        &mut self,
+        x: NodeId,
+        out_c: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        pad: (usize, usize),
+        bias: bool,
+    ) -> NodeId {
+        let d = self.shapes[x].dims().to_vec();
+        assert_eq!(d.len(), 4, "conv2d input must be rank 4");
+        let params = Conv2dParams {
+            in_channels: d[1],
+            out_channels: out_c,
+            in_h: d[2],
+            in_w: d[3],
+            kernel_h: kernel.0,
+            kernel_w: kernel.1,
+            stride_h: stride.0,
+            stride_w: stride.1,
+            pad_h: pad.0,
+            pad_w: pad.1,
+        };
+        let fan_in = (d[1] * kernel.0 * kernel.1) as f32;
+        let scale = (3.0 / fan_in).sqrt();
+        let seed = self.next_seed();
+        let weight = self.graph.push_param(
+            Tensor::random([out_c, d[1], kernel.0, kernel.1], Layout::Oihw, seed, scale)
+                .expect("conv weight shape is always valid"),
+        );
+        let bias = bias.then(|| {
+            let seed = self.next_seed();
+            self.graph.push_param(
+                Tensor::random([out_c], Layout::Flat, seed, 0.1)
+                    .expect("bias shape is always valid"),
+            )
+        });
+        let shape = Shape::from([d[0], out_c, params.out_h(), params.out_w()]);
+        self.push(
+            Op::Conv2d { params, weight, bias, schedule: None, relu: false, residual: false },
+            vec![x],
+            shape,
+        )
+    }
+
+    /// conv (rect) → BN → ReLU, the Inception building block.
+    pub fn conv_bn_relu_rect(
+        &mut self,
+        x: NodeId,
+        out_c: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        pad: (usize, usize),
+    ) -> NodeId {
+        let c = self.conv2d_rect(x, out_c, kernel, stride, pad, false);
+        let b = self.batch_norm(c);
+        self.relu(b)
+    }
+
+    /// Adds an inference-mode BatchNorm with plausible running statistics.
+    pub fn batch_norm(&mut self, x: NodeId) -> NodeId {
+        let c = self.shapes[x].dims()[1];
+        let mk = |b: &mut Self, lo: f32, hi: f32| {
+            let seed = b.next_seed();
+            let t = Tensor::random([c], Layout::Flat, seed, 1.0).expect("flat shape valid");
+            let data: Vec<f32> =
+                t.data().iter().map(|v| lo + (v + 1.0) * 0.5 * (hi - lo)).collect();
+            b.graph
+                .push_param(Tensor::from_vec(data, [c], Layout::Flat).expect("flat shape valid"))
+        };
+        let gamma = mk(self, 0.5, 1.5);
+        let beta = mk(self, -0.3, 0.3);
+        let mean = mk(self, -0.2, 0.2);
+        let var = mk(self, 0.5, 1.5);
+        let shape = self.shapes[x].clone();
+        self.push(Op::BatchNorm { gamma, beta, mean, var, eps: 1e-5 }, vec![x], shape)
+    }
+
+    /// Adds a ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let shape = self.shapes[x].clone();
+        self.push(Op::Relu, vec![x], shape)
+    }
+
+    /// Adds a dropout node (identity at inference; exercised by the
+    /// simplification pass).
+    pub fn dropout(&mut self, x: NodeId) -> NodeId {
+        let shape = self.shapes[x].clone();
+        self.push(Op::Dropout, vec![x], shape)
+    }
+
+    fn pool(&mut self, x: NodeId, params: Pool2dParams, kind: PoolKind) -> NodeId {
+        let d = self.shapes[x].dims();
+        let shape = Shape::from([d[0], d[1], params.out_h(d[2]), params.out_w(d[3])]);
+        self.push(Op::Pool { params, kind }, vec![x], shape)
+    }
+
+    /// Adds a square max pool.
+    pub fn max_pool(&mut self, x: NodeId, kernel: usize, stride: usize, pad: usize) -> NodeId {
+        self.pool(x, Pool2dParams::square(kernel, stride, pad), PoolKind::Max)
+    }
+
+    /// Adds a square average pool.
+    pub fn avg_pool(&mut self, x: NodeId, kernel: usize, stride: usize, pad: usize) -> NodeId {
+        self.pool(x, Pool2dParams::square(kernel, stride, pad), PoolKind::Avg)
+    }
+
+    /// Adds a global average pool (`[N, C, 1, 1]`).
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let d = self.shapes[x].dims();
+        let shape = Shape::from([d[0], d[1], 1, 1]);
+        self.push(Op::GlobalAvgPool, vec![x], shape)
+    }
+
+    /// Adds an element-wise addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let shape = self.shapes[a].clone();
+        self.push(Op::Add, vec![a, b], shape)
+    }
+
+    /// Adds a channel concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two inputs are given.
+    pub fn concat(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(xs.len() >= 2, "concat needs at least two inputs");
+        let d0 = self.shapes[xs[0]].dims().to_vec();
+        let c: usize = xs.iter().map(|&x| self.shapes[x].dims()[1]).sum();
+        let shape = Shape::from([d0[0], c, d0[2], d0[3]]);
+        self.push(Op::Concat, xs.to_vec(), shape)
+    }
+
+    /// Adds a flatten to rank 2.
+    pub fn flatten(&mut self, x: NodeId) -> NodeId {
+        let d = self.shapes[x].dims();
+        let shape = Shape::from([d[0], d[1] * d[2] * d[3]]);
+        self.push(Op::Flatten, vec![x], shape)
+    }
+
+    /// Adds a biased dense (fully connected) layer.
+    pub fn dense(&mut self, x: NodeId, out_f: usize) -> NodeId {
+        let d = self.shapes[x].dims().to_vec();
+        assert_eq!(d.len(), 2, "dense input must be rank 2");
+        let fan_in = d[1] as f32;
+        let scale = (3.0 / fan_in).sqrt();
+        let seed = self.next_seed();
+        let weight = self.graph.push_param(
+            Tensor::random([out_f, d[1]], Layout::Oi, seed, scale).expect("dense weight valid"),
+        );
+        let seed = self.next_seed();
+        let bias = Some(self.graph.push_param(
+            Tensor::random([out_f], Layout::Flat, seed, 0.1).expect("bias shape valid"),
+        ));
+        let shape = Shape::from([d[0], out_f]);
+        self.push(Op::Dense { weight, bias, relu: false }, vec![x], shape)
+    }
+
+    /// Adds a softmax over `NC`.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let shape = self.shapes[x].clone();
+        self.push(Op::Softmax, vec![x], shape)
+    }
+
+    /// The ubiquitous conv → BN → ReLU block.
+    pub fn conv_bn_relu(
+        &mut self,
+        x: NodeId,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
+        let c = self.conv2d_opts(x, out_c, kernel, stride, pad, false);
+        let b = self.batch_norm(c);
+        self.relu(b)
+    }
+
+    /// Finalizes the graph with the given outputs.
+    pub fn finish(mut self, outputs: Vec<NodeId>) -> Graph {
+        self.graph.outputs = outputs;
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_shapes;
+
+    #[test]
+    fn builder_shapes_match_inference() {
+        let mut b = GraphBuilder::new(7);
+        let x = b.input([1, 3, 16, 16]);
+        let c = b.conv_bn_relu(x, 8, 3, 2, 1);
+        let p = b.avg_pool(c, 2, 2, 0);
+        let g1 = b.global_avg_pool(p);
+        let f = b.flatten(g1);
+        let d = b.dense(f, 5);
+        let s = b.softmax(d);
+        let g = b.finish(vec![s]);
+        let shapes = infer_shapes(&g).unwrap();
+        for (id, s) in shapes.iter().enumerate() {
+            assert_eq!(s.dims().iter().product::<usize>() > 0, true, "node {id}");
+        }
+        assert_eq!(shapes[s.min(shapes.len() - 1)].dims(), &[1, 5]);
+    }
+
+    #[test]
+    fn parameters_are_deterministic_per_seed() {
+        let build = |seed| {
+            let mut b = GraphBuilder::new(seed);
+            let x = b.input([1, 3, 8, 8]);
+            let c = b.conv2d(x, 4, 3, 1, 1);
+            b.finish(vec![c])
+        };
+        let g1 = build(42);
+        let g2 = build(42);
+        let g3 = build(43);
+        assert_eq!(g1.params[0].data(), g2.params[0].data());
+        assert_ne!(g1.params[0].data(), g3.params[0].data());
+    }
+
+    #[test]
+    fn weight_scale_shrinks_with_fan_in() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 512, 4, 4]);
+        let c = b.conv2d(x, 4, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let max = g.params[0].data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        // fan_in = 512*9 → scale ≈ 0.0255.
+        assert!(max < 0.03, "weights too large: {max}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Shape and layout inference over the graph.
+//!
+//! Layout inference is the first half of Figure 2: walk the graph in
+//! topological order and compute the layout every edge carries, given the
+//! `NCHW[x]c` schedules assigned to the convolutions. The §3.2 operator
+//! taxonomy decides how each node treats its input layout.
+
+use neocpu_tensor::{Layout, Shape};
+
+use crate::ir::{Graph, Op};
+use crate::{GraphError, Result};
+
+/// The paper's three-way classification of operators by layout behaviour
+/// (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutClass {
+    /// Processes data without knowing its layout (ReLU, Softmax, Add, …).
+    Oblivious,
+    /// Needs the layout but handles several (CONV, Pool, BatchNorm, …).
+    Tolerant,
+    /// Works in exactly one layout; a transform must precede it
+    /// (Flatten, Dense).
+    Dependent,
+}
+
+impl LayoutClass {
+    /// Classifies an operator.
+    pub fn of(op: &Op) -> Self {
+        match op {
+            Op::Relu | Op::Dropout | Op::Softmax | Op::Add => Self::Oblivious,
+            Op::Conv2d { .. }
+            | Op::ScaleShift { .. }
+            | Op::BatchNorm { .. }
+            | Op::Pool { .. }
+            | Op::GlobalAvgPool
+            | Op::Concat => Self::Tolerant,
+            Op::Flatten | Op::Dense { .. } => Self::Dependent,
+            // Inputs and transforms sit outside the taxonomy; treat as
+            // tolerant for reporting purposes.
+            Op::Input { .. } | Op::LayoutTransform { .. } => Self::Tolerant,
+        }
+    }
+}
+
+fn err(node: usize, msg: impl Into<String>) -> GraphError {
+    GraphError::Shape { node, msg: msg.into() }
+}
+
+fn lerr(node: usize, msg: impl Into<String>) -> GraphError {
+    GraphError::Layout { node, msg: msg.into() }
+}
+
+/// Computes the logical output shape of every node.
+///
+/// # Errors
+///
+/// Returns an error at the first node whose operands are inconsistent.
+pub fn infer_shapes(g: &Graph) -> Result<Vec<Shape>> {
+    g.validate()?;
+    let mut shapes: Vec<Shape> = Vec::with_capacity(g.len());
+    for (id, node) in g.nodes.iter().enumerate() {
+        let ins: Vec<&Shape> = node.inputs.iter().map(|&i| &shapes[i]).collect();
+        let shape = match &node.op {
+            Op::Input { shape } => Shape::new(shape.clone()),
+            Op::Conv2d { params: p, weight, bias, residual, .. } => {
+                let x = ins[0];
+                if x.rank() != 4 {
+                    return Err(err(id, "conv input must be rank 4"));
+                }
+                let d = x.dims();
+                if d[1] != p.in_channels || d[2] != p.in_h || d[3] != p.in_w {
+                    return Err(err(
+                        id,
+                        format!(
+                            "conv input {x} does not match params C={} H={} W={}",
+                            p.in_channels, p.in_h, p.in_w
+                        ),
+                    ));
+                }
+                let w = g.params[*weight].shape();
+                if w.dims() != [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w] {
+                    return Err(err(id, format!("conv weight {w} does not match params")));
+                }
+                if let Some(b) = bias {
+                    if g.params[*b].num_elements() != p.out_channels {
+                        return Err(err(id, "conv bias length mismatch"));
+                    }
+                }
+                let out = Shape::from([d[0], p.out_channels, p.out_h(), p.out_w()]);
+                if *residual && ins[1] != &out {
+                    return Err(err(id, "conv residual shape mismatch"));
+                }
+                out
+            }
+            Op::ScaleShift { scale, shift } => {
+                let c = ins[0].dims().get(1).copied().unwrap_or(0);
+                if g.params[*scale].num_elements() != c || g.params[*shift].num_elements() != c {
+                    return Err(err(id, "scale/shift length must equal channel count"));
+                }
+                ins[0].clone()
+            }
+            Op::BatchNorm { gamma, beta, mean, var, .. } => {
+                let c = ins[0].dims().get(1).copied().unwrap_or(0);
+                for p in [gamma, beta, mean, var] {
+                    if g.params[*p].num_elements() != c {
+                        return Err(err(id, "batch-norm parameter length mismatch"));
+                    }
+                }
+                ins[0].clone()
+            }
+            Op::Relu | Op::Dropout => ins[0].clone(),
+            Op::Pool { params, .. } => {
+                let d = ins[0].dims();
+                if ins[0].rank() != 4 {
+                    return Err(err(id, "pool input must be rank 4"));
+                }
+                let (oh, ow) = (params.out_h(d[2]), params.out_w(d[3]));
+                if oh == 0 || ow == 0 {
+                    return Err(err(id, "pool window larger than input"));
+                }
+                Shape::from([d[0], d[1], oh, ow])
+            }
+            Op::GlobalAvgPool => {
+                let d = ins[0].dims();
+                if ins[0].rank() != 4 {
+                    return Err(err(id, "global pool input must be rank 4"));
+                }
+                Shape::from([d[0], d[1], 1, 1])
+            }
+            Op::Add => {
+                if ins[0] != ins[1] {
+                    return Err(err(id, format!("add operands {} vs {}", ins[0], ins[1])));
+                }
+                ins[0].clone()
+            }
+            Op::Concat => {
+                let d0 = ins[0].dims();
+                if ins[0].rank() != 4 {
+                    return Err(err(id, "concat inputs must be rank 4"));
+                }
+                let mut c = 0;
+                for s in &ins {
+                    let d = s.dims();
+                    if d[0] != d0[0] || d[2] != d0[2] || d[3] != d0[3] {
+                        return Err(err(id, "concat inputs must share batch and spatial dims"));
+                    }
+                    c += d[1];
+                }
+                Shape::from([d0[0], c, d0[2], d0[3]])
+            }
+            Op::Flatten => {
+                let d = ins[0].dims();
+                if ins[0].rank() != 4 {
+                    return Err(err(id, "flatten input must be rank 4"));
+                }
+                Shape::from([d[0], d[1] * d[2] * d[3]])
+            }
+            Op::Dense { weight, bias, .. } => {
+                if ins[0].rank() != 2 {
+                    return Err(err(id, "dense input must be rank 2"));
+                }
+                let d = ins[0].dims();
+                let w = g.params[*weight].shape();
+                if w.rank() != 2 || w.dims()[1] != d[1] {
+                    return Err(err(id, format!("dense weight {w} vs input {}", ins[0])));
+                }
+                if let Some(b) = bias {
+                    if g.params[*b].num_elements() != w.dims()[0] {
+                        return Err(err(id, "dense bias length mismatch"));
+                    }
+                }
+                Shape::from([d[0], w.dims()[0]])
+            }
+            Op::Softmax => {
+                if ins[0].rank() != 2 {
+                    return Err(err(id, "softmax input must be rank 2"));
+                }
+                ins[0].clone()
+            }
+            Op::LayoutTransform { to } => {
+                to.physical_dims(ins[0]).map_err(|e| err(id, e.to_string()))?;
+                ins[0].clone()
+            }
+        };
+        shapes.push(shape);
+    }
+    Ok(shapes)
+}
+
+/// Computes the layout every node produces, validating that each operator
+/// receives a layout it can handle (the consistency the layout passes must
+/// establish).
+///
+/// # Errors
+///
+/// Returns an error at the first node whose input layout is unacceptable.
+pub fn infer_layouts(g: &Graph, shapes: &[Shape]) -> Result<Vec<Layout>> {
+    let mut layouts: Vec<Layout> = Vec::with_capacity(g.len());
+    for (id, node) in g.nodes.iter().enumerate() {
+        let ins: Vec<Layout> = node.inputs.iter().map(|&i| layouts[i]).collect();
+        let layout = match &node.op {
+            Op::Input { shape } => match shape.len() {
+                4 => Layout::Nchw,
+                2 => Layout::Nc,
+                1 => Layout::Flat,
+                r => return Err(lerr(id, format!("unsupported input rank {r}"))),
+            },
+            Op::Conv2d { schedule, residual, .. } => {
+                let out = match schedule {
+                    Some(s) => {
+                        if ins[0] != Layout::NchwC(s.ic_bn) {
+                            return Err(lerr(
+                                id,
+                                format!("scheduled conv needs NCHW{}c input, got {}", s.ic_bn, ins[0]),
+                            ));
+                        }
+                        Layout::NchwC(s.oc_bn)
+                    }
+                    None => {
+                        if ins[0] != Layout::Nchw {
+                            return Err(lerr(
+                                id,
+                                format!("unscheduled conv needs NCHW input, got {}", ins[0]),
+                            ));
+                        }
+                        Layout::Nchw
+                    }
+                };
+                if *residual && ins[1] != out {
+                    return Err(lerr(
+                        id,
+                        format!("conv residual layout {} != output {out}", ins[1]),
+                    ));
+                }
+                out
+            }
+            Op::ScaleShift { .. } | Op::BatchNorm { .. } | Op::Pool { .. } | Op::GlobalAvgPool => {
+                // Layout-tolerant: NCHW or any NCHW[x]c.
+                match ins[0] {
+                    Layout::Nchw | Layout::NchwC(_) => ins[0],
+                    l => return Err(lerr(id, format!("{} cannot handle {l}", node.op.name()))),
+                }
+            }
+            Op::Relu | Op::Dropout => ins[0],
+            Op::Add => {
+                if ins[0] != ins[1] {
+                    return Err(lerr(id, format!("add layouts {} vs {}", ins[0], ins[1])));
+                }
+                ins[0]
+            }
+            Op::Concat => {
+                let l0 = ins[0];
+                if ins.iter().any(|&l| l != l0) {
+                    return Err(lerr(id, "concat inputs must share a layout".to_string()));
+                }
+                if let Layout::NchwC(x) = l0 {
+                    for (&inp, &l) in node.inputs.iter().zip(&ins) {
+                        let c = shapes[inp].dims()[1];
+                        let _ = l;
+                        if c % x != 0 {
+                            return Err(lerr(
+                                id,
+                                format!("concat operand channels {c} not divisible by block {x}"),
+                            ));
+                        }
+                    }
+                } else if l0 != Layout::Nchw {
+                    return Err(lerr(id, format!("concat cannot handle {l0}")));
+                }
+                l0
+            }
+            Op::Flatten => {
+                if ins[0] != Layout::Nchw {
+                    return Err(lerr(id, format!("flatten requires NCHW, got {}", ins[0])));
+                }
+                Layout::Nc
+            }
+            Op::Dense { .. } => {
+                if ins[0] != Layout::Nc {
+                    return Err(lerr(id, format!("dense requires NC, got {}", ins[0])));
+                }
+                Layout::Nc
+            }
+            Op::Softmax => {
+                if ins[0] != Layout::Nc {
+                    return Err(lerr(id, format!("softmax requires NC, got {}", ins[0])));
+                }
+                Layout::Nc
+            }
+            Op::LayoutTransform { to } => {
+                to.physical_dims(&shapes[id]).map_err(|e| lerr(id, e.to_string()))?;
+                *to
+            }
+        };
+        layouts.push(layout);
+    }
+    Ok(layouts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use neocpu_kernels::conv::ConvSchedule;
+
+    #[test]
+    fn shapes_through_simple_cnn() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 3, 32, 32]);
+        let c1 = b.conv2d(x, 16, 3, 1, 1);
+        let r = b.relu(c1);
+        let p = b.max_pool(r, 2, 2, 0);
+        let f = b.flatten(p);
+        let d = b.dense(f, 10);
+        let s = b.softmax(d);
+        let g = b.finish(vec![s]);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[c1].dims(), &[1, 16, 32, 32]);
+        assert_eq!(shapes[p].dims(), &[1, 16, 16, 16]);
+        assert_eq!(shapes[f].dims(), &[1, 16 * 16 * 16]);
+        assert_eq!(shapes[s].dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn layouts_default_to_nchw() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 8, 3, 1, 1);
+        let r = b.relu(c);
+        let g = b.finish(vec![r]);
+        let shapes = infer_shapes(&g).unwrap();
+        let layouts = infer_layouts(&g, &shapes).unwrap();
+        assert!(layouts.iter().all(|&l| l == Layout::Nchw));
+    }
+
+    #[test]
+    fn scheduled_conv_demands_blocked_input() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 8, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let mut g2 = g.clone();
+        if let Op::Conv2d { schedule, .. } = &mut g2.nodes[c].op {
+            *schedule = Some(ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false });
+        }
+        let shapes = infer_shapes(&g2).unwrap();
+        // Input is NCHW but the conv now demands NCHW4c: inference errors.
+        assert!(infer_layouts(&g2, &shapes).is_err());
+    }
+
+    #[test]
+    fn layout_class_taxonomy() {
+        assert_eq!(LayoutClass::of(&Op::Relu), LayoutClass::Oblivious);
+        assert_eq!(LayoutClass::of(&Op::GlobalAvgPool), LayoutClass::Tolerant);
+        assert_eq!(LayoutClass::of(&Op::Flatten), LayoutClass::Dependent);
+    }
+
+    #[test]
+    fn bad_add_shapes_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let c1 = b.conv2d(x, 8, 3, 1, 1);
+        let c2 = b.conv2d(x, 8, 3, 2, 1); // different spatial dims
+        let g_nodes_ok = b.graph_ref().validate().is_ok();
+        assert!(g_nodes_ok);
+        let a = b.add(c1, c2);
+        let g = b.finish(vec![a]);
+        assert!(infer_shapes(&g).is_err());
+    }
+}

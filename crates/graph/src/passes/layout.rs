@@ -1,0 +1,484 @@
+//! Layout planning and `LayoutTransform` placement (§3.2 / Figure 2).
+//!
+//! Three planners assign `NCHW[x]c` schedules to convolutions:
+//!
+//! * [`plan_uniform`] — one constant block factor `x` for the whole network
+//!   (the §3.2 scheme);
+//! * [`plan_assigned`] — per-CONV schedules chosen by the global search
+//!   (§3.3);
+//! * [`wrap_convs_with_transforms`] — the *library-call* arrangement used
+//!   as Table 3's "Layout Opt." row: every CONV runs blocked but converts
+//!   its input from NCHW and its output back, paying both transforms.
+//!
+//! [`insert_layout_transforms`] is the elimination machinery shared by the
+//! first two: walk the graph, track the layout each value carries, and
+//! materialize a `LayoutTransform` only when a consumer genuinely requires
+//! a different layout — with look-through so a transform of a transform
+//! collapses, and memoization so one value transformed to the same target
+//! twice shares a single node.
+
+use std::collections::HashMap;
+
+use neocpu_kernels::conv::ConvSchedule;
+use neocpu_tensor::Layout;
+
+use crate::infer::infer_shapes;
+use crate::ir::{Graph, NodeId, Op};
+use crate::{GraphError, Result};
+
+/// Configuration for the uniform (§3.2) layout plan.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformPlanCfg {
+    /// The constant channel-block factor `x` (16 in Figure 2).
+    pub block: usize,
+    /// Register-blocking factor for every CONV (clamped to its width).
+    pub reg_n: usize,
+    /// Kernel-loop unrolling flag for every CONV.
+    pub unroll: bool,
+}
+
+impl Default for UniformPlanCfg {
+    fn default() -> Self {
+        Self { block: 16, reg_n: 16, unroll: true }
+    }
+}
+
+/// Largest factor of `n` that is ≤ `cap` (blocking factor for a channel
+/// count that may not be divisible by the preferred block).
+fn best_factor(n: usize, cap: usize) -> usize {
+    (1..=cap.min(n)).rev().find(|d| n % d == 0).unwrap_or(1)
+}
+
+/// Builds the uniform schedule for one conv workload.
+fn uniform_schedule(p: &neocpu_kernels::Conv2dParams, cfg: &UniformPlanCfg) -> ConvSchedule {
+    ConvSchedule {
+        ic_bn: best_factor(p.in_channels, cfg.block),
+        oc_bn: best_factor(p.out_channels, cfg.block),
+        reg_n: cfg.reg_n.min(p.out_w().max(1)).min(28),
+        unroll_ker: cfg.unroll,
+    }
+}
+
+/// Picks the constant `x` for a whole network: the divisor of the
+/// preferred block that divides the most conv channel counts (ties go to
+/// the wider block). §3.2 fixes `x` per network, "e.g. 16" — but a network
+/// whose channel counts are, say, multiples of 8 only (reduced-scale
+/// DenseNets) needs 8 to keep the layout flowing transform-free.
+fn pick_uniform_block(g: &Graph, preferred: usize) -> usize {
+    let mut channel_counts: Vec<usize> = Vec::new();
+    for id in g.conv_ids() {
+        let Op::Conv2d { params, .. } = &g.nodes[id].op else { unreachable!() };
+        channel_counts.push(params.in_channels);
+        channel_counts.push(params.out_channels);
+    }
+    // Score each candidate block by how many channel counts it divides,
+    // weighted by microkernel quality: a full-vector block drives the wide
+    // SIMD strip kernel, a half-vector block the narrower one, anything
+    // else the scalar fallback — a block that divides everything but runs
+    // scalar loses to one that divides most counts at full SIMD width.
+    let quality = |d: usize| -> f64 {
+        if d == preferred {
+            1.0
+        } else if d * 2 == preferred {
+            0.6
+        } else {
+            0.15
+        }
+    };
+    let mut best = (0f64, 1usize); // (score, block)
+    for d in (2..=preferred).rev() {
+        if preferred % d != 0 {
+            continue;
+        }
+        let hits = channel_counts.iter().filter(|&&c| c % d == 0).count();
+        let score = hits as f64 * quality(d);
+        if score > best.0 {
+            best = (score, d);
+        }
+    }
+    best.1
+}
+
+/// Assigns the same block factor to every CONV, then inserts the minimal
+/// transforms (`O2`, Table 3 "Transform Elim.").
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid.
+pub fn plan_uniform(g: &Graph, cfg: &UniformPlanCfg) -> Result<Graph> {
+    let mut g = g.clone();
+    let block = pick_uniform_block(&g, cfg.block);
+    let cfg = UniformPlanCfg { block, ..*cfg };
+    for id in g.conv_ids() {
+        let Op::Conv2d { params, schedule, .. } = &mut g.nodes[id].op else { unreachable!() };
+        *schedule = Some(uniform_schedule(params, &cfg));
+    }
+    insert_layout_transforms(&g)
+}
+
+/// Assigns per-CONV schedules from the global search, then inserts the
+/// minimal transforms (`O3`, Table 3 "Global Search").
+///
+/// Convs absent from `schedules` fall back to the uniform default.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a schedule does not divide
+/// its workload.
+pub fn plan_assigned(
+    g: &Graph,
+    schedules: &HashMap<NodeId, ConvSchedule>,
+    cfg: &UniformPlanCfg,
+) -> Result<Graph> {
+    let mut g = g.clone();
+    for id in g.conv_ids() {
+        let Op::Conv2d { params, schedule, .. } = &mut g.nodes[id].op else { unreachable!() };
+        let s = schedules.get(&id).copied().unwrap_or_else(|| uniform_schedule(params, cfg));
+        s.validate(params).map_err(GraphError::Kernel)?;
+        *schedule = Some(s);
+    }
+    insert_layout_transforms(&g)
+}
+
+/// The "Layout Opt." arrangement (`O1`): every CONV runs in `NCHW[x]c` but
+/// the graph stays in NCHW — each CONV is wrapped in its own
+/// transform-in / transform-out pair, modeling a framework calling an
+/// optimized library op with no graph-level layout flow.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid.
+pub fn wrap_convs_with_transforms(g: &Graph, cfg: &UniformPlanCfg) -> Result<Graph> {
+    g.validate()?;
+    let mut out = Graph { nodes: Vec::new(), params: g.params.clone(), outputs: Vec::new() };
+    let mut remap: Vec<usize> = Vec::with_capacity(g.len());
+    for node in &g.nodes {
+        let inputs: Vec<usize> = node.inputs.iter().map(|&i| remap[i]).collect();
+        match &node.op {
+            Op::Conv2d { params, weight, bias, relu, residual, .. } => {
+                let s = uniform_schedule(params, cfg);
+                let tin = out.push(
+                    Op::LayoutTransform { to: Layout::NchwC(s.ic_bn) },
+                    vec![inputs[0]],
+                );
+                let mut conv_inputs = vec![tin];
+                if *residual {
+                    // The residual arrives in NCHW and must match the conv's
+                    // blocked output.
+                    let tres = out.push(
+                        Op::LayoutTransform { to: Layout::NchwC(s.oc_bn) },
+                        vec![inputs[1]],
+                    );
+                    conv_inputs.push(tres);
+                }
+                let conv = out.push(
+                    Op::Conv2d {
+                        params: *params,
+                        weight: *weight,
+                        bias: *bias,
+                        schedule: Some(s),
+                        relu: *relu,
+                        residual: *residual,
+                    },
+                    conv_inputs,
+                );
+                let tout = out.push(Op::LayoutTransform { to: Layout::Nchw }, vec![conv]);
+                remap.push(tout);
+            }
+            op => {
+                remap.push(out.push(op.clone(), inputs));
+            }
+        }
+    }
+    out.outputs = g.outputs.iter().map(|&o| remap[o]).collect();
+    Ok(out)
+}
+
+/// Inserts the minimal set of `LayoutTransform` nodes so every operator
+/// receives a layout it accepts, letting blocked layouts flow as far as
+/// possible (Figure 2, right side).
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a conv input cannot be
+/// blocked as its schedule demands.
+pub fn insert_layout_transforms(g: &Graph) -> Result<Graph> {
+    g.validate()?;
+    let shapes = infer_shapes(g)?;
+    let mut out = Graph { nodes: Vec::new(), params: g.params.clone(), outputs: Vec::new() };
+    let mut remap: Vec<usize> = Vec::with_capacity(g.len());
+    // Layout each *new* node produces.
+    let mut layout: Vec<Layout> = Vec::new();
+    // Memoized transforms: (new source node, target layout) → new node.
+    let mut memo: HashMap<(usize, Layout), usize> = HashMap::new();
+
+    // Obtains `src` (a new-graph id) in `want`, inserting/reusing a
+    // transform node when needed, with look-through of existing transforms.
+    let get_as = |out: &mut Graph,
+                      layout: &mut Vec<Layout>,
+                      memo: &mut HashMap<(usize, Layout), usize>,
+                      src: usize,
+                      want: Layout|
+     -> usize {
+        if layout[src] == want {
+            return src;
+        }
+        // Look through a transform whose source already carries `want` —
+        // this is the cancellation of adjacent inverse transforms.
+        if let Op::LayoutTransform { .. } = out.nodes[src].op {
+            let orig = out.nodes[src].inputs[0];
+            if layout[orig] == want {
+                return orig;
+            }
+        }
+        if let Some(&t) = memo.get(&(src, want)) {
+            return t;
+        }
+        let t = out.push(Op::LayoutTransform { to: want }, vec![src]);
+        layout.push(want);
+        memo.insert((src, want), t);
+        t
+    };
+
+    for (id, node) in g.nodes.iter().enumerate() {
+        let ins: Vec<usize> = node.inputs.iter().map(|&i| remap[i]).collect();
+        let (new_inputs, out_layout): (Vec<usize>, Layout) = match &node.op {
+            Op::Input { shape } => {
+                let l = match shape.len() {
+                    4 => Layout::Nchw,
+                    2 => Layout::Nc,
+                    _ => Layout::Flat,
+                };
+                (vec![], l)
+            }
+            Op::Conv2d { schedule, residual, .. } => {
+                let s = schedule.ok_or_else(|| GraphError::Layout {
+                    node: id,
+                    msg: "insert_layout_transforms requires scheduled convs".into(),
+                })?;
+                let x = get_as(&mut out, &mut layout, &mut memo, ins[0], Layout::NchwC(s.ic_bn));
+                let mut v = vec![x];
+                if *residual {
+                    let r =
+                        get_as(&mut out, &mut layout, &mut memo, ins[1], Layout::NchwC(s.oc_bn));
+                    v.push(r);
+                }
+                (v, Layout::NchwC(s.oc_bn))
+            }
+            // Layout-tolerant channel-wise ops: pass blocked data through.
+            Op::ScaleShift { .. } | Op::BatchNorm { .. } | Op::Pool { .. } | Op::GlobalAvgPool => {
+                let l = match layout[ins[0]] {
+                    l @ (Layout::Nchw | Layout::NchwC(_)) => l,
+                    _ => {
+                        let t = get_as(&mut out, &mut layout, &mut memo, ins[0], Layout::Nchw);
+                        return_tolerant(&mut remap, &mut out, &mut layout, node, vec![t]);
+                        continue;
+                    }
+                };
+                (ins.clone(), l)
+            }
+            // Layout-oblivious unary ops.
+            Op::Relu | Op::Dropout => (ins.clone(), layout[ins[0]]),
+            Op::Add => {
+                // Both operands must share a layout; convert the second to
+                // the first's (Figure 3's Elementwise_Add constraint).
+                let l = layout[ins[0]];
+                let b = get_as(&mut out, &mut layout, &mut memo, ins[1], l);
+                (vec![ins[0], b], l)
+            }
+            Op::Concat => {
+                // Keep a blocked layout if some operand's block divides
+                // every operand's channel count (preferring the first
+                // operand's, then wider blocks); otherwise fall back to
+                // NCHW for all.
+                let mut blocks: Vec<usize> = ins
+                    .iter()
+                    .filter_map(|&i| match layout[i] {
+                        Layout::NchwC(x) => Some(x),
+                        _ => None,
+                    })
+                    .collect();
+                blocks.sort_unstable_by(|a, b| b.cmp(a));
+                if let Layout::NchwC(first) = layout[ins[0]] {
+                    blocks.insert(0, first);
+                }
+                let target = blocks
+                    .into_iter()
+                    .find(|&x| node.inputs.iter().all(|&i| shapes[i].dims()[1] % x == 0))
+                    .map_or(Layout::Nchw, Layout::NchwC);
+                let v: Vec<usize> = ins
+                    .iter()
+                    .map(|&i| get_as(&mut out, &mut layout, &mut memo, i, target))
+                    .collect();
+                (v, target)
+            }
+            Op::Flatten => {
+                let x = get_as(&mut out, &mut layout, &mut memo, ins[0], Layout::Nchw);
+                (vec![x], Layout::Nc)
+            }
+            Op::Dense { .. } | Op::Softmax => {
+                // Rank-2 data is always NC by this point.
+                (ins.clone(), Layout::Nc)
+            }
+            Op::LayoutTransform { to } => {
+                let x = get_as(&mut out, &mut layout, &mut memo, ins[0], *to);
+                // The transform itself collapses into `get_as`'s result.
+                remap.push(x);
+                continue;
+            }
+        };
+        let new = out.push(node.op.clone(), new_inputs);
+        layout.push(out_layout);
+        remap.push(new);
+    }
+
+    // Graph outputs revert to framework-default layouts (Figure 2: "we
+    // still have NCHW input and output for the network").
+    let mut final_outputs = Vec::with_capacity(g.outputs.len());
+    for &o in &g.outputs {
+        let src = remap[o];
+        let want = match layout[src] {
+            Layout::NchwC(_) | Layout::Nhwc => Layout::Nchw,
+            l => l,
+        };
+        final_outputs.push(get_as(&mut out, &mut layout, &mut memo, src, want));
+    }
+    out.outputs = final_outputs;
+    Ok(out)
+}
+
+/// Helper for the tolerant-op fallback path (non-activation layouts).
+fn return_tolerant(
+    remap: &mut Vec<usize>,
+    out: &mut Graph,
+    layout: &mut Vec<Layout>,
+    node: &crate::ir::Node,
+    inputs: Vec<usize>,
+) {
+    let l = layout[inputs[0]];
+    let new = out.push(node.op.clone(), inputs);
+    layout.push(l);
+    remap.push(new);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_layouts, infer_shapes};
+    use crate::passes::{fuse_ops, simplify_inference};
+    use crate::GraphBuilder;
+
+    fn chain_graph() -> Graph {
+        // conv → relu → pool → conv → relu → flatten → dense → softmax
+        let mut b = GraphBuilder::new(11);
+        let x = b.input([1, 16, 16, 16]);
+        let c1 = b.conv2d(x, 32, 3, 1, 1);
+        let r1 = b.relu(c1);
+        let p = b.max_pool(r1, 2, 2, 0);
+        let c2 = b.conv2d(p, 32, 3, 1, 1);
+        let r2 = b.relu(c2);
+        let f = b.flatten(r2);
+        let d = b.dense(f, 10);
+        let s = b.softmax(d);
+        b.finish(vec![s])
+    }
+
+    fn prepared(g: &Graph) -> Graph {
+        fuse_ops(&simplify_inference(g).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn uniform_plan_inserts_only_boundary_transforms() {
+        let g = prepared(&chain_graph());
+        let cfg = UniformPlanCfg { block: 16, reg_n: 8, unroll: false };
+        let planned = plan_uniform(&g, &cfg).unwrap();
+        // One transform into blocked layout at the entry, one back before
+        // flatten: the pool and fused relus pass the blocked layout through.
+        assert_eq!(planned.transform_count(), 2);
+        let shapes = infer_shapes(&planned).unwrap();
+        infer_layouts(&planned, &shapes).unwrap();
+    }
+
+    #[test]
+    fn wrapped_plan_pays_two_transforms_per_conv() {
+        let g = prepared(&chain_graph());
+        let cfg = UniformPlanCfg { block: 16, reg_n: 8, unroll: false };
+        let wrapped = wrap_convs_with_transforms(&g, &cfg).unwrap();
+        assert_eq!(wrapped.transform_count(), 2 * 2);
+        let shapes = infer_shapes(&wrapped).unwrap();
+        infer_layouts(&wrapped, &shapes).unwrap();
+    }
+
+    #[test]
+    fn mismatched_assigned_schedules_insert_reblock() {
+        let g = prepared(&chain_graph());
+        let convs = g.conv_ids();
+        let mut schedules = HashMap::new();
+        schedules.insert(
+            convs[0],
+            ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+        );
+        schedules.insert(
+            convs[1],
+            ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 8, unroll_ker: false },
+        );
+        let cfg = UniformPlanCfg::default();
+        let planned = plan_assigned(&g, &schedules, &cfg).unwrap();
+        // Entry transform, 16c→8c reblock between the convs, 32c→NCHW exit.
+        assert_eq!(planned.transform_count(), 3);
+        let shapes = infer_shapes(&planned).unwrap();
+        infer_layouts(&planned, &shapes).unwrap();
+    }
+
+    #[test]
+    fn residual_graph_keeps_layout_through_skip() {
+        let mut b = GraphBuilder::new(12);
+        let x = b.input([1, 16, 8, 8]);
+        let c0 = b.conv2d(x, 16, 1, 1, 0);
+        let c1 = b.conv2d(c0, 16, 3, 1, 1);
+        let r1 = b.relu(c1);
+        let c2 = b.conv2d(r1, 16, 3, 1, 1);
+        let a = b.add(c2, c0);
+        let r = b.relu(a);
+        let g = prepared(&b.finish(vec![r]));
+        let cfg = UniformPlanCfg { block: 16, reg_n: 8, unroll: false };
+        let planned = plan_uniform(&g, &cfg).unwrap();
+        // Entry NCHW→16c and exit 16c→NCHW only: the skip connection's
+        // blocked tensor feeds the fused residual without any transform.
+        assert_eq!(planned.transform_count(), 2);
+        let shapes = infer_shapes(&planned).unwrap();
+        infer_layouts(&planned, &shapes).unwrap();
+    }
+
+    #[test]
+    fn concat_falls_back_when_blocks_do_not_divide() {
+        let mut b = GraphBuilder::new(13);
+        let x = b.input([1, 8, 8, 8]);
+        let c1 = b.conv2d(x, 12, 1, 1, 0); // 12 % 8 != 0
+        let c2 = b.conv2d(x, 8, 1, 1, 0);
+        let cat = b.concat(&[c1, c2]);
+        let g = prepared(&b.finish(vec![cat]));
+        let cfg = UniformPlanCfg { block: 8, reg_n: 8, unroll: false };
+        let planned = plan_uniform(&g, &cfg).unwrap();
+        let shapes = infer_shapes(&planned).unwrap();
+        let layouts = infer_layouts(&planned, &shapes).unwrap();
+        // The concat output must be valid; inference passing is the check.
+        assert!(layouts.len() == planned.len());
+    }
+
+    #[test]
+    fn memoized_transform_is_shared_by_consumers() {
+        // One producer feeding two convs that need the same blocked layout
+        // must create a single transform node.
+        let mut b = GraphBuilder::new(14);
+        let x = b.input([1, 16, 8, 8]);
+        let c1 = b.conv2d(x, 16, 3, 1, 1);
+        let c2 = b.conv2d(x, 16, 3, 1, 1);
+        let a = b.add(c1, c2);
+        let g = prepared(&b.finish(vec![a]));
+        let cfg = UniformPlanCfg { block: 16, reg_n: 8, unroll: false };
+        let planned = plan_uniform(&g, &cfg).unwrap();
+        // input→16c shared once + exit transform.
+        assert_eq!(planned.transform_count(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph-level optimization passes.
+//!
+//! Each pass is a pure `&Graph → Graph` rewrite; the compiler driver in
+//! `neocpu` chains them according to the optimization level:
+//!
+//! | Table 3 row        | Pipeline                                             |
+//! |--------------------|------------------------------------------------------|
+//! | Baseline (`O0`)    | `simplify_inference` → `fuse_ops`                     |
+//! | Layout Opt. (`O1`) | … → `plan_uniform` + `wrap_convs_with_transforms`     |
+//! | Transform Elim. (`O2`) | … → `plan_uniform` + `insert_layout_transforms`  |
+//! | Global Search (`O3`)   | … → `plan_assigned` (searched schedules) + `insert_layout_transforms` |
+//!
+//! plus `precompute_weights`, which applies every weight-side
+//! `LayoutTransform` at compile time (Figure 2's pre-transformed kernel).
+
+mod fuse;
+mod layout;
+mod precompute;
+mod simplify;
+
+pub use fuse::fuse_ops;
+pub use layout::{
+    insert_layout_transforms, plan_assigned, plan_uniform, wrap_convs_with_transforms,
+    UniformPlanCfg,
+};
+pub use precompute::precompute_weights;
+pub use simplify::simplify_inference;

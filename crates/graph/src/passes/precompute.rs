@@ -1,0 +1,119 @@
+//! Compile-time weight pre-transformation (Figure 2: "Pre-transformed
+//! Kernel").
+//!
+//! Model parameters are invariant across inferences, so the
+//! `KCRS → OIHW[x]i[y]o` transform every scheduled convolution needs is
+//! applied once at compile time instead of on the inference path.
+
+use neocpu_tensor::{transform::to_layout, Layout};
+
+use crate::ir::{Graph, Op};
+use crate::Result;
+
+/// Transforms every scheduled conv's weights into the blocked layout its
+/// schedule requires. Weights shared by differently-scheduled convs are
+/// cloned first, so each conv sees exactly the layout it expects.
+///
+/// # Errors
+///
+/// Returns an error if a weight cannot be blocked as scheduled (the
+/// schedule validation should make this unreachable in practice).
+pub fn precompute_weights(g: &Graph) -> Result<Graph> {
+    let mut g = g.clone();
+    for id in g.conv_ids() {
+        let Op::Conv2d { weight, schedule, .. } = &g.nodes[id].op else { unreachable!() };
+        let Some(s) = *schedule else { continue };
+        let want = Layout::OihwIo { i: s.ic_bn, o: s.oc_bn };
+        let w = &g.params[*weight];
+        if w.layout() == want {
+            continue;
+        }
+        let blocked = to_layout(w, want)?;
+        if w.layout() == Layout::Oihw {
+            // Check for sharing: if any *other* conv uses this param id we
+            // must not mutate it in place.
+            let wid = *weight;
+            let shared = g
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(other, n)| {
+                    *other != id && matches!(&n.op, Op::Conv2d { weight, .. } if *weight == wid)
+                })
+                .count()
+                > 0;
+            if shared {
+                g.params.push(blocked);
+                let new = g.params.len() - 1;
+                let Op::Conv2d { weight, .. } = &mut g.nodes[id].op else { unreachable!() };
+                *weight = new;
+            } else {
+                g.params[wid] = blocked;
+            }
+        } else {
+            // Already blocked with a different factor: re-derive from a
+            // fresh copy through OIHW.
+            let plain = to_layout(w, Layout::Oihw)?;
+            let reblocked = to_layout(&plain, want)?;
+            g.params.push(reblocked);
+            let new = g.params.len() - 1;
+            let Op::Conv2d { weight, .. } = &mut g.nodes[id].op else { unreachable!() };
+            *weight = new;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{plan_uniform, UniformPlanCfg};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn weights_become_blocked() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 16, 8, 8]);
+        let c = b.conv2d(x, 16, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let planned = plan_uniform(&g, &UniformPlanCfg { block: 8, reg_n: 4, unroll: false })
+            .unwrap();
+        let pre = precompute_weights(&planned).unwrap();
+        let Op::Conv2d { weight, schedule, .. } = &pre.nodes[pre.conv_ids()[0]].op else {
+            panic!()
+        };
+        let s = schedule.unwrap();
+        assert_eq!(
+            pre.params[*weight].layout(),
+            Layout::OihwIo { i: s.ic_bn, o: s.oc_bn }
+        );
+    }
+
+    #[test]
+    fn unscheduled_convs_keep_plain_weights() {
+        let mut b = GraphBuilder::new(2);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 4, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let pre = precompute_weights(&g).unwrap();
+        let Op::Conv2d { weight, .. } = &pre.nodes[pre.conv_ids()[0]].op else { panic!() };
+        assert_eq!(pre.params[*weight].layout(), Layout::Oihw);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut b = GraphBuilder::new(3);
+        let x = b.input([1, 8, 8, 8]);
+        let c = b.conv2d(x, 8, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let planned =
+            plan_uniform(&g, &UniformPlanCfg { block: 8, reg_n: 4, unroll: false }).unwrap();
+        let once = precompute_weights(&planned).unwrap();
+        let twice = precompute_weights(&once).unwrap();
+        let Op::Conv2d { weight: w1, .. } = &once.nodes[once.conv_ids()[0]].op else { panic!() };
+        let Op::Conv2d { weight: w2, .. } = &twice.nodes[twice.conv_ids()[0]].op else {
+            panic!()
+        };
+        assert_eq!(once.params[*w1].data(), twice.params[*w2].data());
+    }
+}

@@ -1,0 +1,335 @@
+//! Inner strip microkernels for the blocked convolution template.
+//!
+//! A *strip* is `rn` consecutive output pixels of one output row within one
+//! output-channel chunk. Following Figure 1 of the paper, the microkernel
+//! keeps one SIMD register loaded with `oc_bn` kernel values and `rn`
+//! accumulator registers holding the strip's partial sums; each input scalar
+//! is broadcast and FMA-ed against the kernel vector. Three implementations
+//! exist:
+//!
+//! * **AVX-512** — `oc_bn == 16`, ZMM registers, up to 28 accumulators
+//!   (leaving headroom in the 32-register file exactly as §3.1.1 describes);
+//! * **AVX2** — `oc_bn == 8`, YMM registers (the AMD EPYC configuration);
+//! * **scalar** — any `oc_bn`, accumulating in memory; the portable fallback
+//!   that also stands in for NEON-class 4-lane targets.
+//!
+//! SIMD variants are monomorphized per `reg_n` candidate value so the
+//! accumulators actually live in registers; non-candidate strip lengths
+//! (output-width tails) fall back to the scalar path.
+
+use super::Conv2dParams;
+
+/// Loop geometry shared by every strip invocation of one convolution call.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Geo {
+    /// Number of input-channel chunks (`C / ic_bn`).
+    pub ic_chunks: usize,
+    /// Input-channel block size (`x`).
+    pub ic_bn: usize,
+    /// Output-channel block size (`y`).
+    pub oc_bn: usize,
+    /// Padded input height.
+    pub ph: usize,
+    /// Padded input width.
+    pub pw: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+}
+
+impl Geo {
+    pub(super) fn new(p: &Conv2dParams, ic_bn: usize, oc_bn: usize) -> Self {
+        Self {
+            ic_chunks: p.in_channels / ic_bn,
+            ic_bn,
+            oc_bn,
+            ph: p.in_h + 2 * p.pad_h,
+            pw: p.in_w + 2 * p.pad_w,
+            kh: p.kernel_h,
+            kw: p.kernel_w,
+            sw: p.stride_w,
+        }
+    }
+}
+
+/// Which strip implementation a convolution call dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Isa {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// Picks the widest microkernel the host supports for this `oc_bn`.
+///
+/// `max_lanes` lets a `CpuTarget` descriptor *narrow* the choice (e.g. model
+/// an AVX2-only EPYC or a NEON-class core on an AVX-512 host).
+pub(super) fn select_isa(oc_bn: usize, max_lanes: usize) -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if oc_bn == 16 && max_lanes >= 16 && std::arch::is_x86_feature_detected!("avx512f") {
+            return Isa::Avx512;
+        }
+        if oc_bn == 8
+            && max_lanes >= 8
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx2;
+        }
+    }
+    let _ = (oc_bn, max_lanes);
+    Isa::Scalar
+}
+
+/// Runs one output strip.
+///
+/// `in_n` points at the padded input of the current batch item
+/// (`[ic_chunks, ph, pw, ic_bn]`), `w_oc` at the weight block of the current
+/// output-channel chunk (`[ic_chunks, kh, kw, ic_bn, oc_bn]`), `out` at the
+/// first element of the strip (`rn * oc_bn` contiguous floats). `ih0`/`iw0`
+/// are the padded-input coordinates of the strip's top-left receptive field.
+///
+/// # Safety
+///
+/// All pointers must be valid for the extents implied by `geo` and `rn`;
+/// `out` must not alias the inputs. The strip must lie fully inside the
+/// output row (`rn ≥ 1`).
+pub(super) unsafe fn run_strip(
+    isa: Isa,
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    match isa {
+        Isa::Scalar => strip_scalar(geo, in_n, w_oc, out, ih0, iw0, rn, unroll),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => match rn {
+            28 => strip_avx2::<28>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            16 => strip_avx2::<16>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            8 => strip_avx2::<8>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            4 => strip_avx2::<4>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            2 => strip_avx2::<2>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            1 => strip_avx2::<1>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            _ => strip_scalar(geo, in_n, w_oc, out, ih0, iw0, rn, unroll),
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => match rn {
+            28 => strip_avx512::<28>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            16 => strip_avx512::<16>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            8 => strip_avx512::<8>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            4 => strip_avx512::<4>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            2 => strip_avx512::<2>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            1 => strip_avx512::<1>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            _ => strip_scalar(geo, in_n, w_oc, out, ih0, iw0, rn, unroll),
+        },
+    }
+}
+
+/// Portable strip: accumulates directly into the (zero-initialized) output.
+///
+/// # Safety
+///
+/// See [`run_strip`].
+unsafe fn strip_scalar(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    let Geo { ic_chunks, ic_bn, oc_bn, ph: _, pw, kh, kw, sw } = *geo;
+    // Zero the strip; the SIMD paths keep sums in registers instead.
+    for i in 0..rn * oc_bn {
+        // SAFETY: `out` is valid for `rn * oc_bn` elements per contract.
+        unsafe { *out.add(i) = 0.0 };
+    }
+    let khw = kh * kw;
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * khw * ic_bn * oc_bn);
+        // `unroll` flattens the (kh, kw) nest into a single loop, trading a
+        // branch per kernel column for index arithmetic — the codegen
+        // difference the `unroll_ker` knob toggles.
+        if unroll {
+            for e in 0..khw {
+                let (r, s) = (e / kw, e % kw);
+                let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                let w_rs = w_c.add(e * ic_bn * oc_bn);
+                strip_scalar_tap(in_rs, w_rs, out, ic_bn, oc_bn, sw, rn);
+            }
+        } else {
+            for r in 0..kh {
+                for s in 0..kw {
+                    let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                    let w_rs = w_c.add((r * kw + s) * ic_bn * oc_bn);
+                    strip_scalar_tap(in_rs, w_rs, out, ic_bn, oc_bn, sw, rn);
+                }
+            }
+        }
+    }
+}
+
+/// One kernel tap of the scalar strip: multiply every input sub-channel
+/// against the `oc_bn` kernel values and accumulate into each strip pixel.
+///
+/// # Safety
+///
+/// Pointers valid per [`run_strip`]'s contract.
+#[inline(always)]
+unsafe fn strip_scalar_tap(
+    in_rs: *const f32,
+    w_rs: *const f32,
+    out: *mut f32,
+    ic_bn: usize,
+    oc_bn: usize,
+    sw: usize,
+    rn: usize,
+) {
+    for ici in 0..ic_bn {
+        let w_vec = w_rs.add(ici * oc_bn);
+        for i in 0..rn {
+            // SAFETY: strip pixel `i` reads input at column offset
+            // `i * sw`, in bounds because the padded width covers
+            // `(rn-1)*sw + kw`.
+            let x = unsafe { *in_rs.add(i * sw * ic_bn + ici) };
+            let o = out.add(i * oc_bn);
+            for oci in 0..oc_bn {
+                // SAFETY: `out` strip holds `rn * oc_bn` elements.
+                unsafe { *o.add(oci) += x * *w_vec.add(oci) };
+            }
+        }
+    }
+}
+
+/// AVX2 strip for `oc_bn == 8`: `RN` YMM accumulators.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available (checked in [`select_isa`]) and
+/// the pointer contract of [`run_strip`]; `geo.oc_bn` must be 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn strip_avx2<const RN: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    unroll: bool,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 8);
+    let Geo { ic_chunks, ic_bn, pw, kh, kw, sw, .. } = *geo;
+    let khw = kh * kw;
+    let mut acc = [_mm256_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * khw * ic_bn * 8);
+        if unroll {
+            for e in 0..khw {
+                let (r, s) = (e / kw, e % kw);
+                let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                let w_rs = w_c.add(e * ic_bn * 8);
+                for ici in 0..ic_bn {
+                    let wv = _mm256_loadu_ps(w_rs.add(ici * 8));
+                    for i in 0..RN {
+                        let x = _mm256_set1_ps(*in_rs.add(i * sw * ic_bn + ici));
+                        acc[i] = _mm256_fmadd_ps(x, wv, acc[i]);
+                    }
+                }
+            }
+        } else {
+            for r in 0..kh {
+                for s in 0..kw {
+                    let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                    let w_rs = w_c.add((r * kw + s) * ic_bn * 8);
+                    for ici in 0..ic_bn {
+                        let wv = _mm256_loadu_ps(w_rs.add(ici * 8));
+                        for i in 0..RN {
+                            let x = _mm256_set1_ps(*in_rs.add(i * sw * ic_bn + ici));
+                            acc[i] = _mm256_fmadd_ps(x, wv, acc[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm256_storeu_ps(out.add(i * 8), acc[i]);
+    }
+}
+
+/// AVX-512 strip for `oc_bn == 16`: `RN` ZMM accumulators plus one ZMM of
+/// kernel values — the Figure 1 register scheme.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the pointer contract of
+/// [`run_strip`]; `geo.oc_bn` must be 16.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn strip_avx512<const RN: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    unroll: bool,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 16);
+    let Geo { ic_chunks, ic_bn, pw, kh, kw, sw, .. } = *geo;
+    let khw = kh * kw;
+    let mut acc = [_mm512_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * khw * ic_bn * 16);
+        if unroll {
+            for e in 0..khw {
+                let (r, s) = (e / kw, e % kw);
+                let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                let w_rs = w_c.add(e * ic_bn * 16);
+                for ici in 0..ic_bn {
+                    let wv = _mm512_loadu_ps(w_rs.add(ici * 16));
+                    for i in 0..RN {
+                        let x = _mm512_set1_ps(*in_rs.add(i * sw * ic_bn + ici));
+                        acc[i] = _mm512_fmadd_ps(x, wv, acc[i]);
+                    }
+                }
+            }
+        } else {
+            for r in 0..kh {
+                for s in 0..kw {
+                    let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * ic_bn);
+                    let w_rs = w_c.add((r * kw + s) * ic_bn * 16);
+                    for ici in 0..ic_bn {
+                        let wv = _mm512_loadu_ps(w_rs.add(ici * 16));
+                        for i in 0..RN {
+                            let x = _mm512_set1_ps(*in_rs.add(i * sw * ic_bn + ici));
+                            acc[i] = _mm512_fmadd_ps(x, wv, acc[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm512_storeu_ps(out.add(i * 16), acc[i]);
+    }
+}

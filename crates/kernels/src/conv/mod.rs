@@ -1,0 +1,287 @@
+//! Direct 2-D convolution: workload description, schedule tuple, reference
+//! kernels, and the blocked `NCHW[x]c` template of Algorithm 1.
+
+mod blocked;
+mod microkernel;
+mod reference;
+
+pub use blocked::conv2d_nchwc;
+pub use reference::{conv2d_nchw_direct, conv2d_nhwc_direct};
+
+use neocpu_tensor::Tensor;
+
+use crate::{KernelError, Result};
+
+/// Static description of a convolution workload (the paper's "feature map
+/// and convolution kernel sizes" that key the scheme database).
+///
+/// Batch size is carried by the tensors; the paper fixes it to 1 for the
+/// latency evaluation and so do the benchmarks, but the kernels accept any
+/// `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Input channels (`C`).
+    pub in_channels: usize,
+    /// Output channels (`K`).
+    pub out_channels: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+    /// Kernel height (`R`).
+    pub kernel_h: usize,
+    /// Kernel width (`S`).
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Vertical zero padding (applied symmetrically).
+    pub pad_h: usize,
+    /// Horizontal zero padding (applied symmetrically).
+    pub pad_w: usize,
+}
+
+impl Conv2dParams {
+    /// Convenience constructor for square kernels/strides/padding.
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        in_size: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            in_h: in_size,
+            in_w: in_size,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad_h).saturating_sub(self.kernel_h) / self.stride_h + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad_w).saturating_sub(self.kernel_w) / self.stride_w + 1
+    }
+
+    /// Multiply-accumulate count for one inference at batch 1.
+    pub fn macs(&self) -> u64 {
+        self.out_channels as u64
+            * self.out_h() as u64
+            * self.out_w() as u64
+            * self.in_channels as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
+    }
+
+    /// Validates operand tensors against this workload at batch `n`.
+    pub(crate) fn check_spatial(&self, t: &Tensor, what: &str) -> Result<()> {
+        let d = t.shape().dims();
+        if d.len() != 4 {
+            return Err(KernelError::BadOperand(format!("{what} must be rank 4")));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's convolution schedule tuple `(ic_bn, oc_bn, reg_n,
+/// unroll_ker)` (§3.3.1).
+///
+/// `ic_bn`/`oc_bn` are the input/output channel split factors (the `x` and
+/// `y` of `NCHW[x]c` / `OIHW[x]i[y]o`), `reg_n` is the number of SIMD
+/// accumulator registers blocking the output width, and `unroll_ker`
+/// selects an unrolled kernel-loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSchedule {
+    /// Input-channel block (`x` in `NCHW[x]c`).
+    pub ic_bn: usize,
+    /// Output-channel block (`y`; the output tensor is `NCHW[y]c`).
+    pub oc_bn: usize,
+    /// Output-width register-blocking factor.
+    pub reg_n: usize,
+    /// Whether to use the unrolled kernel-loop body (line 12 of Alg. 1).
+    pub unroll_ker: bool,
+}
+
+impl ConvSchedule {
+    /// A conservative schedule valid for any workload.
+    pub fn fallback() -> Self {
+        Self { ic_bn: 1, oc_bn: 1, reg_n: 4, unroll_ker: false }
+    }
+
+    /// Checks the divisibility requirements of Algorithm 1 (PARAM lines
+    /// 1-3; `reg_n` needs no divisibility because the template handles the
+    /// output-width tail explicitly).
+    pub fn validate(&self, p: &Conv2dParams) -> Result<()> {
+        if self.ic_bn == 0 || p.in_channels % self.ic_bn != 0 {
+            return Err(KernelError::BadSchedule(format!(
+                "ic_bn {} does not divide in_channels {}",
+                self.ic_bn, p.in_channels
+            )));
+        }
+        if self.oc_bn == 0 || p.out_channels % self.oc_bn != 0 {
+            return Err(KernelError::BadSchedule(format!(
+                "oc_bn {} does not divide out_channels {}",
+                self.oc_bn, p.out_channels
+            )));
+        }
+        if self.reg_n == 0 || self.reg_n > 28 {
+            return Err(KernelError::BadSchedule(format!(
+                "reg_n {} out of range 1..=28",
+                self.reg_n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Enumerates the candidate schedule space of §3.3.1 for a workload:
+    /// all channel factors for `ic_bn`/`oc_bn`, `reg_n` from the fixed
+    /// candidate list capped by the output width, both unroll settings.
+    pub fn candidates(p: &Conv2dParams, max_block: usize) -> Vec<ConvSchedule> {
+        let ic: Vec<usize> = factors_descending(p.in_channels, max_block);
+        let oc: Vec<usize> = factors_descending(p.out_channels, max_block);
+        let mut out = Vec::new();
+        for &ic_bn in &ic {
+            for &oc_bn in &oc {
+                for &reg_n in &[28usize, 16, 8, 4, 2] {
+                    if reg_n > p.out_w().max(1) {
+                        continue;
+                    }
+                    for unroll_ker in [true, false] {
+                        out.push(ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Factors of `n` not exceeding `cap`, largest first (the paper lists
+/// channel factors as blocking candidates, e.g. 64 → [32, 16, 8, 4, 2, 1]).
+pub fn factors_descending(n: usize, cap: usize) -> Vec<usize> {
+    let mut f: Vec<usize> = (1..=n.min(cap)).filter(|d| n % d == 0).collect();
+    f.reverse();
+    f
+}
+
+/// Fused post-operations applied in-register before the convolution result
+/// is stored (the payoff of graph-level operation fusion, §2.2).
+#[derive(Default)]
+pub struct Epilogue<'a> {
+    /// Per-output-channel bias (also carries folded BatchNorm shift).
+    pub bias: Option<&'a [f32]>,
+    /// Clamp negatives to zero (fused ReLU).
+    pub relu: bool,
+    /// Element-wise residual addend in the *same layout* as the output
+    /// (fused `Elementwise_Add` for ResNet-style skip connections).
+    pub residual: Option<&'a Tensor>,
+}
+
+impl<'a> Epilogue<'a> {
+    /// No post-operation.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Validates the epilogue against an output tensor.
+    pub fn validate(&self, output: &Tensor, out_channels: usize) -> Result<()> {
+        if let Some(b) = self.bias {
+            if b.len() != out_channels {
+                return Err(KernelError::BadOperand(format!(
+                    "bias length {} != out_channels {out_channels}",
+                    b.len()
+                )));
+            }
+        }
+        if let Some(r) = self.residual {
+            if r.shape() != output.shape() || r.layout() != output.layout() {
+                return Err(KernelError::BadOperand(
+                    "residual must match output shape and layout".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dims_with_padding_and_stride() {
+        let p = Conv2dParams::square(3, 64, 224, 7, 2, 3);
+        assert_eq!(p.out_h(), 112);
+        assert_eq!(p.out_w(), 112);
+        let q = Conv2dParams::square(64, 64, 56, 3, 1, 1);
+        assert_eq!(q.out_h(), 56);
+        assert_eq!(q.out_w(), 56);
+        let r = Conv2dParams::square(64, 128, 56, 1, 2, 0);
+        assert_eq!(r.out_h(), 28);
+    }
+
+    #[test]
+    fn macs_counts_fma_work() {
+        let p = Conv2dParams::square(2, 4, 4, 3, 1, 1);
+        assert_eq!(p.macs(), 4 * 4 * 4 * 2 * 9);
+    }
+
+    #[test]
+    fn factors_listing_matches_paper_example() {
+        assert_eq!(factors_descending(64, 32), vec![32, 16, 8, 4, 2, 1]);
+        assert_eq!(factors_descending(12, 64), vec![12, 6, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true }
+            .validate(&p)
+            .is_ok());
+        assert!(ConvSchedule { ic_bn: 48, oc_bn: 16, reg_n: 8, unroll_ker: true }
+            .validate(&p)
+            .is_err());
+        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 0, unroll_ker: true }
+            .validate(&p)
+            .is_err());
+    }
+
+    #[test]
+    fn candidate_space_is_bounded_and_valid() {
+        let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
+        let cands = ConvSchedule::candidates(&p, 64);
+        assert!(!cands.is_empty());
+        // ic/oc candidates are each ≤ 7, reg_n ≤ 5, unroll 2 → ≤ 490; the
+        // paper bounds per-CONV pair counts at ~100.
+        assert!(cands.len() <= 7 * 7 * 5 * 2);
+        for c in &cands {
+            c.validate(&p).unwrap();
+            assert!(c.reg_n <= 56);
+        }
+    }
+
+    #[test]
+    fn epilogue_validation_catches_mismatches() {
+        use neocpu_tensor::Layout;
+        let out = Tensor::zeros([1, 8, 4, 4], Layout::NchwC(8)).unwrap();
+        let bias = vec![0.0f32; 4];
+        let e = Epilogue { bias: Some(&bias), relu: false, residual: None };
+        assert!(e.validate(&out, 8).is_err());
+        let wrong_layout = Tensor::zeros([1, 8, 4, 4], Layout::Nchw).unwrap();
+        let e = Epilogue { bias: None, relu: false, residual: Some(&wrong_layout) };
+        assert!(e.validate(&out, 8).is_err());
+    }
+}

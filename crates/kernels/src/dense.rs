@@ -1,0 +1,123 @@
+//! Fully connected (dense) layer — layout-*dependent* (§3.2 class 3).
+//!
+//! Dense consumes rank-2 `NC` activations produced by `Flatten`, which is
+//! why the blocked layout must be transformed back to plain `NCHW` before
+//! the classifier head of every evaluated model. The kernel itself is a
+//! straightforward row-parallel mat-vec/mat-mat with FMA-friendly inner
+//! loops.
+
+use neocpu_tensor::{Layout, Tensor};
+use neocpu_threadpool::Parallelism;
+
+use crate::util::SendPtr;
+use crate::{KernelError, Result};
+
+/// `output[n, o] = Σ_i input[n, i] · weights[o, i] (+ bias[o])`, with an
+/// optional fused ReLU.
+///
+/// `input`/`output` are `NC`; `weights` are `OI`.
+///
+/// # Errors
+///
+/// Returns an error on layout or shape mismatch.
+pub fn dense(
+    input: &Tensor,
+    weights: &Tensor,
+    output: &mut Tensor,
+    bias: Option<&[f32]>,
+    relu: bool,
+    par: &dyn Parallelism,
+) -> Result<()> {
+    if input.layout() != Layout::Nc || output.layout() != Layout::Nc {
+        return Err(KernelError::BadOperand("dense activations must be NC".into()));
+    }
+    if weights.layout() != Layout::Oi {
+        return Err(KernelError::BadOperand("dense weights must be OI".into()));
+    }
+    let id = input.shape().dims();
+    let wd = weights.shape().dims();
+    let od = output.shape().dims();
+    let (n, in_f) = (id[0], id[1]);
+    let (out_f, w_in) = (wd[0], wd[1]);
+    if w_in != in_f {
+        return Err(KernelError::BadOperand(format!(
+            "dense weight in-features {w_in} != input features {in_f}"
+        )));
+    }
+    if od != [n, out_f] {
+        return Err(KernelError::BadOperand("dense output shape mismatch".into()));
+    }
+    if let Some(b) = bias {
+        if b.len() != out_f {
+            return Err(KernelError::BadOperand("dense bias length mismatch".into()));
+        }
+    }
+
+    let x = input.data();
+    let w = weights.data();
+    let out_ptr = SendPtr(output.data_mut().as_mut_ptr());
+    par.run(n * out_f, &|_, range| {
+        let out_ptr = out_ptr;
+        for job in range {
+            let (b, o) = (job / out_f, job % out_f);
+            let xr = &x[b * in_f..(b + 1) * in_f];
+            let wr = &w[o * in_f..(o + 1) * in_f];
+            let mut acc = 0f32;
+            for (xa, wa) in xr.iter().zip(wr) {
+                acc += xa * wa;
+            }
+            if let Some(bias) = bias {
+                acc += bias[o];
+            }
+            if relu && acc < 0.0 {
+                acc = 0.0;
+            }
+            // SAFETY: jobs are disjoint output elements.
+            unsafe { *out_ptr.add(job) = acc };
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neocpu_threadpool::Sequential;
+
+    #[test]
+    fn small_matvec() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3], Layout::Nc).unwrap();
+        let w =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0], [2, 3], Layout::Oi).unwrap();
+        let mut out = Tensor::zeros([1, 2], Layout::Nc).unwrap();
+        dense(&x, &w, &mut out, None, false, &Sequential).unwrap();
+        assert_eq!(out.data(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn bias_and_relu() {
+        let x = Tensor::from_vec(vec![1.0, -1.0], [1, 2], Layout::Nc).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], [2, 2], Layout::Oi).unwrap();
+        let bias = [0.5f32, -0.5];
+        let mut out = Tensor::zeros([1, 2], Layout::Nc).unwrap();
+        dense(&x, &w, &mut out, Some(&bias), true, &Sequential).unwrap();
+        assert_eq!(out.data(), &[0.5, 0.0]);
+    }
+
+    #[test]
+    fn batched_rows() {
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2], Layout::Nc).unwrap();
+        let w = Tensor::from_vec(vec![2.0, 3.0], [1, 2], Layout::Oi).unwrap();
+        let mut out = Tensor::zeros([2, 1], Layout::Nc).unwrap();
+        dense(&x, &w, &mut out, None, false, &Sequential).unwrap();
+        assert_eq!(out.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let x = Tensor::zeros([1, 3], Layout::Nc).unwrap();
+        let w = Tensor::zeros([2, 4], Layout::Oi).unwrap();
+        let mut out = Tensor::zeros([1, 2], Layout::Nc).unwrap();
+        assert!(dense(&x, &w, &mut out, None, false, &Sequential).is_err());
+    }
+}

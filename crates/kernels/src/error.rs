@@ -1,0 +1,42 @@
+//! Error type for kernel invocations.
+
+use std::fmt;
+
+use neocpu_tensor::TensorError;
+
+/// Errors produced by operator kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The schedule is invalid for the workload (e.g. `ic_bn` does not
+    /// divide the input channel count).
+    BadSchedule(String),
+    /// An operand has the wrong layout or shape for this kernel.
+    BadOperand(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            Self::BadOperand(msg) => write!(f, "invalid operand: {msg}"),
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for KernelError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}

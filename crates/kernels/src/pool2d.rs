@@ -1,0 +1,266 @@
+//! Spatial pooling operators (layout-tolerant, §3.2 class 2).
+//!
+//! Max and average pooling need to know the data layout but work equally
+//! well on `NCHW` and any `NCHW[x]c`, so a pooling node never forces a
+//! layout transformation — that is precisely why the optimized layout can
+//! flow through the network in Figure 2.
+
+use neocpu_tensor::{Layout, Tensor};
+use neocpu_threadpool::Parallelism;
+
+use crate::util::SendPtr;
+use crate::{KernelError, Result};
+
+/// Pooling parameters (square windows are the only shape the evaluated
+/// models use, but rectangular ones are supported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dParams {
+    /// Window height.
+    pub kernel_h: usize,
+    /// Window width.
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Symmetric vertical padding.
+    pub pad_h: usize,
+    /// Symmetric horizontal padding.
+    pub pad_w: usize,
+    /// Whether to round output dims up (ceil mode).
+    pub ceil_mode: bool,
+}
+
+impl Pool2dParams {
+    /// Convenience constructor for square windows.
+    pub fn square(kernel: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+            ceil_mode: false,
+        }
+    }
+
+    fn out_dim(&self, in_dim: usize, k: usize, s: usize, p: usize) -> usize {
+        let span = in_dim + 2 * p;
+        if span < k {
+            return 0;
+        }
+        if self.ceil_mode {
+            (span - k).div_ceil(s) + 1
+        } else {
+            (span - k) / s + 1
+        }
+    }
+
+    /// Output height for an input of height `in_h`.
+    pub fn out_h(&self, in_h: usize) -> usize {
+        self.out_dim(in_h, self.kernel_h, self.stride_h, self.pad_h)
+    }
+
+    /// Output width for an input of width `in_w`.
+    pub fn out_w(&self, in_w: usize) -> usize {
+        self.out_dim(in_w, self.kernel_w, self.stride_w, self.pad_w)
+    }
+}
+
+/// Kind of pooling reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window (padding cells are ignored).
+    Max,
+    /// Mean over the window (divisor excludes padding, matching the
+    /// `count_include_pad = false` convention of the evaluated models).
+    Avg,
+}
+
+/// 2-D pooling over `NCHW` or `NCHW[x]c` activations.
+///
+/// The output tensor must have the same layout family and channel count as
+/// the input and the spatial dims implied by `p`.
+///
+/// # Errors
+///
+/// Returns an error on layout or shape mismatch.
+pub fn pool2d(
+    input: &Tensor,
+    output: &mut Tensor,
+    p: &Pool2dParams,
+    kind: PoolKind,
+    par: &dyn Parallelism,
+) -> Result<()> {
+    let (block, chunks) = match (input.layout(), output.layout()) {
+        (Layout::Nchw, Layout::Nchw) => (1usize, input.shape().dims()[1]),
+        (Layout::NchwC(a), Layout::NchwC(b)) if a == b => (a, input.shape().dims()[1] / a),
+        (i, o) => {
+            return Err(KernelError::BadOperand(format!(
+                "pool2d layouts must match (NCHW or same NCHW[x]c), got {i} and {o}"
+            )));
+        }
+    };
+    let id = input.shape().dims();
+    let od = output.shape().dims();
+    let (n, c, ih, iw) = (id[0], id[1], id[2], id[3]);
+    let (oh, ow) = (p.out_h(ih), p.out_w(iw));
+    if od != [n, c, oh, ow] {
+        return Err(KernelError::BadOperand(format!(
+            "pool2d output shape {:?} != expected [{n}, {c}, {oh}, {ow}]",
+            od
+        )));
+    }
+    let src = input.data();
+    let dst = SendPtr(output.data_mut().as_mut_ptr());
+
+    par.run(n * chunks, &|_, range| {
+        let dst = dst;
+        for job in range {
+            let in_plane = job * ih * iw * block;
+            let out_plane = job * oh * ow * block;
+            for y in 0..oh {
+                for x in 0..ow {
+                    for b in 0..block {
+                        let mut acc = match kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        let mut count = 0usize;
+                        for r in 0..p.kernel_h {
+                            let yy = (y * p.stride_h + r) as isize - p.pad_h as isize;
+                            if yy < 0 || yy as usize >= ih {
+                                continue;
+                            }
+                            for s in 0..p.kernel_w {
+                                let xx = (x * p.stride_w + s) as isize - p.pad_w as isize;
+                                if xx < 0 || xx as usize >= iw {
+                                    continue;
+                                }
+                                let v =
+                                    src[in_plane + (yy as usize * iw + xx as usize) * block + b];
+                                match kind {
+                                    PoolKind::Max => acc = acc.max(v),
+                                    PoolKind::Avg => acc += v,
+                                }
+                                count += 1;
+                            }
+                        }
+                        let out = match kind {
+                            PoolKind::Max => acc,
+                            PoolKind::Avg => {
+                                if count == 0 {
+                                    0.0
+                                } else {
+                                    acc / count as f32
+                                }
+                            }
+                        };
+                        // SAFETY: jobs are disjoint (batch, chunk) planes.
+                        unsafe { *dst.add(out_plane + (y * ow + x) * block + b) = out };
+                    }
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Global average pooling: reduces each channel's spatial plane to one
+/// value, producing `[N, C, 1, 1]` in the same layout family.
+///
+/// # Errors
+///
+/// Returns an error on layout or shape mismatch.
+pub fn global_avg_pool(input: &Tensor, output: &mut Tensor, par: &dyn Parallelism) -> Result<()> {
+    let id = input.shape().dims();
+    let (ih, iw) = (id[2], id[3]);
+    let p = Pool2dParams {
+        kernel_h: ih,
+        kernel_w: iw,
+        stride_h: 1,
+        stride_w: 1,
+        pad_h: 0,
+        pad_w: 0,
+        ceil_mode: false,
+    };
+    pool2d(input, output, &p, PoolKind::Avg, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neocpu_tensor::transform::to_layout;
+    use neocpu_threadpool::Sequential;
+
+    #[test]
+    fn max_pool_basic() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            [1, 1, 4, 4],
+            Layout::Nchw,
+        )
+        .unwrap();
+        let p = Pool2dParams::square(2, 2, 0);
+        let mut out = Tensor::zeros([1, 1, 2, 2], Layout::Nchw).unwrap();
+        pool2d(&input, &mut out, &p, PoolKind::Max, &Sequential).unwrap();
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding_from_divisor() {
+        let input =
+            Tensor::from_vec(vec![4.0, 4.0, 4.0, 4.0], [1, 1, 2, 2], Layout::Nchw).unwrap();
+        let p = Pool2dParams::square(3, 2, 1);
+        let mut out = Tensor::zeros([1, 1, 1, 1], Layout::Nchw).unwrap();
+        pool2d(&input, &mut out, &p, PoolKind::Avg, &Sequential).unwrap();
+        // The window covers all four real cells; padding is excluded.
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn blocked_layout_matches_nchw() {
+        let input = Tensor::random([2, 16, 9, 9], Layout::Nchw, 5, 1.0).unwrap();
+        let p = Pool2dParams::square(3, 2, 1);
+        let (oh, ow) = (p.out_h(9), p.out_w(9));
+        let mut out_plain = Tensor::zeros([2, 16, oh, ow], Layout::Nchw).unwrap();
+        pool2d(&input, &mut out_plain, &p, PoolKind::Max, &Sequential).unwrap();
+
+        let blocked = to_layout(&input, Layout::NchwC(8)).unwrap();
+        let mut out_blocked = Tensor::zeros([2, 16, oh, ow], Layout::NchwC(8)).unwrap();
+        pool2d(&blocked, &mut out_blocked, &p, PoolKind::Max, &Sequential).unwrap();
+        assert!(out_plain.approx_eq(&out_blocked, 0.0));
+    }
+
+    #[test]
+    fn global_avg_pool_means_planes() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            [1, 2, 2, 2],
+            Layout::Nchw,
+        )
+        .unwrap();
+        let mut out = Tensor::zeros([1, 2, 1, 1], Layout::Nchw).unwrap();
+        global_avg_pool(&input, &mut out, &Sequential).unwrap();
+        assert_eq!(out.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn rejects_layout_mismatch() {
+        let input = Tensor::zeros([1, 8, 4, 4], Layout::NchwC(8)).unwrap();
+        let mut out = Tensor::zeros([1, 8, 2, 2], Layout::NchwC(4)).unwrap();
+        let p = Pool2dParams::square(2, 2, 0);
+        assert!(pool2d(&input, &mut out, &p, PoolKind::Max, &Sequential).is_err());
+    }
+
+    #[test]
+    fn ceil_mode_rounds_up() {
+        let p = Pool2dParams { ceil_mode: true, ..Pool2dParams::square(3, 2, 0) };
+        assert_eq!(p.out_h(8), 4);
+        let q = Pool2dParams::square(3, 2, 0);
+        assert_eq!(q.out_h(8), 3);
+        // When the span divides evenly, the modes agree.
+        assert_eq!(p.out_h(7), q.out_h(7));
+    }
+}

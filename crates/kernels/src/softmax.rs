@@ -1,0 +1,84 @@
+//! Numerically stable softmax over the last dimension of `NC` activations.
+//!
+//! Softmax is layout-oblivious in the §3.2 taxonomy; the models only apply
+//! it to the rank-2 classifier output, so that is the supported form.
+
+use neocpu_tensor::{Layout, Tensor};
+use neocpu_threadpool::Parallelism;
+
+use crate::util::SendPtr;
+use crate::{KernelError, Result};
+
+/// Row-wise softmax: `out[n, :] = exp(x − max) / Σ exp(x − max)`.
+///
+/// # Errors
+///
+/// Returns an error if operands are not matching `NC` tensors.
+pub fn softmax(input: &Tensor, output: &mut Tensor, par: &dyn Parallelism) -> Result<()> {
+    if input.layout() != Layout::Nc || output.layout() != Layout::Nc {
+        return Err(KernelError::BadOperand("softmax expects NC tensors".into()));
+    }
+    if input.shape() != output.shape() {
+        return Err(KernelError::BadOperand("softmax shape mismatch".into()));
+    }
+    let d = input.shape().dims();
+    let (n, c) = (d[0], d[1]);
+    let x = input.data();
+    let out_ptr = SendPtr(output.data_mut().as_mut_ptr());
+    par.run(n, &|_, range| {
+        let out_ptr = out_ptr;
+        for row in range {
+            let xr = &x[row * c..(row + 1) * c];
+            let max = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0f32;
+            for (i, &v) in xr.iter().enumerate() {
+                let e = (v - max).exp();
+                sum += e;
+                // SAFETY: rows are disjoint.
+                unsafe { *out_ptr.add(row * c + i) = e };
+            }
+            let inv = 1.0 / sum;
+            for i in 0..c {
+                // SAFETY: rows are disjoint.
+                unsafe { *out_ptr.add(row * c + i) *= inv };
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neocpu_threadpool::Sequential;
+
+    #[test]
+    fn rows_sum_to_one_and_order_preserved() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3], Layout::Nc)
+            .unwrap();
+        let mut out = Tensor::zeros([2, 3], Layout::Nc).unwrap();
+        softmax(&x, &mut out, &Sequential).unwrap();
+        for row in 0..2 {
+            let r = &out.data()[row * 3..(row + 1) * 3];
+            let sum: f32 = r.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(r[0] < r[1] && r[1] < r[2]);
+        }
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0], [1, 2], Layout::Nc).unwrap();
+        let mut out = Tensor::zeros([1, 2], Layout::Nc).unwrap();
+        softmax(&x, &mut out, &Sequential).unwrap();
+        assert!((out.data()[0] - 0.5).abs() < 1e-6);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_non_nc() {
+        let x = Tensor::zeros([1, 2, 1, 1], Layout::Nchw).unwrap();
+        let mut out = Tensor::zeros([1, 2, 1, 1], Layout::Nchw).unwrap();
+        assert!(softmax(&x, &mut out, &Sequential).is_err());
+    }
+}

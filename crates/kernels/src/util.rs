@@ -1,0 +1,24 @@
+//! Small internal helpers shared by kernels.
+
+/// Raw mutable pointer wrapper so disjoint-range parallel writers can share
+/// an output buffer.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(pub *mut f32);
+
+// SAFETY: every user partitions writes by the disjoint ranges handed out by
+// `Parallelism::run`, so no two threads write the same element, and the
+// buffer outlives the region (the caller blocks until the join).
+unsafe impl Send for SendPtr {}
+// SAFETY: as above.
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Offsets the pointer (no bounds knowledge; callers uphold validity).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`<*mut f32>::add`].
+    pub unsafe fn add(self, off: usize) -> *mut f32 {
+        self.0.add(off)
+    }
+}

@@ -1,0 +1,96 @@
+//! DenseNet family (Huang et al., 2017): densely concatenated blocks.
+//!
+//! DenseNet uses pre-activation ordering (BN → ReLU → conv), so its
+//! BatchNorms sit on concat outputs and *cannot* fold into a preceding
+//! convolution — they become `ScaleShift` nodes, exercising the
+//! layout-tolerant pass-through path. The dense concatenations also build
+//! the highest `LayoutTransform` pressure of the image-classification
+//! models, which is why DenseNets gain the most from transform elimination
+//! in Table 3.
+
+use neocpu_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::ModelScale;
+
+/// Builds a DenseNet from block sizes, growth rate and stem width.
+pub(crate) fn densenet(
+    blocks: &[usize; 4],
+    growth: usize,
+    stem: usize,
+    scale: ModelScale,
+    seed: u64,
+) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let x = b.input([1, 3, scale.input, scale.input]);
+    let growth = scale.c(growth);
+    let c0 = b.conv_bn_relu(x, scale.c(stem), 7, 2, 3);
+    let mut cur = b.max_pool(c0, 3, 2, 1);
+
+    for (i, &layers) in blocks.iter().enumerate() {
+        for _ in 0..layers {
+            cur = dense_layer(&mut b, cur, growth);
+        }
+        if i + 1 < blocks.len() {
+            cur = transition(&mut b, cur);
+        }
+    }
+
+    // Final BN-ReLU, classifier head.
+    let bn = b.batch_norm(cur);
+    let act = b.relu(bn);
+    let gap = b.global_avg_pool(act);
+    let flat = b.flatten(gap);
+    let fc = b.dense(flat, scale.classes);
+    let sm = b.softmax(fc);
+    b.finish(vec![sm])
+}
+
+/// BN → ReLU → 1×1 (4·growth) → BN → ReLU → 3×3 (growth), concatenated
+/// onto the running feature map.
+fn dense_layer(b: &mut GraphBuilder, x: NodeId, growth: usize) -> NodeId {
+    let bn1 = b.batch_norm(x);
+    let r1 = b.relu(bn1);
+    let c1 = b.conv2d_opts(r1, 4 * growth, 1, 1, 0, false);
+    let bn2 = b.batch_norm(c1);
+    let r2 = b.relu(bn2);
+    let c2 = b.conv2d_opts(r2, growth, 3, 1, 1, false);
+    b.concat(&[x, c2])
+}
+
+/// BN → ReLU → 1×1 (half channels) → 2×2 avg pool.
+fn transition(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let c = b.shape(x).dims()[1];
+    let bn = b.batch_norm(x);
+    let r = b.relu(bn);
+    let conv = b.conv2d_opts(r, c / 2, 1, 1, 0, false);
+    b.avg_pool(conv, 2, 2, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::infer_shapes;
+
+    #[test]
+    fn densenet121_channel_growth() {
+        let scale = ModelScale::full(ModelKind::DenseNet121);
+        let g = densenet(&[6, 12, 24, 16], 32, 64, scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        // Final feature count: standard DenseNet-121 reaches 1024 channels.
+        let gap = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, neocpu_graph::Op::GlobalAvgPool))
+            .unwrap();
+        assert_eq!(shapes[gap].dims()[1], 1024);
+    }
+
+    #[test]
+    fn densenet_conv_count() {
+        let scale = ModelScale::tiny(ModelKind::DenseNet121);
+        let g = densenet(&[6, 12, 24, 16], 32, 64, scale, 1);
+        // 58 dense-layer convs ×2 + 3 transitions + stem = 120.
+        assert_eq!(g.conv_ids().len(), (6 + 12 + 24 + 16) * 2 + 3 + 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Inception-v3 (Szegedy et al., 2016): factorized convolutions and
+//! multi-branch concat blocks, following the torchvision layer
+//! configuration (without the training-only auxiliary classifier).
+
+use neocpu_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::ModelScale;
+
+/// Builds Inception-v3.
+pub(crate) fn inception_v3(scale: ModelScale, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let c = |ch: usize| scale.c(ch);
+    let x = b.input([1, 3, scale.input, scale.input]);
+
+    // Stem.
+    let s1 = b.conv_bn_relu(x, c(32), 3, 2, 0);
+    let s2 = b.conv_bn_relu(s1, c(32), 3, 1, 0);
+    let s3 = b.conv_bn_relu(s2, c(64), 3, 1, 1);
+    let p1 = b.max_pool(s3, 3, 2, 0);
+    let s4 = b.conv_bn_relu(p1, c(80), 1, 1, 0);
+    let s5 = b.conv_bn_relu(s4, c(192), 3, 1, 0);
+    let mut cur = b.max_pool(s5, 3, 2, 0);
+
+    // 3 × block A (35×35 grid at full scale).
+    for pool_features in [32usize, 64, 64] {
+        cur = block_a(&mut b, cur, c(pool_features), &scale);
+    }
+    // Grid reduction B (35→17).
+    cur = block_b(&mut b, cur, &scale);
+    // 4 × block C with 7×7 factorizations.
+    for c7 in [128usize, 160, 160, 192] {
+        cur = block_c(&mut b, cur, c(c7), &scale);
+    }
+    // Grid reduction D (17→8).
+    cur = block_d(&mut b, cur, &scale);
+    // 2 × block E (8×8 grid).
+    cur = block_e(&mut b, cur, &scale);
+    cur = block_e(&mut b, cur, &scale);
+
+    let gap = b.global_avg_pool(cur);
+    let flat = b.flatten(gap);
+    let drop = b.dropout(flat);
+    let fc = b.dense(drop, scale.classes);
+    let sm = b.softmax(fc);
+    b.finish(vec![sm])
+}
+
+/// 1×1 / 5×5 / double-3×3 / pool-proj branches.
+fn block_a(b: &mut GraphBuilder, x: NodeId, pool_proj: usize, s: &ModelScale) -> NodeId {
+    let c = |ch: usize| s.c(ch);
+    let b1 = b.conv_bn_relu(x, c(64), 1, 1, 0);
+
+    let b2a = b.conv_bn_relu(x, c(48), 1, 1, 0);
+    let b2 = b.conv_bn_relu(b2a, c(64), 5, 1, 2);
+
+    let b3a = b.conv_bn_relu(x, c(64), 1, 1, 0);
+    let b3b = b.conv_bn_relu(b3a, c(96), 3, 1, 1);
+    let b3 = b.conv_bn_relu(b3b, c(96), 3, 1, 1);
+
+    let p = b.avg_pool(x, 3, 1, 1);
+    let b4 = b.conv_bn_relu(p, pool_proj, 1, 1, 0);
+
+    b.concat(&[b1, b2, b3, b4])
+}
+
+/// Grid reduction: strided 3×3 / strided double-3×3 / max pool.
+fn block_b(b: &mut GraphBuilder, x: NodeId, s: &ModelScale) -> NodeId {
+    let c = |ch: usize| s.c(ch);
+    let b1 = b.conv_bn_relu(x, c(384), 3, 2, 0);
+
+    let b2a = b.conv_bn_relu(x, c(64), 1, 1, 0);
+    let b2b = b.conv_bn_relu(b2a, c(96), 3, 1, 1);
+    let b2 = b.conv_bn_relu(b2b, c(96), 3, 2, 0);
+
+    let b3 = b.max_pool(x, 3, 2, 0);
+    b.concat(&[b1, b2, b3])
+}
+
+/// Factorized 7×7 branches (1×7 and 7×1 rectangular convs).
+fn block_c(b: &mut GraphBuilder, x: NodeId, c7: usize, s: &ModelScale) -> NodeId {
+    let c = |ch: usize| s.c(ch);
+    let b1 = b.conv_bn_relu(x, c(192), 1, 1, 0);
+
+    let b2a = b.conv_bn_relu(x, c7, 1, 1, 0);
+    let b2b = b.conv_bn_relu_rect(b2a, c7, (1, 7), (1, 1), (0, 3));
+    let b2 = b.conv_bn_relu_rect(b2b, c(192), (7, 1), (1, 1), (3, 0));
+
+    let b3a = b.conv_bn_relu(x, c7, 1, 1, 0);
+    let b3b = b.conv_bn_relu_rect(b3a, c7, (7, 1), (1, 1), (3, 0));
+    let b3c = b.conv_bn_relu_rect(b3b, c7, (1, 7), (1, 1), (0, 3));
+    let b3d = b.conv_bn_relu_rect(b3c, c7, (7, 1), (1, 1), (3, 0));
+    let b3 = b.conv_bn_relu_rect(b3d, c(192), (1, 7), (1, 1), (0, 3));
+
+    let p = b.avg_pool(x, 3, 1, 1);
+    let b4 = b.conv_bn_relu(p, c(192), 1, 1, 0);
+
+    b.concat(&[b1, b2, b3, b4])
+}
+
+/// Grid reduction: strided 3×3 after 1×1 / factorized 7×7 then strided 3×3
+/// / max pool.
+fn block_d(b: &mut GraphBuilder, x: NodeId, s: &ModelScale) -> NodeId {
+    let c = |ch: usize| s.c(ch);
+    let b1a = b.conv_bn_relu(x, c(192), 1, 1, 0);
+    let b1 = b.conv_bn_relu(b1a, c(320), 3, 2, 0);
+
+    let b2a = b.conv_bn_relu(x, c(192), 1, 1, 0);
+    let b2b = b.conv_bn_relu_rect(b2a, c(192), (1, 7), (1, 1), (0, 3));
+    let b2c = b.conv_bn_relu_rect(b2b, c(192), (7, 1), (1, 1), (3, 0));
+    let b2 = b.conv_bn_relu(b2c, c(192), 3, 2, 0);
+
+    let b3 = b.max_pool(x, 3, 2, 0);
+    b.concat(&[b1, b2, b3])
+}
+
+/// Expanded 8×8 block with split 1×3/3×1 branches.
+fn block_e(b: &mut GraphBuilder, x: NodeId, s: &ModelScale) -> NodeId {
+    let c = |ch: usize| s.c(ch);
+    let b1 = b.conv_bn_relu(x, c(320), 1, 1, 0);
+
+    let b2a = b.conv_bn_relu(x, c(384), 1, 1, 0);
+    let b2l = b.conv_bn_relu_rect(b2a, c(384), (1, 3), (1, 1), (0, 1));
+    let b2r = b.conv_bn_relu_rect(b2a, c(384), (3, 1), (1, 1), (1, 0));
+
+    let b3a = b.conv_bn_relu(x, c(448), 1, 1, 0);
+    let b3b = b.conv_bn_relu(b3a, c(384), 3, 1, 1);
+    let b3l = b.conv_bn_relu_rect(b3b, c(384), (1, 3), (1, 1), (0, 1));
+    let b3r = b.conv_bn_relu_rect(b3b, c(384), (3, 1), (1, 1), (1, 0));
+
+    let p = b.avg_pool(x, 3, 1, 1);
+    let b4 = b.conv_bn_relu(p, c(192), 1, 1, 0);
+
+    b.concat(&[b1, b2l, b2r, b3l, b3r, b4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::infer_shapes;
+
+    #[test]
+    fn full_scale_grid_sizes() {
+        let scale = ModelScale::full(ModelKind::InceptionV3);
+        let g = inception_v3(scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        // Final concat: 2048 channels on an 8×8 grid.
+        let last_concat = g
+            .nodes
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, n)| matches!(n.op, neocpu_graph::Op::Concat))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(shapes[last_concat].dims()[1], 2048);
+        assert_eq!(shapes[last_concat].dims()[2..], [8, 8]);
+    }
+
+    #[test]
+    fn has_rectangular_convs() {
+        let scale = ModelScale::tiny(ModelKind::InceptionV3);
+        let g = inception_v3(scale, 1);
+        let rect = g
+            .nodes
+            .iter()
+            .filter(|n| match &n.op {
+                neocpu_graph::Op::Conv2d { params, .. } => params.kernel_h != params.kernel_w,
+                _ => false,
+            })
+            .count();
+        assert!(rect >= 10, "expected many factorized convs, got {rect}");
+    }
+}

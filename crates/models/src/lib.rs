@@ -1,0 +1,235 @@
+//! The 15 CNN models of the NeoCPU evaluation (§4), built on the graph IR.
+//!
+//! ResNet-18/34/50/101/152, VGG-11/13/16/19, DenseNet-121/161/169/201,
+//! Inception-v3 and SSD-ResNet-50 — the exact model list of Table 2 —
+//! with the standard architectures (torchvision/Gluon model-zoo layer
+//! configurations) and deterministic pseudo-random weights.
+//!
+//! Every builder takes a [`ModelScale`]: [`ModelScale::full`] reproduces
+//! the paper's input resolutions (224², 299² for Inception, 512² for SSD)
+//! and channel counts; [`ModelScale::tiny`] divides channels by four and
+//! shrinks the input so CI-speed tests can execute every architecture
+//! end-to-end.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod densenet;
+mod inception;
+mod resnet;
+mod ssd;
+mod vgg;
+
+use neocpu_graph::Graph;
+
+/// The evaluated model family and depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// ResNet with basic blocks, depth 18.
+    ResNet18,
+    /// ResNet with basic blocks, depth 34.
+    ResNet34,
+    /// ResNet with bottleneck blocks, depth 50.
+    ResNet50,
+    /// ResNet with bottleneck blocks, depth 101.
+    ResNet101,
+    /// ResNet with bottleneck blocks, depth 152.
+    ResNet152,
+    /// VGG configuration A.
+    Vgg11,
+    /// VGG configuration B.
+    Vgg13,
+    /// VGG configuration D.
+    Vgg16,
+    /// VGG configuration E.
+    Vgg19,
+    /// DenseNet, growth 32, blocks 6/12/24/16.
+    DenseNet121,
+    /// DenseNet, growth 48, blocks 6/12/36/24.
+    DenseNet161,
+    /// DenseNet, growth 32, blocks 6/12/32/32.
+    DenseNet169,
+    /// DenseNet, growth 32, blocks 6/12/48/32.
+    DenseNet201,
+    /// Inception-v3 (299×299 input).
+    InceptionV3,
+    /// SSD object detector with a ResNet-50 backbone (512×512 input).
+    SsdResNet50,
+}
+
+impl ModelKind {
+    /// Canonical display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::ResNet18 => "ResNet-18",
+            Self::ResNet34 => "ResNet-34",
+            Self::ResNet50 => "ResNet-50",
+            Self::ResNet101 => "ResNet-101",
+            Self::ResNet152 => "ResNet-152",
+            Self::Vgg11 => "VGG-11",
+            Self::Vgg13 => "VGG-13",
+            Self::Vgg16 => "VGG-16",
+            Self::Vgg19 => "VGG-19",
+            Self::DenseNet121 => "DenseNet-121",
+            Self::DenseNet161 => "DenseNet-161",
+            Self::DenseNet169 => "DenseNet-169",
+            Self::DenseNet201 => "DenseNet-201",
+            Self::InceptionV3 => "Inception-v3",
+            Self::SsdResNet50 => "SSD-ResNet-50",
+        }
+    }
+
+    /// The paper's input resolution for this model (§4: 224×224 except
+    /// Inception at 299×299 and SSD at 512×512).
+    pub fn full_input(&self) -> usize {
+        match self {
+            Self::InceptionV3 => 299,
+            Self::SsdResNet50 => 512,
+            _ => 224,
+        }
+    }
+}
+
+/// All 15 evaluated models, in Table 2 order.
+pub fn zoo() -> Vec<ModelKind> {
+    use ModelKind::*;
+    vec![
+        ResNet18, ResNet34, ResNet50, ResNet101, ResNet152, Vgg11, Vgg13, Vgg16, Vgg19,
+        DenseNet121, DenseNet161, DenseNet169, DenseNet201, InceptionV3, SsdResNet50,
+    ]
+}
+
+/// Workload scaling for a model build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelScale {
+    /// Every channel count is divided by this (1 = paper size).
+    pub channel_div: usize,
+    /// Input spatial resolution.
+    pub input: usize,
+    /// Classifier classes (1000 in the paper; smaller in tests).
+    pub classes: usize,
+}
+
+impl ModelScale {
+    /// The paper's full-size workload for `kind`.
+    pub fn full(kind: ModelKind) -> Self {
+        Self { channel_div: 1, input: kind.full_input(), classes: 1000 }
+    }
+
+    /// A CI-speed workload: channels ÷ 4, small input, 10 classes.
+    pub fn tiny(kind: ModelKind) -> Self {
+        let input = match kind {
+            ModelKind::InceptionV3 => 139,
+            ModelKind::SsdResNet50 => 128,
+            _ => 64,
+        };
+        Self { channel_div: 4, input, classes: 10 }
+    }
+
+    /// Applies the channel divisor (≥ 1, preserving divisibility by 4 of
+    /// the standard channel counts).
+    pub fn c(&self, channels: usize) -> usize {
+        (channels / self.channel_div).max(1)
+    }
+}
+
+/// Builds the graph for `kind` at `scale` with weights derived from `seed`.
+pub fn build(kind: ModelKind, scale: ModelScale, seed: u64) -> Graph {
+    use ModelKind::*;
+    match kind {
+        ResNet18 => resnet::resnet(&[2, 2, 2, 2], false, scale, seed),
+        ResNet34 => resnet::resnet(&[3, 4, 6, 3], false, scale, seed),
+        ResNet50 => resnet::resnet(&[3, 4, 6, 3], true, scale, seed),
+        ResNet101 => resnet::resnet(&[3, 4, 23, 3], true, scale, seed),
+        ResNet152 => resnet::resnet(&[3, 8, 36, 3], true, scale, seed),
+        Vgg11 => vgg::vgg(&[1, 1, 2, 2, 2], scale, seed),
+        Vgg13 => vgg::vgg(&[2, 2, 2, 2, 2], scale, seed),
+        Vgg16 => vgg::vgg(&[2, 2, 3, 3, 3], scale, seed),
+        Vgg19 => vgg::vgg(&[2, 2, 4, 4, 4], scale, seed),
+        DenseNet121 => densenet::densenet(&[6, 12, 24, 16], 32, 64, scale, seed),
+        DenseNet161 => densenet::densenet(&[6, 12, 36, 24], 48, 96, scale, seed),
+        DenseNet169 => densenet::densenet(&[6, 12, 32, 32], 32, 64, scale, seed),
+        DenseNet201 => densenet::densenet(&[6, 12, 48, 32], 32, 64, scale, seed),
+        InceptionV3 => inception::inception_v3(scale, seed),
+        SsdResNet50 => ssd::ssd_resnet50(scale, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neocpu_graph::{infer_layouts, infer_shapes};
+
+    #[test]
+    fn zoo_has_fifteen_models() {
+        assert_eq!(zoo().len(), 15);
+    }
+
+    #[test]
+    fn every_model_builds_and_infers_at_tiny_scale() {
+        for kind in zoo() {
+            let g = build(kind, ModelScale::tiny(kind), 42);
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let shapes =
+                infer_shapes(&g).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            infer_layouts(&g, &shapes).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(!g.conv_ids().is_empty(), "{} has no convolutions", kind.name());
+        }
+    }
+
+    #[test]
+    fn conv_counts_match_architectures() {
+        // Conv layers (including downsample/projection convs).
+        let expect = [
+            (ModelKind::ResNet18, 20),  // 16 block convs + stem + 3 downsample
+            (ModelKind::ResNet34, 36),
+            (ModelKind::ResNet50, 53),
+            (ModelKind::ResNet101, 104),
+            (ModelKind::ResNet152, 155),
+            (ModelKind::Vgg11, 8),
+            (ModelKind::Vgg13, 10),
+            (ModelKind::Vgg16, 13),
+            (ModelKind::Vgg19, 16),
+        ];
+        for (kind, want) in expect {
+            let g = build(kind, ModelScale::tiny(kind), 1);
+            assert_eq!(g.conv_ids().len(), want, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn full_scale_resnet50_matches_paper_resolution() {
+        let g = build(ModelKind::ResNet50, ModelScale::full(ModelKind::ResNet50), 1);
+        let shapes = infer_shapes(&g).unwrap();
+        // Output of the classifier is [1, 1000].
+        let out = &shapes[*g.outputs.first().unwrap()];
+        assert_eq!(out.dims(), &[1, 1000]);
+        // ~4.1 GMACs for ResNet-50 at 224².
+        let gmacs = g.conv_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&gmacs), "ResNet-50 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn densenet_and_inception_have_concats() {
+        for kind in [ModelKind::DenseNet121, ModelKind::InceptionV3, ModelKind::SsdResNet50] {
+            let g = build(kind, ModelScale::tiny(kind), 1);
+            let concats = g
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.op, neocpu_graph::Op::Concat))
+                .count();
+            assert!(concats > 0, "{} should contain concat blocks", kind.name());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build(ModelKind::ResNet18, ModelScale::tiny(ModelKind::ResNet18), 9);
+        let b = build(ModelKind::ResNet18, ModelScale::tiny(ModelKind::ResNet18), 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.params.len(), b.params.len());
+        for (x, y) in a.params.iter().zip(&b.params) {
+            assert_eq!(x.data(), y.data());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! ResNet family (He et al., 2016): basic blocks for 18/34, bottlenecks
+//! for 50/101/152.
+
+use neocpu_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::ModelScale;
+
+/// Builds a ResNet with the given stage depths.
+pub(crate) fn resnet(stages: &[usize; 4], bottleneck: bool, scale: ModelScale, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let x = b.input([1, 3, scale.input, scale.input]);
+    // Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max pool.
+    let stem = b.conv_bn_relu(x, scale.c(64), 7, 2, 3);
+    let mut cur = b.max_pool(stem, 3, 2, 1);
+
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&depth, &width)) in stages.iter().zip(&widths).enumerate() {
+        for block in 0..depth {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            cur = if bottleneck {
+                bottleneck_block(&mut b, cur, scale.c(width), stride)
+            } else {
+                basic_block(&mut b, cur, scale.c(width), stride)
+            };
+        }
+    }
+
+    let gap = b.global_avg_pool(cur);
+    let flat = b.flatten(gap);
+    let fc = b.dense(flat, scale.classes);
+    let sm = b.softmax(fc);
+    b.finish(vec![sm])
+}
+
+/// Two 3×3 convs with an identity or projection skip.
+fn basic_block(b: &mut GraphBuilder, x: NodeId, width: usize, stride: usize) -> NodeId {
+    let in_c = b.shape(x).dims()[1];
+    let skip = if stride != 1 || in_c != width {
+        let c = b.conv2d_opts(x, width, 1, stride, 0, false);
+        b.batch_norm(c)
+    } else {
+        x
+    };
+    let c1 = b.conv_bn_relu(x, width, 3, stride, 1);
+    let c2 = b.conv2d_opts(c1, width, 3, 1, 1, false);
+    let bn2 = b.batch_norm(c2);
+    let sum = b.add(bn2, skip);
+    b.relu(sum)
+}
+
+/// 1×1 reduce → 3×3 → 1×1 expand (×4) with skip.
+fn bottleneck_block(b: &mut GraphBuilder, x: NodeId, width: usize, stride: usize) -> NodeId {
+    let out_c = width * 4;
+    let in_c = b.shape(x).dims()[1];
+    let skip = if stride != 1 || in_c != out_c {
+        let c = b.conv2d_opts(x, out_c, 1, stride, 0, false);
+        b.batch_norm(c)
+    } else {
+        x
+    };
+    let c1 = b.conv_bn_relu(x, width, 1, 1, 0);
+    let c2 = b.conv_bn_relu(c1, width, 3, stride, 1);
+    let c3 = b.conv2d_opts(c2, out_c, 1, 1, 0, false);
+    let bn3 = b.batch_norm(c3);
+    let sum = b.add(bn3, skip);
+    b.relu(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::infer_shapes;
+
+    #[test]
+    fn resnet18_stage_shapes() {
+        let scale = ModelScale::full(ModelKind::ResNet18);
+        let g = resnet(&[2, 2, 2, 2], false, scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        // Final conv feature map is 512×7×7 at 224² input.
+        let last_conv = *g.conv_ids().last().unwrap();
+        assert_eq!(shapes[last_conv].dims()[2..], [7, 7]);
+        assert_eq!(shapes[last_conv].dims()[1], 512);
+    }
+
+    #[test]
+    fn bottleneck_expansion_is_four() {
+        let scale = ModelScale::tiny(ModelKind::ResNet50);
+        let g = resnet(&[3, 4, 6, 3], true, scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        let last_conv = *g.conv_ids().last().unwrap();
+        assert_eq!(shapes[last_conv].dims()[1], scale.c(512) * 4);
+    }
+}

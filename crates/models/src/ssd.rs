@@ -1,0 +1,119 @@
+//! SSD object detector with a ResNet-50 backbone at 512×512 (Liu et al.,
+//! 2016), the paper's hardest global-search case: the multibox heads hang
+//! many concat joins off the feature pyramid, producing the cross-coupled
+//! conv dependency graph that forces the PBQP solver (§3.3.2).
+//!
+//! Following the paper's own measurement convention (and OpenVINO's), the
+//! graph covers the full convolutional workload — backbone, extra feature
+//! layers, and all multibox loc/conf heads; the final non-maximum
+//! suppression is post-processing outside the compiled graph. Per feature
+//! scale, the loc and conf head outputs are channel-concatenated, which is
+//! exactly the join constraint Figure 3 highlights.
+
+use neocpu_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::ModelScale;
+
+/// Anchors per feature-map cell, per SSD512 convention.
+const ANCHORS: [usize; 7] = [4, 6, 6, 6, 6, 4, 4];
+
+/// Builds SSD-ResNet-50 at `scale`.
+pub(crate) fn ssd_resnet50(scale: ModelScale, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let c = |ch: usize| scale.c(ch);
+    let x = b.input([1, 3, scale.input, scale.input]);
+
+    // ResNet-50 backbone through conv4 (stride 16), keeping conv3's output
+    // (stride 8) as the first detection scale.
+    let stem = b.conv_bn_relu(x, c(64), 7, 2, 3);
+    let mut cur = b.max_pool(stem, 3, 2, 1);
+    for block in 0..3 {
+        cur = bottleneck(&mut b, cur, c(64), if block == 0 { 1 } else { 1 });
+    }
+    for block in 0..4 {
+        cur = bottleneck(&mut b, cur, c(128), if block == 0 { 2 } else { 1 });
+    }
+    let scale0 = cur; // stride 8, 512·k channels
+    for block in 0..6 {
+        cur = bottleneck(&mut b, cur, c(256), if block == 0 { 2 } else { 1 });
+    }
+    let scale1 = cur; // stride 16
+
+    // Extra feature layers: stride-2 1×1→3×3 stacks walking down to 1×1-ish
+    // grids, as in SSD512.
+    let mut feats: Vec<NodeId> = vec![scale0, scale1];
+    let mut f = scale1;
+    for (narrow, wide) in [(256usize, 512usize), (128, 256), (128, 256), (128, 256), (128, 256)] {
+        let h = b.shape(f).dims()[2];
+        if h < 3 {
+            break;
+        }
+        let r = b.conv_bn_relu(f, c(narrow), 1, 1, 0);
+        f = b.conv_bn_relu(r, c(wide), 3, 2, 1);
+        feats.push(f);
+    }
+
+    // Multibox heads: per scale, a 3×3 loc conv (4 coords per anchor) and a
+    // 3×3 conf conv (classes per anchor), channel-concatenated.
+    let mut outputs = Vec::new();
+    let classes = scale.classes.min(21);
+    for (i, &feat) in feats.iter().enumerate() {
+        let anchors = ANCHORS[i.min(ANCHORS.len() - 1)];
+        let loc = b.conv2d(feat, 4 * anchors, 3, 1, 1);
+        let conf = b.conv2d(feat, classes * anchors, 3, 1, 1);
+        let head = b.concat(&[loc, conf]);
+        outputs.push(head);
+    }
+    b.finish(outputs)
+}
+
+fn bottleneck(b: &mut GraphBuilder, x: NodeId, width: usize, stride: usize) -> NodeId {
+    let out_c = width * 4;
+    let in_c = b.shape(x).dims()[1];
+    let skip = if stride != 1 || in_c != out_c {
+        let conv = b.conv2d_opts(x, out_c, 1, stride, 0, false);
+        b.batch_norm(conv)
+    } else {
+        x
+    };
+    let c1 = b.conv_bn_relu(x, width, 1, 1, 0);
+    let c2 = b.conv_bn_relu(c1, width, 3, stride, 1);
+    let c3 = b.conv2d_opts(c2, out_c, 1, 1, 0, false);
+    let bn3 = b.batch_norm(c3);
+    let sum = b.add(bn3, skip);
+    b.relu(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::infer_shapes;
+
+    #[test]
+    fn full_scale_pyramid() {
+        let scale = ModelScale::full(ModelKind::SsdResNet50);
+        let g = ssd_resnet50(scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        assert!(g.outputs.len() >= 5, "SSD needs a multi-scale pyramid");
+        // First scale is stride 8: 512/8 = 64.
+        let first = g.outputs[0];
+        assert_eq!(shapes[first].dims()[2..], [64, 64]);
+        // Scales shrink monotonically.
+        let mut prev = usize::MAX;
+        for &o in &g.outputs {
+            let h = shapes[o].dims()[2];
+            assert!(h < prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn heads_concat_loc_and_conf() {
+        let scale = ModelScale::tiny(ModelKind::SsdResNet50);
+        let g = ssd_resnet50(scale, 1);
+        for &o in &g.outputs {
+            assert!(matches!(g.nodes[o].op, neocpu_graph::Op::Concat));
+        }
+    }
+}

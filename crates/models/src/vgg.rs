@@ -1,0 +1,58 @@
+//! VGG family (Simonyan & Zisserman, 2014): plain 3×3 conv stacks.
+
+use neocpu_graph::{Graph, GraphBuilder};
+
+use crate::ModelScale;
+
+/// Builds a VGG net from per-stage conv counts (A=11, B=13, D=16, E=19).
+pub(crate) fn vgg(stage_convs: &[usize; 5], scale: ModelScale, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let mut cur = b.input([1, 3, scale.input, scale.input]);
+    let widths = [64usize, 128, 256, 512, 512];
+    for (&n, &w) in stage_convs.iter().zip(&widths) {
+        for _ in 0..n {
+            let c = b.conv2d(cur, scale.c(w), 3, 1, 1);
+            cur = b.relu(c);
+        }
+        cur = b.max_pool(cur, 2, 2, 0);
+    }
+    let flat = b.flatten(cur);
+    // Classifier: 4096-4096-classes with ReLU + dropout (the dropouts are
+    // removed by inference simplification, exercising that pass on a real
+    // model).
+    let fc1 = b.dense(flat, scale.c(4096));
+    let r1 = b.relu(fc1);
+    let d1 = b.dropout(r1);
+    let fc2 = b.dense(d1, scale.c(4096));
+    let r2 = b.relu(fc2);
+    let d2 = b.dropout(r2);
+    let fc3 = b.dense(d2, scale.classes);
+    let sm = b.softmax(fc3);
+    b.finish(vec![sm])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::infer_shapes;
+
+    #[test]
+    fn vgg16_final_feature_map() {
+        let scale = ModelScale::full(ModelKind::Vgg16);
+        let g = vgg(&[2, 2, 3, 3, 3], scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        let last_conv = *g.conv_ids().last().unwrap();
+        // 224 / 2^4 = 14 at the last conv (pool follows).
+        assert_eq!(shapes[last_conv].dims()[2..], [14, 14]);
+    }
+
+    #[test]
+    fn vgg19_macs_are_large() {
+        let scale = ModelScale::full(ModelKind::Vgg19);
+        let g = vgg(&[2, 2, 4, 4, 4], scale, 1);
+        // VGG-19 ≈ 19.6 GMACs at 224².
+        let gmacs = g.conv_macs() as f64 / 1e9;
+        assert!((18.0..21.0).contains(&gmacs), "VGG-19 GMACs {gmacs}");
+    }
+}

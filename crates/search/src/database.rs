@@ -1,0 +1,276 @@
+//! Persistent scheme database (§3.3.1: "we can maintain a database to store
+//! the results for every convolution workload … on every CPU type to
+//! prevent repeating search for the same convolution in different models").
+//!
+//! The on-disk format is a line-oriented text table (no third-party
+//! serialization dependency): one header line, then one line per ranked
+//! scheme keyed by `(target, workload)`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use neocpu_kernels::conv::{Conv2dParams, ConvSchedule};
+
+use crate::local::RankedScheme;
+
+/// A `(target name, workload)` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    /// CPU target name (e.g. `"skylake-avx512"`).
+    pub target: String,
+    /// The convolution workload.
+    pub params: Conv2dParams,
+}
+
+/// In-memory scheme cache with text-file persistence.
+#[derive(Debug, Default, Clone)]
+pub struct SchemeDatabase {
+    entries: HashMap<WorkloadKey, Vec<RankedScheme>>,
+}
+
+impl SchemeDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the ranked schemes of a workload.
+    pub fn get(&self, target: &str, params: &Conv2dParams) -> Option<&[RankedScheme]> {
+        self.entries
+            .get(&WorkloadKey { target: target.to_string(), params: *params })
+            .map(Vec::as_slice)
+    }
+
+    /// Stores ranked schemes for a workload (replacing existing ones).
+    pub fn put(&mut self, target: &str, params: &Conv2dParams, schemes: Vec<RankedScheme>) {
+        self.entries
+            .insert(WorkloadKey { target: target.to_string(), params: *params }, schemes);
+    }
+
+    /// Fetches from the cache or computes-and-stores via `compute`.
+    pub fn get_or_insert_with(
+        &mut self,
+        target: &str,
+        params: &Conv2dParams,
+        compute: impl FnOnce() -> Vec<RankedScheme>,
+    ) -> &[RankedScheme] {
+        self.entries
+            .entry(WorkloadKey { target: target.to_string(), params: *params })
+            .or_insert_with(compute)
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("neocpu-scheme-db v1\n");
+        let mut keys: Vec<&WorkloadKey> = self.entries.keys().collect();
+        keys.sort_by(|a, b| (&a.target, fmt_params(&a.params)).cmp(&(&b.target, fmt_params(&b.params))));
+        for k in keys {
+            for r in &self.entries[k] {
+                let sch = r.schedule;
+                writeln!(
+                    s,
+                    "{} {} {} {} {} {} {:e}",
+                    k.target,
+                    fmt_params(&k.params),
+                    sch.ic_bn,
+                    sch.oc_bn,
+                    sch.reg_n,
+                    u8::from(sch.unroll_ker),
+                    r.time,
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+        s
+    }
+
+    /// Parses the text format produced by [`SchemeDatabase::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed content.
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != "neocpu-scheme-db v1" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad scheme-db header"));
+        }
+        let mut db = Self::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad =
+                || io::Error::new(io::ErrorKind::InvalidData, format!("bad line {}", no + 2));
+            let mut f = line.split_whitespace();
+            let target = f.next().ok_or_else(bad)?.to_string();
+            let params = parse_params(f.next().ok_or_else(bad)?).ok_or_else(bad)?;
+            let nums: Vec<&str> = f.collect();
+            if nums.len() != 5 {
+                return Err(bad());
+            }
+            let schedule = ConvSchedule {
+                ic_bn: nums[0].parse().map_err(|_| bad())?,
+                oc_bn: nums[1].parse().map_err(|_| bad())?,
+                reg_n: nums[2].parse().map_err(|_| bad())?,
+                unroll_ker: nums[3] == "1",
+            };
+            let time: f32 = nums[4].parse().map_err(|_| bad())?;
+            db.entries
+                .entry(WorkloadKey { target, params })
+                .or_default()
+                .push(RankedScheme { schedule, time });
+        }
+        for v in db.entries.values_mut() {
+            v.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are finite"));
+        }
+        Ok(db)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_text())
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse failures.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_text(&fs::read_to_string(path)?)
+    }
+}
+
+fn fmt_params(p: &Conv2dParams) -> String {
+    format!(
+        "{}x{}x{}x{}k{}x{}s{}x{}p{}x{}",
+        p.in_channels,
+        p.out_channels,
+        p.in_h,
+        p.in_w,
+        p.kernel_h,
+        p.kernel_w,
+        p.stride_h,
+        p.stride_w,
+        p.pad_h,
+        p.pad_w
+    )
+}
+
+fn parse_params(s: &str) -> Option<Conv2dParams> {
+    // Format: IC x OC x H x W k KH x KW s SH x SW p PH x PW.
+    let (chans, rest) = s.split_once('k')?;
+    let (kern, rest) = rest.split_once('s')?;
+    let (stride, pad) = rest.split_once('p')?;
+    let c: Vec<usize> = chans.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
+    let k: Vec<usize> = kern.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
+    let st: Vec<usize> = stride.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
+    let pd: Vec<usize> = pad.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
+    if c.len() != 4 || k.len() != 2 || st.len() != 2 || pd.len() != 2 {
+        return None;
+    }
+    Some(Conv2dParams {
+        in_channels: c[0],
+        out_channels: c[1],
+        in_h: c[2],
+        in_w: c[3],
+        kernel_h: k[0],
+        kernel_w: k[1],
+        stride_h: st[0],
+        stride_w: st[1],
+        pad_h: pd[0],
+        pad_w: pd[1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Conv2dParams, Vec<RankedScheme>) {
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        let schemes = vec![
+            RankedScheme {
+                schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true },
+                time: 1.25e-4,
+            },
+            RankedScheme {
+                schedule: ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 4, unroll_ker: false },
+                time: 2.5e-4,
+            },
+        ];
+        (p, schemes)
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("skylake-avx512", &p, schemes.clone());
+        let text = db.to_text();
+        let back = SchemeDatabase::from_text(&text).unwrap();
+        let got = back.get("skylake-avx512", &p).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].schedule, schemes[0].schedule);
+        assert!((got[0].time - schemes[0].time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_misses_on_other_target() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("skylake-avx512", &p, schemes);
+        assert!(db.get("epyc-avx2", &p).is_none());
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let _ = db.get_or_insert_with("t", &p, || {
+                calls += 1;
+                schemes.clone()
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_lines() {
+        assert!(SchemeDatabase::from_text("nope\n").is_err());
+        let bad = "neocpu-scheme-db v1\nfoo bar\n";
+        assert!(SchemeDatabase::from_text(bad).is_err());
+    }
+
+    #[test]
+    fn save_load_file() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes);
+        let path = std::env::temp_dir().join("neocpu_db_test.txt");
+        db.save(&path).unwrap();
+        let back = SchemeDatabase::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,31 @@
+//! Two-stage optimization scheme search (NeoCPU §3.3).
+//!
+//! **Local search** (§3.3.1) walks the candidate space of one convolution —
+//! all channel-factor pairs `(ic_bn, oc_bn)`, the fixed `reg_n` candidate
+//! list, both `unroll_ker` settings — and ranks the schedules by execution
+//! time, either *measured* on the real kernel (the paper's method) or
+//! *predicted* by a deterministic analytical model (used by fast tests and
+//! for pre-selection). A [`SchemeDatabase`] caches results per workload so
+//! repeated convolutions across models search once.
+//!
+//! **Global search** (§3.3.2) picks one scheme per convolution for a whole
+//! model, trading each CONV's local optimum against the layout-transform
+//! cost its choice induces on its neighbours. The model graph is distilled
+//! into a [`global::SearchProblem`] — conv nodes with per-candidate costs,
+//! edges with transform-cost matrices (0 on agreeing factors) — and solved
+//! by the Algorithm 2 dynamic program, or by a PBQP heuristic solver
+//! (reductions R0/RI/RII plus an RN heuristic, as in register allocation)
+//! when the DP state space would explode (SSD's concat blocks).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod database;
+pub mod global;
+pub mod local;
+
+pub use cost::{AnalyticalModel, CostModel, TimedMeasurer};
+pub use database::SchemeDatabase;
+pub use global::{extract_problem, solve, GlobalCfg, SearchProblem, Solver};
+pub use local::{local_search, LocalSearchCfg, RankedScheme};

@@ -1,0 +1,114 @@
+//! Local search: ranking candidate schedules of one convolution (§3.3.1).
+
+use neocpu_kernels::conv::{Conv2dParams, ConvSchedule};
+
+use crate::cost::{AnalyticalModel, CostModel};
+
+/// One ranked schedule from a local search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedScheme {
+    /// The schedule.
+    pub schedule: ConvSchedule,
+    /// Its (measured or predicted) execution time in seconds.
+    pub time: f32,
+}
+
+/// Local-search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchCfg {
+    /// Upper bound on channel block factors considered (the paper lists all
+    /// factors; capping at the line size keeps the space sane for
+    /// 2048-channel layers).
+    pub max_block: usize,
+    /// If set, the candidate space is first ranked by the analytical model
+    /// and only the best `n` candidates are evaluated with the real cost
+    /// model — the hybrid mode the harness uses to keep full-model searches
+    /// inside a benchmarking time budget.
+    pub preselect: Option<usize>,
+    /// Keep at most this many results (the global search only needs the
+    /// head of the list; the paper bounds per-CONV pairs at ~100).
+    pub keep: usize,
+}
+
+impl Default for LocalSearchCfg {
+    fn default() -> Self {
+        Self { max_block: 64, preselect: None, keep: 16 }
+    }
+}
+
+/// Walks the candidate space of one workload and returns schedules sorted
+/// by ascending execution time (§3.3.1 steps 1–4).
+pub fn local_search(
+    params: &Conv2dParams,
+    model: &dyn CostModel,
+    cfg: &LocalSearchCfg,
+) -> Vec<RankedScheme> {
+    let mut candidates = ConvSchedule::candidates(params, cfg.max_block);
+    if let Some(n) = cfg.preselect {
+        let pre = AnalyticalModel::default();
+        candidates.sort_by(|a, b| {
+            pre.conv_time(params, a)
+                .partial_cmp(&pre.conv_time(params, b))
+                .expect("analytical times are finite")
+        });
+        candidates.truncate(n);
+    }
+    let mut ranked: Vec<RankedScheme> = candidates
+        .into_iter()
+        .map(|schedule| RankedScheme { schedule, time: model.conv_time(params, &schedule) })
+        .collect();
+    ranked.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are finite"));
+    ranked.truncate(cfg.keep.max(1));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AnalyticalModel;
+
+    #[test]
+    fn results_are_sorted_and_valid() {
+        let p = Conv2dParams::square(32, 64, 28, 3, 1, 1);
+        let r = local_search(&p, &AnalyticalModel::default(), &LocalSearchCfg::default());
+        assert!(!r.is_empty());
+        assert!(r.len() <= 16);
+        for w in r.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for s in &r {
+            s.schedule.validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn preselect_limits_evaluations() {
+        // A counting model proves preselect bounds the expensive calls.
+        use std::cell::Cell;
+        struct Counting(Cell<usize>);
+        impl CostModel for Counting {
+            fn conv_time(&self, p: &Conv2dParams, s: &ConvSchedule) -> f32 {
+                self.0.set(self.0.get() + 1);
+                AnalyticalModel::default().conv_time(p, s)
+            }
+            fn transform_time(&self, _: usize, _: usize, _: usize, _: usize, _: usize) -> f32 {
+                0.0
+            }
+        }
+        let p = Conv2dParams::square(64, 64, 28, 3, 1, 1);
+        let model = Counting(Cell::new(0));
+        let cfg = LocalSearchCfg { preselect: Some(10), ..Default::default() };
+        let r = local_search(&p, &model, &cfg);
+        assert_eq!(model.0.get(), 10);
+        assert!(r.len() <= 10);
+    }
+
+    #[test]
+    fn best_schedule_beats_fallback_under_model() {
+        let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
+        let m = AnalyticalModel::default();
+        let r = local_search(&p, &m, &LocalSearchCfg::default());
+        let fallback = ConvSchedule::fallback();
+        assert!(r[0].time <= m.conv_time(&p, &fallback));
+    }
+}

@@ -1,0 +1,190 @@
+//! 64-byte aligned heap buffer for `f32` data.
+//!
+//! SIMD microkernels in `neocpu-kernels` issue aligned 256/512-bit loads and
+//! stores; the allocator guarantees cache-line (and ZMM-register) alignment
+//! so those paths never fault and never straddle cache lines at the buffer
+//! start. This module is the only place in the tensor crate that allocates
+//! with `unsafe`; everything above it works on safe slices.
+
+use std::alloc::{self, Layout as AllocLayout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment, in bytes, of every [`AlignedBuf`] allocation.
+///
+/// 64 bytes covers a full cache line and the widest vector register used by
+/// the kernels (AVX-512 ZMM).
+pub const BUF_ALIGN: usize = 64;
+
+/// A fixed-size, 64-byte aligned, heap-allocated `f32` buffer.
+///
+/// Unlike `Vec<f32>`, the length is fixed at construction: tensors never
+/// grow in place, and a fixed length keeps the invariants trivial. The
+/// buffer dereferences to `[f32]` so all element access is bounds-checked
+/// safe code.
+pub struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: `AlignedBuf` owns its allocation exclusively (no aliasing), and
+// `f32` is `Send`; moving the buffer between threads moves unique ownership.
+unsafe impl Send for AlignedBuf {}
+// SAFETY: shared access only hands out `&[f32]`, which is `Sync`.
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zero-initialized buffer of `len` elements.
+    ///
+    /// A zero-length buffer performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation size overflows `isize` or the allocator
+    /// fails (allocation failure is not a recoverable condition for the
+    /// inference runtime).
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::alloc_layout(len);
+        // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc::alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            alloc::handle_alloc_error(layout);
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates a buffer holding a copy of `src`.
+    pub fn from_slice(src: &[f32]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.copy_from_slice(src);
+        buf
+    }
+
+    /// Number of `f32` elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw const pointer to the first element (64-byte aligned).
+    pub fn as_ptr(&self) -> *const f32 {
+        self.ptr.as_ptr()
+    }
+
+    /// Raw mutable pointer to the first element (64-byte aligned).
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr.as_ptr()
+    }
+
+    fn alloc_layout(len: usize) -> AllocLayout {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<f32>())
+            .expect("AlignedBuf size overflow");
+        AllocLayout::from_size_align(bytes, BUF_ALIGN).expect("AlignedBuf layout overflow")
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let layout = Self::alloc_layout(self.len);
+        // SAFETY: the pointer was allocated in `zeroed` with exactly this
+        // layout and has not been freed; `len > 0` so it is not dangling.
+        unsafe { alloc::dealloc(self.ptr.as_ptr().cast::<u8>(), layout) };
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        // SAFETY: `ptr` points at `len` initialized, exclusively owned
+        // `f32`s (zeroed or copied at construction).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        // SAFETY: as in `deref`, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBuf").field("len", &self.len).finish()
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let buf = AlignedBuf::zeroed(1031);
+        assert_eq!(buf.len(), 1031);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        assert_eq!(buf.as_ptr() as usize % BUF_ALIGN, 0);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let src: Vec<f32> = (0..257).map(|i| i as f32 * 0.5).collect();
+        let buf = AlignedBuf::from_slice(&src);
+        assert_eq!(&buf[..], &src[..]);
+    }
+
+    #[test]
+    fn zero_len_buffer_is_usable() {
+        let buf = AlignedBuf::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(&buf[..], &[] as &[f32]);
+        let cloned = buf.clone();
+        assert!(cloned.is_empty());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::from_slice(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+        assert_eq!(a[0], 9.0);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut buf = AlignedBuf::zeroed(16);
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        assert_eq!(buf[15], 15.0);
+    }
+}

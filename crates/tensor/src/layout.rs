@@ -1,0 +1,282 @@
+//! Data layouts for activations and convolution weights.
+//!
+//! The paper's notation: `NCHW[x]c` splits the channel dimension `C` into a
+//! super-dimension of `C / x` chunks and an innermost sub-dimension `c` of
+//! size `x`, so the physical arrangement of a logical `[N, C, H, W]` tensor
+//! is `[N, C/x, H, W, x]`. Convolution kernels in `KCRS` (a.k.a. `OIHW`) are
+//! likewise blocked to `OIHW[x]i[y]o` — physically
+//! `[O/y, I/x, H, W, x, y]` — so that `y` output channels are contiguous for
+//! a single vector load (`OIHW16i16o` in Figure 2).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Shape, TensorError};
+
+/// Physical data layout of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Batch, channel, height, width — the framework default.
+    Nchw,
+    /// Batch, height, width, channel — TensorFlow's default on CPU.
+    Nhwc,
+    /// Channel-blocked activations: physically `[N, C/x, H, W, x]`.
+    NchwC(usize),
+    /// Convolution weights: out-channel, in-channel, kernel-h, kernel-w
+    /// (the paper's `KCRS`).
+    Oihw,
+    /// Blocked convolution weights: physically `[O/o, I/i, H, W, i, o]`.
+    OihwIo {
+        /// Input-channel block size (the paper's `x`).
+        i: usize,
+        /// Output-channel block size (the paper's `y`).
+        o: usize,
+    },
+    /// Rank-2 activations (batch, feature) for dense layers.
+    Nc,
+    /// Rank-2 dense weights (out-feature, in-feature).
+    Oi,
+    /// Rank-1 data (biases, BN parameters).
+    Flat,
+}
+
+impl Layout {
+    /// Logical rank of tensors carried in this layout.
+    pub fn logical_rank(&self) -> usize {
+        match self {
+            Self::Nchw | Self::Nhwc | Self::NchwC(_) | Self::Oihw | Self::OihwIo { .. } => 4,
+            Self::Nc | Self::Oi => 2,
+            Self::Flat => 1,
+        }
+    }
+
+    /// Returns the channel block size for blocked activation layouts.
+    pub fn channel_block(&self) -> Option<usize> {
+        match self {
+            Self::NchwC(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for activation layouts (as opposed to weight layouts).
+    pub fn is_activation(&self) -> bool {
+        matches!(self, Self::Nchw | Self::Nhwc | Self::NchwC(_) | Self::Nc | Self::Flat)
+    }
+
+    /// Physical dimension extents for a logical `shape` stored in this
+    /// layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the logical rank does not match the layout or a
+    /// blocked dimension is not divisible by its block size.
+    pub fn physical_dims(&self, shape: &Shape) -> Result<Vec<usize>, TensorError> {
+        if shape.rank() != self.logical_rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.logical_rank(),
+                actual: shape.rank(),
+            });
+        }
+        let d = shape.dims();
+        match *self {
+            Self::Nchw | Self::Oihw => Ok(d.to_vec()),
+            Self::Nhwc => Ok(vec![d[0], d[2], d[3], d[1]]),
+            Self::NchwC(x) => {
+                if x == 0 || d[1] % x != 0 {
+                    return Err(TensorError::NotDivisible { dim: "channel", size: d[1], block: x });
+                }
+                Ok(vec![d[0], d[1] / x, d[2], d[3], x])
+            }
+            Self::OihwIo { i, o } => {
+                if o == 0 || d[0] % o != 0 {
+                    return Err(TensorError::NotDivisible {
+                        dim: "out_channel",
+                        size: d[0],
+                        block: o,
+                    });
+                }
+                if i == 0 || d[1] % i != 0 {
+                    return Err(TensorError::NotDivisible {
+                        dim: "in_channel",
+                        size: d[1],
+                        block: i,
+                    });
+                }
+                Ok(vec![d[0] / o, d[1] / i, d[2], d[3], i, o])
+            }
+            Self::Nc | Self::Oi | Self::Flat => Ok(d.to_vec()),
+        }
+    }
+
+    /// Flat physical offset of the logical multi-index `idx` for a tensor of
+    /// logical `shape` in this layout.
+    ///
+    /// This is the slow, fully general addressing path used by transforms
+    /// and tests; kernels address data with layout-specialized loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape`/`idx` are inconsistent with the layout; callers
+    /// validate with [`Layout::physical_dims`] first.
+    pub fn offset(&self, shape: &Shape, idx: &[usize]) -> usize {
+        let d = shape.dims();
+        match *self {
+            Self::Nchw | Self::Oihw | Self::Nc | Self::Oi | Self::Flat => shape.offset(idx),
+            Self::Nhwc => {
+                let (n, c, h, w) = (idx[0], idx[1], idx[2], idx[3]);
+                ((n * d[2] + h) * d[3] + w) * d[1] + c
+            }
+            Self::NchwC(x) => {
+                let (n, c, h, w) = (idx[0], idx[1], idx[2], idx[3]);
+                let (co, ci) = (c / x, c % x);
+                (((n * (d[1] / x) + co) * d[2] + h) * d[3] + w) * x + ci
+            }
+            Self::OihwIo { i, o } => {
+                let (oc, ic, kh, kw) = (idx[0], idx[1], idx[2], idx[3]);
+                let (oco, oci) = (oc / o, oc % o);
+                let (ico, ici) = (ic / i, ic % i);
+                ((((oco * (d[1] / i) + ico) * d[2] + kh) * d[3] + kw) * i + ici) * o + oci
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Nchw => write!(f, "NCHW"),
+            Self::Nhwc => write!(f, "NHWC"),
+            Self::NchwC(x) => write!(f, "NCHW{x}c"),
+            Self::Oihw => write!(f, "OIHW"),
+            Self::OihwIo { i, o } => write!(f, "OIHW{i}i{o}o"),
+            Self::Nc => write!(f, "NC"),
+            Self::Oi => write!(f, "OI"),
+            Self::Flat => write!(f, "FLAT"),
+        }
+    }
+}
+
+impl FromStr for Layout {
+    type Err = TensorError;
+
+    fn from_str(s: &str) -> Result<Self, TensorError> {
+        let err = || TensorError::ParseLayout(s.to_string());
+        match s {
+            "NCHW" => return Ok(Self::Nchw),
+            "NHWC" => return Ok(Self::Nhwc),
+            "OIHW" | "KCRS" => return Ok(Self::Oihw),
+            "NC" => return Ok(Self::Nc),
+            "OI" => return Ok(Self::Oi),
+            "FLAT" => return Ok(Self::Flat),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("NCHW") {
+            let digits = rest.strip_suffix('c').ok_or_else(err)?;
+            let x: usize = digits.parse().map_err(|_| err())?;
+            if x == 0 {
+                return Err(err());
+            }
+            return Ok(Self::NchwC(x));
+        }
+        if let Some(rest) = s.strip_prefix("OIHW") {
+            let body = rest.strip_suffix('o').ok_or_else(err)?;
+            let (i_str, o_str) = body.split_once('i').ok_or_else(err)?;
+            let i: usize = i_str.parse().map_err(|_| err())?;
+            let o: usize = o_str.parse().map_err(|_| err())?;
+            if i == 0 || o == 0 {
+                return Err(err());
+            }
+            return Ok(Self::OihwIo { i, o });
+        }
+        Err(err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let layouts = [
+            Layout::Nchw,
+            Layout::Nhwc,
+            Layout::NchwC(16),
+            Layout::NchwC(8),
+            Layout::Oihw,
+            Layout::OihwIo { i: 16, o: 16 },
+            Layout::OihwIo { i: 8, o: 4 },
+            Layout::Nc,
+            Layout::Oi,
+            Layout::Flat,
+        ];
+        for l in layouts {
+            let parsed: Layout = l.to_string().parse().unwrap();
+            assert_eq!(parsed, l, "round trip for {l}");
+        }
+    }
+
+    #[test]
+    fn kcrs_alias_parses_to_oihw() {
+        assert_eq!("KCRS".parse::<Layout>().unwrap(), Layout::Oihw);
+    }
+
+    #[test]
+    fn bad_strings_rejected() {
+        for s in ["NCWH", "NCHWc", "NCHW0c", "OIHW16i", "OIHW16o", "", "nchw"] {
+            assert!(s.parse::<Layout>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn physical_dims_blocked() {
+        let s = Shape::from([1, 64, 56, 56]);
+        assert_eq!(
+            Layout::NchwC(16).physical_dims(&s).unwrap(),
+            vec![1, 4, 56, 56, 16]
+        );
+        let w = Shape::from([128, 64, 3, 3]);
+        assert_eq!(
+            Layout::OihwIo { i: 16, o: 32 }.physical_dims(&w).unwrap(),
+            vec![4, 4, 3, 3, 16, 32]
+        );
+    }
+
+    #[test]
+    fn physical_dims_rejects_indivisible() {
+        let s = Shape::from([1, 30, 5, 5]);
+        assert!(Layout::NchwC(16).physical_dims(&s).is_err());
+    }
+
+    #[test]
+    fn offsets_agree_with_physical_iteration() {
+        // Walk every logical index of a small NCHW16c tensor and check the
+        // computed offsets are a permutation of 0..len.
+        let s = Shape::from([2, 32, 3, 2]);
+        let l = Layout::NchwC(16);
+        let n = s.num_elements();
+        let mut seen = vec![false; n];
+        for b in 0..2 {
+            for c in 0..32 {
+                for h in 0..3 {
+                    for w in 0..2 {
+                        let off = l.offset(&s, &[b, c, h, w]);
+                        assert!(!seen[off], "duplicate offset {off}");
+                        seen[off] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn nhwc_offset_is_channels_last() {
+        let s = Shape::from([1, 3, 2, 2]);
+        let l = Layout::Nhwc;
+        assert_eq!(l.offset(&s, &[0, 0, 0, 0]), 0);
+        assert_eq!(l.offset(&s, &[0, 1, 0, 0]), 1);
+        assert_eq!(l.offset(&s, &[0, 0, 0, 1]), 3);
+        assert_eq!(l.offset(&s, &[0, 0, 1, 0]), 6);
+    }
+}

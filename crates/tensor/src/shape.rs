@@ -1,0 +1,152 @@
+//! Logical tensor shapes and row-major stride math.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A logical tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are *logical*: a tensor in a blocked layout such as `NCHW16c`
+/// still reports its shape as `[N, C, H, W]`; the physical arrangement is
+/// described separately by its [`crate::Layout`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self(dims.into())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    ///
+    /// The last dimension has stride 1. A zero-extent dimension yields zero
+    /// strides upstream of it, matching the zero-element buffer.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1usize;
+        for (s, &d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc = acc.saturating_mul(d);
+        }
+        strides
+    }
+
+    /// Flat row-major offset of the multi-index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range
+    /// (this is an internal addressing helper; callers validate shapes).
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut acc = 1usize;
+        for (&i, &d) in idx.iter().zip(self.0.iter()).rev() {
+            assert!(i < d, "index {i} out of range for dim {d}");
+            off += i * acc;
+            acc *= d;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for Shape {
+    type Output = usize;
+
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Self(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Self(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Self(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::from([2, 3, 4, 5]);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.num_elements(), 120);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 2, 1]), 9);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_rejects_out_of_range() {
+        Shape::from([2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    fn rank_zero_shape() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::from([1, 3, 224, 224]).to_string(), "[1x3x224x224]");
+    }
+}

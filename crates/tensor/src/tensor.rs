@@ -1,0 +1,293 @@
+//! The dense `f32` tensor type.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AlignedBuf, Layout, Shape, TensorError};
+
+/// A dense `f32` tensor: logical shape + physical layout + aligned buffer.
+///
+/// The shape is always logical (`[N, C, H, W]` for activations, `[O, I, H,
+/// W]` for weights) regardless of physical blocking; the [`Layout`]
+/// describes how elements are arranged in the buffer. Fast kernels work on
+/// the raw slice with layout-specialized loops; the indexed accessors here
+/// are the slow general path used by transforms and tests.
+#[derive(Clone)]
+pub struct Tensor {
+    shape: Shape,
+    layout: Layout,
+    buf: AlignedBuf,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout (wrong
+    /// rank, or a blocked dimension not divisible by the block size).
+    pub fn zeros(shape: impl Into<Shape>, layout: Layout) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        layout.physical_dims(&shape)?;
+        let buf = AlignedBuf::zeroed(shape.num_elements());
+        Ok(Self { shape, layout, buf })
+    }
+
+    /// Creates a tensor from existing data (moved into an aligned buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the data length does not match the shape or the
+    /// shape is incompatible with the layout.
+    pub fn from_vec(
+        data: Vec<f32>,
+        shape: impl Into<Shape>,
+        layout: Layout,
+    ) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        layout.physical_dims(&shape)?;
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, layout, buf: AlignedBuf::from_slice(&data) })
+    }
+
+    /// Creates a tensor with deterministic pseudo-random values in
+    /// `[-scale, scale)`.
+    ///
+    /// Used in place of pretrained weights: the reproduction validates
+    /// optimizations by reference-vs-optimized output equivalence, for which
+    /// any fixed weights work (see DESIGN.md substitutions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout.
+    pub fn random(
+        shape: impl Into<Shape>,
+        layout: Layout,
+        seed: u64,
+        scale: f32,
+    ) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        layout.physical_dims(&shape)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = shape.num_elements();
+        let mut buf = AlignedBuf::zeroed(n);
+        for v in buf.iter_mut() {
+            *v = rng.gen_range(-scale..scale);
+        }
+        Ok(Self { shape, layout, buf })
+    }
+
+    /// Logical shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Physical layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.shape.num_elements()
+    }
+
+    /// Read-only view of the raw buffer in physical order.
+    pub fn data(&self) -> &[f32] {
+        &self.buf
+    }
+
+    /// Mutable view of the raw buffer in physical order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+
+    /// Element at a logical multi-index (slow general path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.buf[self.layout.offset(&self.shape, idx)]
+    }
+
+    /// Writes an element at a logical multi-index (slow general path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.layout.offset(&self.shape, idx);
+        self.buf[off] = value;
+    }
+
+    /// Reinterprets the tensor under a new logical shape of equal element
+    /// count, in the plain layout matching the new rank.
+    ///
+    /// This is the executor's `Flatten`/`Reshape` primitive; it performs no
+    /// data movement and therefore requires the current layout to be
+    /// unblocked (a blocked tensor must be transformed back first — that is
+    /// exactly why `Flatten` is layout-*dependent* in the paper's §3.2
+    /// taxonomy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if element counts differ or the current layout is
+    /// blocked.
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != self.num_elements() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "reshape {} -> {} changes element count",
+                self.shape, shape
+            )));
+        }
+        if matches!(self.layout, Layout::NchwC(_) | Layout::OihwIo { .. } | Layout::Nhwc) {
+            return Err(TensorError::LayoutMismatch {
+                expected: Layout::Nchw,
+                actual: self.layout,
+            });
+        }
+        let layout = match shape.rank() {
+            1 => Layout::Flat,
+            2 => Layout::Nc,
+            4 => Layout::Nchw,
+            r => {
+                return Err(TensorError::RankMismatch { expected: 4, actual: r });
+            }
+        };
+        Ok(Self { shape, layout, buf: self.buf.clone() })
+    }
+
+    /// Largest absolute element-wise difference between two tensors compared
+    /// at *logical* indices, so the operands may be in different layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if logical shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        let rank = self.shape.rank();
+        let dims = self.shape.dims().to_vec();
+        let mut idx = vec![0usize; rank];
+        let mut worst = 0f32;
+        if self.num_elements() == 0 {
+            return 0.0;
+        }
+        loop {
+            let d = (self.at(&idx) - other.at(&idx)).abs();
+            if d > worst {
+                worst = d;
+            }
+            // Odometer increment over the logical index space.
+            let mut k = rank;
+            loop {
+                if k == 0 {
+                    return worst;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < dims[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    /// Whether two tensors agree element-wise within `tol` at logical
+    /// indices (layouts may differ).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("shape", &self.shape)
+            .field("layout", &format_args!("{}", self.layout))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor::zeros([1, 4, 2, 2], Layout::Nchw).unwrap();
+        t.set(&[0, 3, 1, 1], 7.5);
+        assert_eq!(t.at(&[0, 3, 1, 1]), 7.5);
+        assert_eq!(t.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(t.data()[15], 7.5);
+    }
+
+    #[test]
+    fn blocked_layout_logical_indexing() {
+        let mut t = Tensor::zeros([1, 32, 2, 2], Layout::NchwC(16)).unwrap();
+        t.set(&[0, 17, 0, 1], 3.0);
+        // Physically: chunk 1, h 0, w 1, inner 1.
+        let off = ((1 * 2 + 0) * 2 + 1) * 16 + 1;
+        assert_eq!(t.data()[off], 3.0);
+        assert_eq!(t.at(&[0, 17, 0, 1]), 3.0);
+    }
+
+    #[test]
+    fn zeros_rejects_indivisible_block() {
+        assert!(Tensor::zeros([1, 30, 2, 2], Layout::NchwC(16)).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![0.0; 5], [1, 2, 2, 2], Layout::Nchw).is_err());
+        assert!(Tensor::from_vec(vec![0.0; 8], [1, 2, 2, 2], Layout::Nchw).is_ok());
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random([2, 4, 3, 3], Layout::Nchw, 42, 1.0).unwrap();
+        let b = Tensor::random([2, 4, 3, 3], Layout::Nchw, 42, 1.0).unwrap();
+        let c = Tensor::random([2, 4, 3, 3], Layout::Nchw, 43, 1.0).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+        assert!(a.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn approx_eq_across_layouts() {
+        let nchw = Tensor::random([1, 32, 4, 4], Layout::Nchw, 7, 1.0).unwrap();
+        let blocked = crate::transform::to_layout(&nchw, Layout::NchwC(8)).unwrap();
+        assert!(nchw.approx_eq(&blocked, 0.0));
+    }
+
+    #[test]
+    fn reshape_flattens_without_moving_data() {
+        let t = Tensor::random([2, 3, 4, 4], Layout::Nchw, 1, 1.0).unwrap();
+        let r = t.reshaped([2, 48]).unwrap();
+        assert_eq!(r.layout(), Layout::Nc);
+        assert_eq!(r.data(), t.data());
+        assert!(Tensor::zeros([2, 32, 4, 4], Layout::NchwC(16))
+            .unwrap()
+            .reshaped([2, 512])
+            .is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_reports_worst_case() {
+        let a = Tensor::zeros([1, 2, 2, 2], Layout::Nchw).unwrap();
+        let mut b = a.clone();
+        b.set(&[0, 1, 1, 0], -0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert!(!a.approx_eq(&b, 0.1));
+        assert!(a.approx_eq(&b, 0.25));
+    }
+}

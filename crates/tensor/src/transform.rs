@@ -1,0 +1,233 @@
+//! Layout transformation routines.
+//!
+//! These are the `LayoutTransform` nodes of the paper's Figure 2: each one
+//! physically permutes every element of a tensor, so it costs time linear in
+//! the tensor size. The graph-level passes in `neocpu-graph` exist to insert
+//! as few of these as possible; the compile-time weight pre-transformation
+//! uses [`to_layout`] once per parameter and amortizes it over all
+//! inferences.
+//!
+//! Hot pairs (`NCHW → NCHW[x]c`, `NCHW[x]c → NCHW`, re-blocking between two
+//! `NCHW[x]c` factors, `OIHW → OIHW[x]i[y]o`) have specialized loops; any
+//! remaining pair falls back to a generic logical-index walk.
+
+use crate::{Layout, Tensor, TensorError};
+
+/// Transforms a tensor into `target` layout, copying data.
+///
+/// Returns a tensor with the same logical shape. Transforming into the
+/// current layout still copies (callers that want to avoid the copy check
+/// layouts first — the graph passes do).
+///
+/// # Errors
+///
+/// Returns an error if the logical shape is incompatible with `target`
+/// (wrong rank or indivisible blocked dimension).
+pub fn to_layout(src: &Tensor, target: Layout) -> Result<Tensor, TensorError> {
+    target.physical_dims(src.shape())?;
+    match (src.layout(), target) {
+        (Layout::Nchw, Layout::NchwC(x)) => nchw_to_nchwc(src, x),
+        (Layout::NchwC(x), Layout::Nchw) => nchwc_to_nchw(src, x),
+        (Layout::NchwC(a), Layout::NchwC(b)) if a != b => reblock_nchwc(src, a, b),
+        (Layout::Oihw, Layout::OihwIo { i, o }) => oihw_to_oihwio(src, i, o),
+        _ => generic_transform(src, target),
+    }
+}
+
+/// Specialized `NCHW → NCHW[x]c`: gathers `x` consecutive channels into the
+/// innermost dimension.
+fn nchw_to_nchwc(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
+    let d = src.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let hw = h * w;
+    let mut dst = Tensor::zeros(src.shape().clone(), Layout::NchwC(x))?;
+    let s = src.data();
+    let o = dst.data_mut();
+    let chunks = c / x;
+    for b in 0..n {
+        for co in 0..chunks {
+            for ci in 0..x {
+                let src_plane = ((b * c) + co * x + ci) * hw;
+                let dst_base = ((b * chunks) + co) * hw * x + ci;
+                for p in 0..hw {
+                    o[dst_base + p * x] = s[src_plane + p];
+                }
+            }
+        }
+    }
+    Ok(dst)
+}
+
+/// Specialized `NCHW[x]c → NCHW`: scatters the innermost block back out.
+fn nchwc_to_nchw(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
+    let d = src.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let hw = h * w;
+    let mut dst = Tensor::zeros(src.shape().clone(), Layout::Nchw)?;
+    let s = src.data();
+    let o = dst.data_mut();
+    let chunks = c / x;
+    for b in 0..n {
+        for co in 0..chunks {
+            for ci in 0..x {
+                let dst_plane = ((b * c) + co * x + ci) * hw;
+                let src_base = ((b * chunks) + co) * hw * x + ci;
+                for p in 0..hw {
+                    o[dst_plane + p] = s[src_base + p * x];
+                }
+            }
+        }
+    }
+    Ok(dst)
+}
+
+/// Re-blocks between two channel factors without materializing plain NCHW.
+///
+/// This is the transform a [`crate::Layout::NchwC`] mismatch between two
+/// consecutive CONVs pays when the global search picks different split
+/// factors (§3.3.2); doing it directly halves the traffic of a naive
+/// `NCHW[a]c → NCHW → NCHW[b]c` round trip.
+fn reblock_nchwc(src: &Tensor, a: usize, b: usize) -> Result<Tensor, TensorError> {
+    let d = src.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let hw = h * w;
+    let mut dst = Tensor::zeros(src.shape().clone(), Layout::NchwC(b))?;
+    let s = src.data();
+    let o = dst.data_mut();
+    let (ca, cb) = (c / a, c / b);
+    for bt in 0..n {
+        for ch in 0..c {
+            let (sa, si) = (ch / a, ch % a);
+            let (da, di) = (ch / b, ch % b);
+            let src_base = ((bt * ca) + sa) * hw * a + si;
+            let dst_base = ((bt * cb) + da) * hw * b + di;
+            for p in 0..hw {
+                o[dst_base + p * b] = s[src_base + p * a];
+            }
+        }
+    }
+    Ok(dst)
+}
+
+/// Specialized `OIHW → OIHW[i]i[o]o` weight pre-transformation (Figure 2:
+/// `KCRS → OIHW16i16o` done once at compile time).
+fn oihw_to_oihwio(src: &Tensor, i: usize, o: usize) -> Result<Tensor, TensorError> {
+    let d = src.shape().dims();
+    let (oc, ic, kh, kw) = (d[0], d[1], d[2], d[3]);
+    let mut dst = Tensor::zeros(src.shape().clone(), Layout::OihwIo { i, o })?;
+    let s = src.data();
+    let out = dst.data_mut();
+    let (oco_n, ico_n) = (oc / o, ic / i);
+    let khw = kh * kw;
+    for oco in 0..oco_n {
+        for ico in 0..ico_n {
+            for p in 0..khw {
+                for ici in 0..i {
+                    for oci in 0..o {
+                        let src_off = (((oco * o + oci) * ic) + ico * i + ici) * khw + p;
+                        let dst_off = ((((oco * ico_n + ico) * khw) + p) * i + ici) * o + oci;
+                        out[dst_off] = s[src_off];
+                    }
+                }
+            }
+        }
+    }
+    Ok(dst)
+}
+
+/// Generic transform via logical indices; correct for any layout pair of
+/// matching rank, slower than the specialized paths.
+fn generic_transform(src: &Tensor, target: Layout) -> Result<Tensor, TensorError> {
+    let mut dst = Tensor::zeros(src.shape().clone(), target)?;
+    let dims = src.shape().dims().to_vec();
+    let rank = dims.len();
+    if src.num_elements() == 0 {
+        return Ok(dst);
+    }
+    let mut idx = vec![0usize; rank];
+    loop {
+        dst.set(&idx, src.at(&idx));
+        let mut k = rank;
+        loop {
+            if k == 0 {
+                return Ok(dst);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < dims[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn seq_tensor(shape: impl Into<Shape>, layout: Layout) -> Tensor {
+        let shape = shape.into();
+        let data: Vec<f32> = (0..shape.num_elements()).map(|v| v as f32).collect();
+        Tensor::from_vec(data, shape, layout).unwrap()
+    }
+
+    #[test]
+    fn nchw_nchwc_round_trip() {
+        let t = seq_tensor([2, 32, 5, 7], Layout::Nchw);
+        let blocked = to_layout(&t, Layout::NchwC(8)).unwrap();
+        assert_eq!(blocked.layout(), Layout::NchwC(8));
+        assert!(t.approx_eq(&blocked, 0.0));
+        let back = to_layout(&blocked, Layout::Nchw).unwrap();
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn reblock_matches_round_trip() {
+        let t = seq_tensor([1, 48, 4, 4], Layout::Nchw);
+        let a = to_layout(&t, Layout::NchwC(16)).unwrap();
+        let direct = to_layout(&a, Layout::NchwC(8)).unwrap();
+        let via_nchw = to_layout(&to_layout(&a, Layout::Nchw).unwrap(), Layout::NchwC(8)).unwrap();
+        assert_eq!(direct.data(), via_nchw.data());
+    }
+
+    #[test]
+    fn oihw_blocking_places_output_channels_innermost() {
+        let w = seq_tensor([4, 4, 1, 1], Layout::Oihw);
+        let b = to_layout(&w, Layout::OihwIo { i: 2, o: 2 }).unwrap();
+        // Innermost `o` pairs output channels: positions 0 and 1 of the
+        // blocked buffer are (oc=0, ic=0) and (oc=1, ic=0).
+        assert_eq!(b.data()[0], w.at(&[0, 0, 0, 0]));
+        assert_eq!(b.data()[1], w.at(&[1, 0, 0, 0]));
+        assert!(w.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn nhwc_generic_path() {
+        let t = seq_tensor([1, 3, 4, 5], Layout::Nchw);
+        let nhwc = to_layout(&t, Layout::Nhwc).unwrap();
+        assert!(t.approx_eq(&nhwc, 0.0));
+        let back = to_layout(&nhwc, Layout::Nchw).unwrap();
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn transform_rejects_indivisible() {
+        let t = seq_tensor([1, 30, 2, 2], Layout::Nchw);
+        assert!(to_layout(&t, Layout::NchwC(16)).is_err());
+    }
+
+    #[test]
+    fn specialized_paths_match_generic() {
+        let t = seq_tensor([2, 24, 3, 5], Layout::Nchw);
+        let fast = to_layout(&t, Layout::NchwC(4)).unwrap();
+        let slow = generic_transform(&t, Layout::NchwC(4)).unwrap();
+        assert_eq!(fast.data(), slow.data());
+
+        let w = seq_tensor([8, 6, 3, 3], Layout::Oihw);
+        let fast = to_layout(&w, Layout::OihwIo { i: 3, o: 4 }).unwrap();
+        let slow = generic_transform(&w, Layout::OihwIo { i: 3, o: 4 }).unwrap();
+        assert_eq!(fast.data(), slow.data());
+    }
+}

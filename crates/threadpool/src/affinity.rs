@@ -1,0 +1,84 @@
+//! Best-effort thread-to-core binding.
+//!
+//! The paper binds each worker to a disjoint physical core "to minimize the
+//! hardware contention". On Linux this is `sched_setaffinity(2)`; to stay
+//! within the approved dependency set we issue the raw syscall instead of
+//! pulling in `libc`. On other platforms (or if the kernel rejects the
+//! mask) binding silently degrades to a no-op — it is a performance hint,
+//! not a correctness requirement.
+
+/// Maximum CPU index representable in the affinity mask we pass.
+pub const MAX_CPUS: usize = 1024;
+
+/// Pins the calling thread to `core` (best effort).
+///
+/// Returns `true` if the kernel accepted the new affinity mask, `false` if
+/// binding is unsupported on this platform or the syscall failed (e.g.
+/// `core` does not exist). Callers treat `false` as "run unbound".
+pub fn bind_current_thread(core: usize) -> bool {
+    if core >= MAX_CPUS {
+        return false;
+    }
+    bind_impl(core)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn bind_impl(core: usize) -> bool {
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+    let mut mask = [0u64; MAX_CPUS / 64];
+    mask[core / 64] |= 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: `sched_setaffinity(0, len, mask)` only reads `len` bytes from
+    // `mask`, which is a live stack buffer of exactly that size; pid 0 means
+    // the calling thread, so no other process state is touched. The syscall
+    // clobbers rcx/r11 per the x86-64 Linux ABI, declared below.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0i64,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn bind_impl(_core: usize) -> bool {
+    false
+}
+
+/// Number of CPUs available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_to_core_zero_succeeds_on_linux() {
+        let ok = bind_current_thread(0);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(ok, "binding to core 0 must succeed on Linux");
+        } else {
+            assert!(!ok);
+        }
+    }
+
+    #[test]
+    fn bind_out_of_range_fails_cleanly() {
+        assert!(!bind_current_thread(MAX_CPUS));
+        assert!(!bind_current_thread(MAX_CPUS + 5));
+    }
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bounded single-producer single-consumer lock-free queue.
+//!
+//! The paper uses "a single-producer-single-consumer lock-free queue between
+//! the scheduler and every working thread to assign tasks". This is that
+//! queue: a fixed-capacity ring buffer with cache-line-padded head and tail
+//! indices, wait-free push and pop, and single-producer/single-consumer
+//! discipline enforced at the type level by splitting it into a
+//! [`Producer`] and a [`Consumer`] handle (each `Send` but not clonable).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct Inner<T> {
+    /// Ring slots. A slot is initialized iff its index is in `[head, tail)`
+    /// (modulo wrap-around).
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will pop. Only the consumer stores to it.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will fill. Only the producer stores to it.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the producer/consumer split guarantees each slot is accessed by at
+// most one thread at a time: the producer writes a slot strictly before
+// publishing it via `tail` (Release), and the consumer reads it strictly
+// after observing that publish (Acquire); symmetrically for `head` when
+// slots are recycled. `T: Send` is required because values cross threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — concurrent `&Inner` access is only ever the disciplined
+// producer/consumer pair.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Producer half of an SPSC queue.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer half of an SPSC queue.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates an SPSC queue with capacity for `cap` elements.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero.
+pub fn channel<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap > 0, "SPSC queue capacity must be positive");
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        slots,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (Producer { inner: Arc::clone(&inner) }, Consumer { inner })
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == inner.slots.len() {
+            return Err(value);
+        }
+        let slot = &inner.slots[tail % inner.slots.len()];
+        // SAFETY: `tail - head < cap`, so this slot is outside `[head,
+        // tail)` and not concurrently read by the consumer; we are the only
+        // producer, so no other writer exists.
+        unsafe { (*slot.get()).write(value) };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        inner
+            .tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(inner.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue appears empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue an element.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &inner.slots[head % inner.slots.len()];
+        // SAFETY: `head < tail`, so the producer published this slot (the
+        // Acquire load of `tail` synchronizes with its Release store) and
+        // will not touch it again until we advance `head`; we are the only
+        // consumer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any elements still in flight. `&mut self` means both handles
+        // are gone, so plain loads are race-free.
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            let slot = &mut self.slots[head % self.slots.len()];
+            // SAFETY: indices in `[head, tail)` hold initialized values that
+            // were never popped.
+            unsafe { slot.get_mut().assume_init_drop() };
+            head = head.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        assert!(rx.pop().is_none());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(4).unwrap();
+        tx.push(5).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), Some(4));
+        assert_eq!(rx.pop(), Some(5));
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn push_full_returns_value() {
+        let (mut tx, _rx) = channel::<u8>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = channel::<usize>(3);
+        for i in 0..1000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drops_unconsumed_elements() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut tx, mut rx) = channel::<Probe>(8);
+            tx.push(Probe).unwrap();
+            tx.push(Probe).unwrap();
+            tx.push(Probe).unwrap();
+            drop(rx.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (mut tx, mut rx) = channel::<usize>(16);
+        let n = 20_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < n {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,76 @@
+//! Image-classification scenario: compile ResNet-50 — the paper's flagship
+//! model — and serve single-image (batch 1) inferences, printing the top-5
+//! classes and the latency distribution, exactly the serving workload the
+//! paper's latency evaluation models.
+//!
+//! ```text
+//! cargo run --release --example image_classification [--full]
+//! ```
+//!
+//! `--full` uses the paper's 224×224 / 1000-class configuration (slow on
+//! small machines); the default is a reduced-scale ResNet-50.
+
+use std::time::Instant;
+
+use neocpu::{compile, CompileOptions, CpuTarget, OptLevel};
+use neocpu_models::{build, ModelKind, ModelScale};
+use neocpu_tensor::{Layout, Tensor};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let kind = ModelKind::ResNet50;
+    let scale = if full { ModelScale::full(kind) } else { ModelScale::tiny(kind) };
+    println!(
+        "building {} at {}x{} input, {} classes...",
+        kind.name(),
+        scale.input,
+        scale.input,
+        scale.classes
+    );
+    let graph = build(kind, scale, 42);
+    println!(
+        "{} graph nodes, {} convolutions, {:.2} GMACs",
+        graph.len(),
+        graph.conv_ids().len(),
+        graph.conv_macs() as f64 / 1e9
+    );
+
+    let target = CpuTarget::host();
+    let opts = CompileOptions::level(OptLevel::O2).with_threads(target.cores);
+    let t0 = Instant::now();
+    let module = compile(&graph, &target, &opts).expect("compilation succeeds");
+    println!(
+        "compiled for {} in {:.2}s ({} layout transforms survive)",
+        target.name,
+        t0.elapsed().as_secs_f64(),
+        module.transform_count()
+    );
+
+    // Simulate a stream of single images (batch size 1, as in §4).
+    let mut latencies = Vec::new();
+    for i in 0..20 {
+        let image =
+            Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 100 + i, 1.0)
+                .expect("valid image");
+        let t = Instant::now();
+        let out = module.run(&[image]).expect("inference succeeds");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        if i == 0 {
+            let probs = out[0].data();
+            let mut idx: Vec<usize> = (0..probs.len()).collect();
+            idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
+            println!("top-5 classes of first image:");
+            for &k in idx.iter().take(5) {
+                println!("  class {k:4}  p = {:.4}", probs[k]);
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let mean: f64 = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    println!(
+        "latency over {} inferences: mean {mean:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+        latencies.len(),
+        latencies[latencies.len() / 2],
+        latencies[latencies.len() - 1],
+    );
+}

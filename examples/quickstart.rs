@@ -1,0 +1,64 @@
+//! Quickstart: build a small CNN, compile it at each optimization level,
+//! and compare latencies and outputs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use neocpu::{compile, CompileOptions, CpuTarget, OptLevel};
+use neocpu_graph::GraphBuilder;
+use neocpu_tensor::{Layout, Tensor};
+
+fn main() {
+    // A LeNet-flavoured CNN on a 64×64 input.
+    let mut b = GraphBuilder::new(2024);
+    let x = b.input([1, 3, 64, 64]);
+    let c1 = b.conv_bn_relu(x, 32, 3, 1, 1);
+    let p1 = b.max_pool(c1, 2, 2, 0);
+    let c2 = b.conv_bn_relu(p1, 64, 3, 1, 1);
+    let p2 = b.max_pool(c2, 2, 2, 0);
+    let c3 = b.conv_bn_relu(p2, 64, 3, 1, 1);
+    let g1 = b.global_avg_pool(c3);
+    let f = b.flatten(g1);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    let graph = b.finish(vec![s]);
+
+    let target = CpuTarget::host();
+    println!("target: {} ({} cores, {:?})", target.name, target.cores, target.isa);
+
+    let input = Tensor::random([1, 3, 64, 64], Layout::Nchw, 7, 1.0).expect("valid input");
+    let mut reference: Option<Tensor> = None;
+
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+        let module = compile(&graph, &target, &CompileOptions::level(level))
+            .expect("compilation succeeds");
+        // Warm up once, then time a few runs.
+        let mut out = module.run(std::slice::from_ref(&input)).expect("inference succeeds");
+        let reps = 10;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            out = module.run(std::slice::from_ref(&input)).expect("inference succeeds");
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let result = out.into_iter().next().expect("one output");
+
+        // Every level must agree with the O0 reference.
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => {
+                assert!(
+                    r.approx_eq(&result, 1e-3),
+                    "{level:?} changed the model output!"
+                );
+            }
+        }
+        println!(
+            "{level:?}: {ms:8.3} ms/inference, {:3} layout transforms in the graph",
+            module.transform_count()
+        );
+    }
+    println!("all levels produce identical predictions ✔");
+}

@@ -1,0 +1,1 @@
+//! Root package hosting workspace-wide integration tests and examples.

@@ -1,0 +1,187 @@
+//! Cross-crate property-based tests on the stack's core invariants.
+
+use neocpu_kernels::conv::{
+    conv2d_nchw_direct, conv2d_nchwc, Conv2dParams, ConvSchedule, Epilogue,
+};
+use neocpu_tensor::{transform::to_layout, Layout, Tensor};
+use neocpu_threadpool::{split_even, Sequential};
+use proptest::prelude::*;
+
+/// Factors of `n` (helper for valid blocking choices).
+fn factors(n: usize) -> Vec<usize> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// NCHW → NCHW[x]c → NCHW is the identity for any valid block factor.
+    #[test]
+    fn transform_round_trip_is_identity(
+        n in 1usize..3,
+        c in 1usize..33,
+        h in 1usize..9,
+        w in 1usize..9,
+        fsel in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let fs = factors(c);
+        let x = fs[fsel % fs.len()];
+        let t = Tensor::random([n, c, h, w], Layout::Nchw, seed, 1.0).unwrap();
+        let blocked = to_layout(&t, Layout::NchwC(x)).unwrap();
+        let back = to_layout(&blocked, Layout::Nchw).unwrap();
+        prop_assert_eq!(t.data(), back.data());
+    }
+
+    /// Re-blocking directly equals re-blocking through plain NCHW.
+    #[test]
+    fn reblock_equals_round_trip(
+        c in 1usize..25,
+        h in 1usize..6,
+        w in 1usize..6,
+        fa in 0usize..5,
+        fb in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let fs = factors(c);
+        let (a, b) = (fs[fa % fs.len()], fs[fb % fs.len()]);
+        let t = Tensor::random([1, c, h, w], Layout::Nchw, seed, 1.0).unwrap();
+        let ta = to_layout(&t, Layout::NchwC(a)).unwrap();
+        let direct = to_layout(&ta, Layout::NchwC(b)).unwrap();
+        let via = to_layout(&to_layout(&ta, Layout::Nchw).unwrap(), Layout::NchwC(b)).unwrap();
+        prop_assert_eq!(direct.data(), via.data());
+    }
+
+    /// The blocked convolution template agrees with the naive reference for
+    /// arbitrary workloads and valid schedules.
+    #[test]
+    fn blocked_conv_matches_reference(
+        cin_sel in 0usize..4,
+        cout_sel in 0usize..4,
+        size in 5usize..12,
+        kernel_sel in 0usize..3,
+        stride in 1usize..3,
+        ic_sel in 0usize..4,
+        oc_sel in 0usize..4,
+        reg_sel in 0usize..4,
+        unroll in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let cin = [3, 4, 6, 8][cin_sel];
+        let cout = [2, 4, 5, 8][cout_sel];
+        let kernel = [1, 3, 5][kernel_sel];
+        let pad = kernel / 2;
+        let p = Conv2dParams::square(cin, cout, size, kernel, stride, pad);
+        prop_assume!(p.out_h() > 0 && p.out_w() > 0);
+        let fin = factors(cin);
+        let fout = factors(cout);
+        let s = ConvSchedule {
+            ic_bn: fin[ic_sel % fin.len()],
+            oc_bn: fout[oc_sel % fout.len()],
+            reg_n: [2, 4, 8, 16][reg_sel],
+            unroll_ker: unroll,
+        };
+        let input = Tensor::random([1, cin, size, size], Layout::Nchw, seed, 1.0).unwrap();
+        let weights =
+            Tensor::random([cout, cin, kernel, kernel], Layout::Oihw, seed + 1, 1.0).unwrap();
+
+        let mut reference =
+            Tensor::zeros([1, cout, p.out_h(), p.out_w()], Layout::Nchw).unwrap();
+        conv2d_nchw_direct(&input, &weights, &mut reference, &p, &Epilogue::none(), &Sequential)
+            .unwrap();
+
+        let bi = to_layout(&input, Layout::NchwC(s.ic_bn)).unwrap();
+        let bw = to_layout(&weights, Layout::OihwIo { i: s.ic_bn, o: s.oc_bn }).unwrap();
+        let mut out =
+            Tensor::zeros([1, cout, p.out_h(), p.out_w()], Layout::NchwC(s.oc_bn)).unwrap();
+        conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+            .unwrap();
+        prop_assert!(
+            reference.approx_eq(&out, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(&out)
+        );
+    }
+
+    /// Static loop partitioning covers the range exactly once with balanced
+    /// chunk sizes.
+    #[test]
+    fn split_even_partitions(total in 0usize..10_000, parts in 1usize..64) {
+        let ranges = split_even(total, parts);
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            covered += r.len();
+            next = r.end;
+        }
+        prop_assert_eq!(covered, total);
+        if !ranges.is_empty() {
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// Layout parsing is the inverse of display for every valid layout.
+    #[test]
+    fn layout_display_parse_round_trip(x in 1usize..65, i in 1usize..33, o in 1usize..33) {
+        for l in [
+            Layout::Nchw,
+            Layout::Nhwc,
+            Layout::NchwC(x),
+            Layout::Oihw,
+            Layout::OihwIo { i, o },
+        ] {
+            let parsed: Layout = l.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, l);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whole-pipeline equivalence on randomly shaped mini-CNNs: the O2
+    /// pipeline must agree with O0 for any architecture the builder can
+    /// express.
+    #[test]
+    fn random_mini_cnn_pipeline_equivalence(
+        c1 in 1usize..3,
+        width_sel in 0usize..3,
+        kernel_sel in 0usize..2,
+        with_pool in any::<bool>(),
+        with_residual in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        use neocpu::{compile, CompileOptions, CpuTarget, OptLevel};
+        use neocpu_graph::GraphBuilder;
+
+        let width = [8usize, 12, 16][width_sel];
+        let kernel = [1usize, 3][kernel_sel];
+        let mut b = GraphBuilder::new(seed);
+        let x = b.input([1, 4 * c1, 10, 10]);
+        let mut cur = b.conv_bn_relu(x, width, kernel, 1, kernel / 2);
+        if with_residual {
+            let c2 = b.conv2d_opts(cur, width, 3, 1, 1, false);
+            let bn = b.batch_norm(c2);
+            let a = b.add(bn, cur);
+            cur = b.relu(a);
+        }
+        if with_pool {
+            cur = b.max_pool(cur, 2, 2, 0);
+        }
+        let f = b.flatten(cur);
+        let d = b.dense(f, 5);
+        let s = b.softmax(d);
+        let g = b.finish(vec![s]);
+
+        let input = Tensor::random([1, 4 * c1, 10, 10], Layout::Nchw, seed + 7, 1.0).unwrap();
+        let target = CpuTarget::host();
+        let o0 = compile(&g, &target, &CompileOptions::level(OptLevel::O0)).unwrap();
+        let o2 = compile(&g, &target, &CompileOptions::level(OptLevel::O2)).unwrap();
+        let a = o0.run(std::slice::from_ref(&input)).unwrap();
+        let b2 = o2.run(std::slice::from_ref(&input)).unwrap();
+        prop_assert!(a[0].approx_eq(&b2[0], 1e-3), "diff {}", a[0].max_abs_diff(&b2[0]));
+    }
+}
