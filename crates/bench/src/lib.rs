@@ -293,7 +293,7 @@ pub fn run_table3(cfg: &HarnessCfg) {
             let module = compile_with_pool(&graph, &target, &opts, pool, &mut db)
                 .expect("compilation succeeds");
             // The O0 baseline is expensive; fewer reps suffice for a ratio.
-            let reps = if level == OptLevel::O0 { cfg.reps.min(3).max(1) } else { cfg.reps };
+            let reps = if level == OptLevel::O0 { cfg.reps.clamp(1, 3) } else { cfg.reps };
             row.push(measure(&module, &input, cfg.warmup.min(1), reps).mean_ms);
         }
         println!(
@@ -519,7 +519,7 @@ pub fn run_local_search(cfg: &HarnessCfg) {
     let kind = cfg.models.first().copied().unwrap_or(ModelKind::ResNet50);
     let scale = cfg.scale(kind);
     let graph = build(kind, scale, 3);
-    let timed = TimedMeasurer { repeats: cfg.reps.min(3).max(1), warmup: 1, max_lanes: usize::MAX };
+    let timed = TimedMeasurer { repeats: cfg.reps.clamp(1, 3), warmup: 1, max_lanes: usize::MAX };
     let lcfg = LocalSearchCfg { preselect: Some(10), keep: 3, ..Default::default() };
     let mut db = SchemeDatabase::new();
     let mut distinct = 0;

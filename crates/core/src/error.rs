@@ -1,4 +1,11 @@
 //! Top-level error type.
+//!
+//! Serving-grade fault containment demands that every failure — a bad user
+//! input, a kernel precondition violation, a corrupt scheme database, even
+//! a panic inside kernel code — surfaces as a *typed* error from the public
+//! API instead of aborting the process. Execution-time failures carry the
+//! node id and operator name of the failing graph node so a production log
+//! line localizes the fault without a debugger.
 
 use std::fmt;
 
@@ -19,6 +26,53 @@ pub enum NeoError {
     BadInput(String),
     /// Internal invariant broken (a compiler bug, not user error).
     Internal(String),
+    /// The scheme database could not be loaded or parsed.
+    Database(String),
+    /// Kernel or thread-pool code panicked while executing a node; the
+    /// unwind was caught at the executor's panic boundary and converted
+    /// into this error, leaving the module and its pool reusable.
+    Panicked {
+        /// Graph node whose execution panicked.
+        node: usize,
+        /// Operator name of that node (e.g. `"conv2d"`).
+        op: &'static str,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// Execution of a node failed; wraps the underlying error with the
+    /// node's identity for fault localization.
+    AtNode {
+        /// Graph node whose execution failed.
+        node: usize,
+        /// Operator name of that node.
+        op: &'static str,
+        /// The underlying failure.
+        source: Box<NeoError>,
+    },
+    /// The compile-time module verifier rejected a node before execution.
+    Verify {
+        /// Graph node that failed verification.
+        node: usize,
+        /// Operator name of that node.
+        op: &'static str,
+        /// The violated invariant.
+        message: String,
+    },
+    /// An armed failpoint fired (fault-injection builds only).
+    Fault {
+        /// Name of the failpoint that fired.
+        failpoint: &'static str,
+    },
+}
+
+impl NeoError {
+    /// Walks [`NeoError::AtNode`] wrappers down to the underlying error.
+    pub fn root_cause(&self) -> &NeoError {
+        match self {
+            Self::AtNode { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for NeoError {
@@ -29,6 +83,19 @@ impl fmt::Display for NeoError {
             Self::Tensor(e) => write!(f, "tensor error: {e}"),
             Self::BadInput(m) => write!(f, "bad input: {m}"),
             Self::Internal(m) => write!(f, "internal error: {m}"),
+            Self::Database(m) => write!(f, "scheme database error: {m}"),
+            Self::Panicked { node, op, message } => {
+                write!(f, "node {node} ({op}) panicked: {message}")
+            }
+            Self::AtNode { node, op, source } => {
+                write!(f, "node {node} ({op}): {source}")
+            }
+            Self::Verify { node, op, message } => {
+                write!(f, "verification failed at node {node} ({op}): {message}")
+            }
+            Self::Fault { failpoint } => {
+                write!(f, "injected fault at failpoint '{failpoint}'")
+            }
         }
     }
 }
@@ -50,5 +117,34 @@ impl From<KernelError> for NeoError {
 impl From<TensorError> for NeoError {
     fn from(e: TensorError) -> Self {
         Self::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_cause_unwraps_nested_context() {
+        let inner = NeoError::Kernel(KernelError::BadSchedule("x".into()));
+        let wrapped = NeoError::AtNode {
+            node: 3,
+            op: "conv2d",
+            source: Box::new(NeoError::AtNode {
+                node: 3,
+                op: "conv2d",
+                source: Box::new(inner.clone()),
+            }),
+        };
+        assert_eq!(wrapped.root_cause(), &inner);
+        assert_eq!(inner.root_cause(), &inner);
+    }
+
+    #[test]
+    fn display_includes_node_context() {
+        let e = NeoError::Panicked { node: 7, op: "conv2d", message: "boom".into() };
+        assert_eq!(e.to_string(), "node 7 (conv2d) panicked: boom");
+        let v = NeoError::Verify { node: 2, op: "layout_transform", message: "bad block".into() };
+        assert!(v.to_string().contains("node 2 (layout_transform)"));
     }
 }

@@ -4,7 +4,15 @@
 //! as its last consumer has executed (in-place reuse for unary ops when the
 //! producer dies there), so peak memory tracks the widest live set rather
 //! than the whole network — the runtime-side half of memory planning.
+//!
+//! Every node executes inside a **panic boundary**: an unwind out of kernel
+//! or thread-pool code is caught and converted into
+//! [`NeoError::Panicked`] with the node's identity, leaving the module and
+//! its pool reusable for the next request. Kernel and tensor errors are
+//! likewise enriched with node context ([`NeoError::AtNode`]) on their way
+//! out.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use neocpu_graph::{Graph, Op};
@@ -110,11 +118,13 @@ impl Module {
     ///
     /// `inputs` are matched to the graph's `Input` nodes in id order and
     /// must be `NCHW` (rank 4) or `NC` (rank 2) tensors of the declared
-    /// shapes.
+    /// shapes; surplus tensors are rejected.
     ///
     /// # Errors
     ///
-    /// Returns an error on input mismatch or kernel failure.
+    /// Returns an error on input mismatch or kernel failure. A panic in
+    /// kernel or thread-pool code is caught at the per-node boundary and
+    /// returned as [`NeoError::Panicked`]; the module stays usable.
     pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
         self.run_inner(inputs, None)
     }
@@ -127,140 +137,31 @@ impl Module {
         let g = &self.graph;
         let mut values: Vec<Option<Tensor>> = vec![None; g.len()];
         let mut next_input = 0usize;
+        #[cfg(feature = "fault-injection")]
+        let pool_wrap = crate::faults::WorkerFaultPar(&*self.pool);
+        #[cfg(feature = "fault-injection")]
+        let par: &dyn Parallelism = &pool_wrap;
+        #[cfg(not(feature = "fault-injection"))]
         let par: &dyn Parallelism = &*self.pool;
 
         for id in 0..g.len() {
             let node = &g.nodes[id];
             let t0 = probe.is_some().then(std::time::Instant::now);
-            let out = match &node.op {
-                Op::Input { shape } => {
-                    let t = inputs.get(next_input).ok_or_else(|| {
-                        NeoError::BadInput(format!("missing input #{next_input}"))
-                    })?;
-                    next_input += 1;
-                    if t.shape().dims() != &shape[..] {
-                        return Err(NeoError::BadInput(format!(
-                            "input #{} has shape {}, expected {:?}",
-                            next_input - 1,
-                            t.shape(),
-                            shape
-                        )));
-                    }
-                    if t.layout() != self.layouts[id] {
-                        return Err(NeoError::BadInput(format!(
-                            "input #{} must be {}, got {}",
-                            next_input - 1,
-                            self.layouts[id],
-                            t.layout()
-                        )));
-                    }
-                    t.clone()
-                }
-                Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let res = if *residual {
-                        Some(self.value(&values, node.inputs[1])?)
-                    } else {
-                        None
-                    };
-                    let bias_data = bias.map(|b| g.params[b].data());
-                    let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
-                    let mut out =
-                        Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    match schedule {
-                        Some(s) => {
-                            conv2d_nchwc(
-                                x,
-                                &g.params[*weight],
-                                &mut out,
-                                params,
-                                s,
-                                &epi,
-                                par,
-                                self.max_lanes,
-                            )?;
-                        }
-                        None => {
-                            conv2d_nchw_direct(x, &g.params[*weight], &mut out, params, &epi, par)?;
-                        }
-                    }
-                    out
-                }
-                Op::ScaleShift { scale, shift } => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    scale_shift(x, &mut out, g.params[*scale].data(), g.params[*shift].data(), par)?;
-                    out
-                }
-                Op::BatchNorm { gamma, beta, mean, var, eps } => {
-                    // Normally folded away; kept total for un-simplified graphs.
-                    let (scale, shift) = batchnorm_fold(
-                        g.params[*gamma].data(),
-                        g.params[*beta].data(),
-                        g.params[*mean].data(),
-                        g.params[*var].data(),
-                        *eps,
-                    );
-                    let x = self.value(&values, node.inputs[0])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    scale_shift(x, &mut out, &scale, &shift, par)?;
-                    out
-                }
-                Op::Relu => {
-                    let mut t = self.take_or_clone(&mut values, node.inputs[0], id)?;
-                    relu_inplace(&mut t, par);
-                    t
-                }
-                Op::Dropout => self.take_or_clone(&mut values, node.inputs[0], id)?,
-                Op::Pool { params, kind } => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    pool2d(x, &mut out, params, *kind, par)?;
-                    out
-                }
-                Op::GlobalAvgPool => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    global_avg_pool(x, &mut out, par)?;
-                    out
-                }
-                Op::Add => {
-                    let a = self.value(&values, node.inputs[0])?;
-                    let b = self.value(&values, node.inputs[1])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    add(a, b, &mut out, par)?;
-                    out
-                }
-                Op::Concat => {
-                    let ins: Vec<&Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|&i| self.value(&values, i))
-                        .collect::<Result<_>>()?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    concat_channels(&ins, &mut out, par)?;
-                    out
-                }
-                Op::Flatten => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    x.reshaped(self.shapes[id].clone())?
-                }
-                Op::Dense { weight, bias, relu } => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let bias_data = bias.map(|b| g.params[b].data());
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    dense::dense(x, &g.params[*weight], &mut out, bias_data, *relu, par)?;
-                    out
-                }
-                Op::Softmax => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    let mut out = Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?;
-                    softmax::softmax(x, &mut out, par)?;
-                    out
-                }
-                Op::LayoutTransform { to } => {
-                    let x = self.value(&values, node.inputs[0])?;
-                    to_layout(x, *to)?
+            // Panic boundary: an unwind from kernel code (including one
+            // re-raised by the pool's own containment) becomes a typed
+            // error instead of tearing down the serving thread.
+            let unwound = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.exec_node(id, node, &mut values, inputs, &mut next_input, par)
+            }));
+            let out = match unwound {
+                Ok(Ok(t)) => t,
+                Ok(Err(e)) => return Err(at_node(id, node.op.name(), e)),
+                Err(payload) => {
+                    return Err(NeoError::Panicked {
+                        node: id,
+                        op: node.op.name(),
+                        message: panic_message(payload.as_ref()),
+                    })
                 }
             };
             if let (Some(p), Some(t0)) = (probe.as_deref_mut(), t0) {
@@ -275,6 +176,13 @@ impl Module {
             }
         }
 
+        if next_input != inputs.len() {
+            return Err(NeoError::BadInput(format!(
+                "graph consumes {next_input} input tensor(s) but {} were provided",
+                inputs.len()
+            )));
+        }
+
         g.outputs
             .iter()
             .map(|&o| {
@@ -283,6 +191,161 @@ impl Module {
                     .ok_or_else(|| NeoError::Internal(format!("output {o} not computed")))
             })
             .collect()
+    }
+
+    /// Allocates the output buffer of node `id`.
+    fn alloc(&self, id: usize) -> Result<Tensor> {
+        crate::faults::fire(crate::faults::TENSOR_ALLOC)?;
+        Ok(Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?)
+    }
+
+    /// Executes one node and returns its output tensor. Called inside the
+    /// per-node panic boundary of [`Module::run_inner`].
+    fn exec_node(
+        &self,
+        id: usize,
+        node: &neocpu_graph::Node,
+        values: &mut [Option<Tensor>],
+        inputs: &[Tensor],
+        next_input: &mut usize,
+        par: &dyn Parallelism,
+    ) -> Result<Tensor> {
+        let g = &self.graph;
+        if !matches!(node.op, Op::Input { .. } | Op::LayoutTransform { .. }) {
+            crate::faults::fire(crate::faults::KERNEL_ENTRY)?;
+        }
+        let out = match &node.op {
+            Op::Input { shape } => {
+                let t = inputs.get(*next_input).ok_or_else(|| {
+                    NeoError::BadInput(format!("missing input #{next_input}"))
+                })?;
+                *next_input += 1;
+                if t.shape().dims() != &shape[..] {
+                    return Err(NeoError::BadInput(format!(
+                        "input #{} has shape {}, expected {:?}",
+                        *next_input - 1,
+                        t.shape(),
+                        shape
+                    )));
+                }
+                if t.layout() != self.layouts[id] {
+                    return Err(NeoError::BadInput(format!(
+                        "input #{} must be {}, got {}",
+                        *next_input - 1,
+                        self.layouts[id],
+                        t.layout()
+                    )));
+                }
+                t.clone()
+            }
+            Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
+                let x = self.value(values, node.inputs[0])?;
+                let res = if *residual {
+                    Some(self.value(values, node.inputs[1])?)
+                } else {
+                    None
+                };
+                let bias_data = bias.map(|b| g.params[b].data());
+                let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
+                let mut out = self.alloc(id)?;
+                match schedule {
+                    Some(s) => {
+                        conv2d_nchwc(
+                            x,
+                            &g.params[*weight],
+                            &mut out,
+                            params,
+                            s,
+                            &epi,
+                            par,
+                            self.max_lanes,
+                        )?;
+                    }
+                    None => {
+                        conv2d_nchw_direct(x, &g.params[*weight], &mut out, params, &epi, par)?;
+                    }
+                }
+                out
+            }
+            Op::ScaleShift { scale, shift } => {
+                let x = self.value(values, node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                scale_shift(x, &mut out, g.params[*scale].data(), g.params[*shift].data(), par)?;
+                out
+            }
+            Op::BatchNorm { gamma, beta, mean, var, eps } => {
+                // Normally folded away; kept total for un-simplified graphs.
+                let (scale, shift) = batchnorm_fold(
+                    g.params[*gamma].data(),
+                    g.params[*beta].data(),
+                    g.params[*mean].data(),
+                    g.params[*var].data(),
+                    *eps,
+                );
+                let x = self.value(values, node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                scale_shift(x, &mut out, &scale, &shift, par)?;
+                out
+            }
+            Op::Relu => {
+                let mut t = self.take_or_clone(values, node.inputs[0], id)?;
+                relu_inplace(&mut t, par);
+                t
+            }
+            Op::Dropout => self.take_or_clone(values, node.inputs[0], id)?,
+            Op::Pool { params, kind } => {
+                let x = self.value(values, node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                pool2d(x, &mut out, params, *kind, par)?;
+                out
+            }
+            Op::GlobalAvgPool => {
+                let x = self.value(values, node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                global_avg_pool(x, &mut out, par)?;
+                out
+            }
+            Op::Add => {
+                let a = self.value(values, node.inputs[0])?;
+                let b = self.value(values, node.inputs[1])?;
+                let mut out = self.alloc(id)?;
+                add(a, b, &mut out, par)?;
+                out
+            }
+            Op::Concat => {
+                let ins: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| self.value(values, i))
+                    .collect::<Result<_>>()?;
+                let mut out = self.alloc(id)?;
+                concat_channels(&ins, &mut out, par)?;
+                out
+            }
+            Op::Flatten => {
+                let x = self.value(values, node.inputs[0])?;
+                x.reshaped(self.shapes[id].clone())?
+            }
+            Op::Dense { weight, bias, relu } => {
+                let x = self.value(values, node.inputs[0])?;
+                let bias_data = bias.map(|b| g.params[b].data());
+                let mut out = self.alloc(id)?;
+                dense::dense(x, &g.params[*weight], &mut out, bias_data, *relu, par)?;
+                out
+            }
+            Op::Softmax => {
+                let x = self.value(values, node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                softmax::softmax(x, &mut out, par)?;
+                out
+            }
+            Op::LayoutTransform { to } => {
+                crate::faults::fire(crate::faults::LAYOUT_TRANSFORM)?;
+                let x = self.value(values, node.inputs[0])?;
+                to_layout(x, *to)?
+            }
+        };
+        Ok(out)
     }
 
     fn value<'v>(&self, values: &'v [Option<Tensor>], id: usize) -> Result<&'v Tensor> {
@@ -308,6 +371,28 @@ impl Module {
                 .clone()
                 .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
         }
+    }
+}
+
+/// Wraps an execution error with the failing node's identity. User-facing
+/// input mismatches stay bare — the node context of an `Input` op adds
+/// nothing — as do errors already tagged with this node.
+fn at_node(node: usize, op: &'static str, e: NeoError) -> NeoError {
+    match e {
+        NeoError::BadInput(_) => e,
+        NeoError::AtNode { node: n, .. } | NeoError::Panicked { node: n, .. } if n == node => e,
+        e => NeoError::AtNode { node, op, source: Box::new(e) },
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -342,6 +427,24 @@ mod tests {
         // Wrong layout.
         let bad = Tensor::zeros([1, 4, 8, 8], Layout::NchwC(4)).unwrap();
         assert!(m.run(&[bad]).is_err());
+    }
+
+    #[test]
+    fn rejects_surplus_inputs() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 4, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O0)).unwrap();
+        let input = Tensor::random([1, 4, 8, 8], Layout::Nchw, 1, 1.0).unwrap();
+        let extra = Tensor::random([1, 4, 8, 8], Layout::Nchw, 2, 1.0).unwrap();
+        let err = m.run(&[input.clone(), extra]).unwrap_err();
+        assert!(
+            matches!(&err, NeoError::BadInput(m) if m.contains("1 input tensor(s) but 2")),
+            "unexpected error: {err}"
+        );
+        // The exact number of inputs still works.
+        m.run(&[input]).unwrap();
     }
 
     #[test]
@@ -427,5 +530,21 @@ mod tests {
         let a = m.run(std::slice::from_ref(&input)).unwrap();
         let b2 = m.run(std::slice::from_ref(&input)).unwrap();
         assert_eq!(a[0].data(), b2[0].data());
+    }
+
+    #[test]
+    fn kernel_errors_carry_node_context() {
+        let err = at_node(3, "conv2d", NeoError::Internal("x".into()));
+        assert!(matches!(&err, NeoError::AtNode { node: 3, op: "conv2d", .. }));
+        assert!(matches!(err.root_cause(), NeoError::Internal(_)));
+        // BadInput stays bare; already-tagged errors are not double-wrapped.
+        let bare = at_node(1, "input", NeoError::BadInput("y".into()));
+        assert!(matches!(bare, NeoError::BadInput(_)));
+        let tagged = at_node(2, "relu", NeoError::Panicked {
+            node: 2,
+            op: "relu",
+            message: "z".into(),
+        });
+        assert!(matches!(tagged, NeoError::Panicked { .. }));
     }
 }

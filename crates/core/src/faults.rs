@@ -1,0 +1,174 @@
+//! Fault-injection framework for exercising the executor's containment
+//! boundaries.
+//!
+//! The runtime defines a small set of **named failpoints** at the places a
+//! serving process realistically fails: kernel entry, output-tensor
+//! allocation, layout transformation, scheme-database loading, and the body
+//! executed by thread-pool workers. A test (or a chaos harness) *arms* a
+//! failpoint with a deterministic [`Trigger`] and a [`FaultMode`]; the next
+//! time execution reaches it, the failpoint either returns a typed
+//! [`crate::NeoError::Fault`] or panics — proving that `Module::run`
+//! surfaces an `Err`, the thread pool stays usable, and a subsequent clean
+//! run succeeds.
+//!
+//! The whole mechanism is compiled in only under the `fault-injection`
+//! cargo feature; release builds pay nothing (the internal `fire` hook is
+//! an inlined no-op). The registry is process-global, so tests that arm
+//! failpoints must serialize themselves (see `tests/fault_injection.rs`).
+
+/// Failpoint at the entry of every compute-op kernel invocation.
+pub const KERNEL_ENTRY: &str = "kernel-entry";
+/// Failpoint at every output-tensor allocation in the executor.
+pub const TENSOR_ALLOC: &str = "tensor-alloc";
+/// Failpoint at every explicit layout transformation.
+pub const LAYOUT_TRANSFORM: &str = "layout-transform";
+/// Failpoint at scheme-database loading ([`crate::load_scheme_db`]).
+pub const DB_LOAD: &str = "db-load";
+/// Failpoint inside the body every thread-pool worker executes. Fires as a
+/// panic regardless of [`FaultMode`] (a worker body cannot return an
+/// error), exercising the pool's unwind containment.
+pub const POOL_WORKER: &str = "pool-worker";
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// How an armed failpoint manifests when it fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultMode {
+        /// Return [`crate::NeoError::Fault`] from the failpoint.
+        Error,
+        /// Panic at the failpoint (exercising the panic boundary).
+        Panic,
+    }
+
+    /// When an armed failpoint fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Trigger {
+        /// Fire at every hit.
+        Always,
+        /// Fire exactly once, on the n-th hit (1-based), then stay silent.
+        Nth(u64),
+    }
+
+    #[derive(Debug)]
+    struct Failpoint {
+        trigger: Trigger,
+        mode: FaultMode,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<&'static str, Failpoint>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Failpoint>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<&'static str, Failpoint>> {
+        // A panic while holding the lock is expected (Panic mode fires
+        // between lock acquisitions, but a poisoned registry must not
+        // cascade into unrelated tests).
+        registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arms `point` (one of the `faults::*` constants) with a trigger and
+    /// failure mode, replacing any previous arming and resetting its hit
+    /// counter.
+    pub fn arm(point: &'static str, trigger: Trigger, mode: FaultMode) {
+        lock().insert(point, Failpoint { trigger, mode, hits: 0 });
+    }
+
+    /// Disarms `point`; subsequent hits pass through.
+    pub fn disarm(point: &str) {
+        lock().remove(point);
+    }
+
+    /// Disarms every failpoint (test hygiene between cases).
+    pub fn disarm_all() {
+        lock().clear();
+    }
+
+    /// Number of times `point` has been reached since it was armed.
+    pub fn hits(point: &str) -> u64 {
+        lock().get(point).map_or(0, |f| f.hits)
+    }
+
+    /// Records a hit; returns the failure mode to apply, if the trigger
+    /// decided to fire.
+    fn check(point: &str) -> Option<FaultMode> {
+        let mut reg = lock();
+        let fp = reg.get_mut(point)?;
+        fp.hits += 1;
+        let fire = match fp.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => fp.hits == n,
+        };
+        fire.then_some(fp.mode)
+    }
+
+    pub(crate) fn fire(point: &'static str) -> crate::Result<()> {
+        match check(point) {
+            None => Ok(()),
+            Some(FaultMode::Error) => Err(crate::NeoError::Fault { failpoint: point }),
+            Some(FaultMode::Panic) => panic!("injected panic at failpoint '{point}'"),
+        }
+    }
+
+    pub(crate) fn fire_in_worker(point: &'static str) {
+        if check(point).is_some() {
+            panic!("injected panic at failpoint '{point}'");
+        }
+    }
+
+    /// [`Parallelism`](neocpu_threadpool::Parallelism) adapter the executor
+    /// wraps around its pool so the [`super::POOL_WORKER`] failpoint runs
+    /// inside every worker's body.
+    pub(crate) struct WorkerFaultPar<'a>(pub &'a dyn neocpu_threadpool::Parallelism);
+
+    impl neocpu_threadpool::Parallelism for WorkerFaultPar<'_> {
+        fn num_threads(&self) -> usize {
+            self.0.num_threads()
+        }
+
+        fn run(
+            &self,
+            total: usize,
+            body: &(dyn Fn(usize, std::ops::Range<usize>) + Sync),
+        ) {
+            self.0.run(total, &|worker, range| {
+                fire_in_worker(super::POOL_WORKER);
+                body(worker, range);
+            });
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{arm, disarm, disarm_all, hits, FaultMode, Trigger};
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use imp::{fire, WorkerFaultPar};
+
+/// No-op hook compiled when fault injection is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire(_point: &'static str) -> crate::Result<()> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        // Use a point name no other test arms; the registry is global.
+        arm(TENSOR_ALLOC, Trigger::Nth(2), FaultMode::Error);
+        assert!(fire(TENSOR_ALLOC).is_ok());
+        assert!(fire(TENSOR_ALLOC).is_err());
+        assert!(fire(TENSOR_ALLOC).is_ok());
+        assert_eq!(hits(TENSOR_ALLOC), 3);
+        disarm(TENSOR_ALLOC);
+        assert!(fire(TENSOR_ALLOC).is_ok());
+    }
+}

@@ -40,11 +40,13 @@
 mod compile;
 mod error;
 mod executor;
+pub mod faults;
 mod target;
 
 pub use compile::{
-    compile, compile_with_db, compile_with_pool, CompileOptions, OptLevel, PoolChoice,
-    SearchStrategy,
+    compile, compile_with_db, compile_with_pool, compile_with_report, load_scheme_db,
+    load_scheme_db_lenient, CompileOptions, CompileReport, DroppedScheme, OptLevel, PoolChoice,
+    ScheduleFallback, SearchStrategy,
 };
 pub use error::NeoError;
 pub use executor::{Module, OpProfile};

@@ -34,6 +34,18 @@ impl IsaKind {
             Self::Generic => 1,
         }
     }
+
+    /// Architectural vector registers available to a microkernel — the
+    /// budget the schedule verifier checks `reg_n × (oc_bn / lanes)`
+    /// accumulator tiles against.
+    pub fn vector_registers(&self) -> usize {
+        match self {
+            Self::Avx512 => 32,
+            Self::Avx2 => 16,
+            Self::Neon => 32,
+            Self::Generic => 16,
+        }
+    }
 }
 
 /// A CPU target description.

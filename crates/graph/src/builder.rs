@@ -323,7 +323,7 @@ mod tests {
         let g = b.finish(vec![s]);
         let shapes = infer_shapes(&g).unwrap();
         for (id, s) in shapes.iter().enumerate() {
-            assert_eq!(s.dims().iter().product::<usize>() > 0, true, "node {id}");
+            assert!(s.dims().iter().product::<usize>() > 0, "node {id}");
         }
         assert_eq!(shapes[s.min(shapes.len() - 1)].dims(), &[1, 5]);
     }

@@ -257,7 +257,7 @@ pub fn infer_layouts(g: &Graph, shapes: &[Shape]) -> Result<Vec<Layout>> {
                     for (&inp, &l) in node.inputs.iter().zip(&ins) {
                         let c = shapes[inp].dims()[1];
                         let _ = l;
-                        if c % x != 0 {
+                        if !c.is_multiple_of(x) {
                             return Err(lerr(
                                 id,
                                 format!("concat operand channels {c} not divisible by block {x}"),

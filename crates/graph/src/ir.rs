@@ -116,6 +116,26 @@ impl Op {
         }
     }
 
+    /// Parameter tensors this operator references, in declaration order.
+    ///
+    /// This is the single source of truth for parameter usage; both
+    /// [`Graph::validate`] and the module verifier bounds-check these ids
+    /// against the graph's parameter store.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        match self {
+            Op::Conv2d { weight, bias, .. } | Op::Dense { weight, bias, .. } => {
+                let mut v = vec![*weight];
+                v.extend(bias.iter().copied());
+                v
+            }
+            Op::ScaleShift { scale, shift } => vec![*scale, *shift],
+            Op::BatchNorm { gamma, beta, mean, var, .. } => {
+                vec![*gamma, *beta, *mean, *var]
+            }
+            _ => Vec::new(),
+        }
+    }
+
     /// Short operator name for debugging and pass diagnostics.
     pub fn name(&self) -> &'static str {
         match self {
@@ -241,24 +261,7 @@ impl Graph {
                     actual: node.inputs.len(),
                 });
             }
-            let param_ids: Vec<ParamId> = match &node.op {
-                Op::Conv2d { weight, bias, .. } => {
-                    let mut v = vec![*weight];
-                    v.extend(bias.iter().copied());
-                    v
-                }
-                Op::ScaleShift { scale, shift } => vec![*scale, *shift],
-                Op::BatchNorm { gamma, beta, mean, var, .. } => {
-                    vec![*gamma, *beta, *mean, *var]
-                }
-                Op::Dense { weight, bias, .. } => {
-                    let mut v = vec![*weight];
-                    v.extend(bias.iter().copied());
-                    v
-                }
-                _ => Vec::new(),
-            };
-            for p in param_ids {
+            for p in node.op.param_ids() {
                 if p >= self.params.len() {
                     return Err(GraphError::BadParamRef(p));
                 }

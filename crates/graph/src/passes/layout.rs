@@ -46,7 +46,7 @@ impl Default for UniformPlanCfg {
 /// Largest factor of `n` that is ≤ `cap` (blocking factor for a channel
 /// count that may not be divisible by the preferred block).
 fn best_factor(n: usize, cap: usize) -> usize {
-    (1..=cap.min(n)).rev().find(|d| n % d == 0).unwrap_or(1)
+    (1..=cap.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
 }
 
 /// Builds the uniform schedule for one conv workload.
@@ -87,7 +87,7 @@ fn pick_uniform_block(g: &Graph, preferred: usize) -> usize {
     };
     let mut best = (0f64, 1usize); // (score, block)
     for d in (2..=preferred).rev() {
-        if preferred % d != 0 {
+        if !preferred.is_multiple_of(d) {
             continue;
         }
         let hits = channel_counts.iter().filter(|&&c| c % d == 0).count();

@@ -125,13 +125,13 @@ impl ConvSchedule {
     /// 1-3; `reg_n` needs no divisibility because the template handles the
     /// output-width tail explicitly).
     pub fn validate(&self, p: &Conv2dParams) -> Result<()> {
-        if self.ic_bn == 0 || p.in_channels % self.ic_bn != 0 {
+        if self.ic_bn == 0 || !p.in_channels.is_multiple_of(self.ic_bn) {
             return Err(KernelError::BadSchedule(format!(
                 "ic_bn {} does not divide in_channels {}",
                 self.ic_bn, p.in_channels
             )));
         }
-        if self.oc_bn == 0 || p.out_channels % self.oc_bn != 0 {
+        if self.oc_bn == 0 || !p.out_channels.is_multiple_of(self.oc_bn) {
             return Err(KernelError::BadSchedule(format!(
                 "oc_bn {} does not divide out_channels {}",
                 self.oc_bn, p.out_channels
@@ -172,7 +172,7 @@ impl ConvSchedule {
 /// Factors of `n` not exceeding `cap`, largest first (the paper lists
 /// channel factors as blocking candidates, e.g. 64 → [32, 16, 8, 4, 2, 1]).
 pub fn factors_descending(n: usize, cap: usize) -> Vec<usize> {
-    let mut f: Vec<usize> = (1..=n.min(cap)).filter(|d| n % d == 0).collect();
+    let mut f: Vec<usize> = (1..=n.min(cap)).filter(|&d| n.is_multiple_of(d)).collect();
     f.reverse();
     f
 }

@@ -21,6 +21,11 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Kernel-code idioms the default lint set dislikes: explicit index loops
+// mirror the register tiling they implement, pointer re-binds force
+// by-value capture into parallel closures, and kernel entry points take
+// the full operand set as arguments.
+#![allow(clippy::needless_range_loop, clippy::redundant_locals, clippy::too_many_arguments)]
 
 pub mod conv;
 pub mod dense;

@@ -27,8 +27,9 @@ pub(crate) fn ssd_resnet50(scale: ModelScale, seed: u64) -> Graph {
     // (stride 8) as the first detection scale.
     let stem = b.conv_bn_relu(x, c(64), 7, 2, 3);
     let mut cur = b.max_pool(stem, 3, 2, 1);
-    for block in 0..3 {
-        cur = bottleneck(&mut b, cur, c(64), if block == 0 { 1 } else { 1 });
+    for _block in 0..3 {
+        // conv2_x never downsamples: stride 1 even for the first block.
+        cur = bottleneck(&mut b, cur, c(64), 1);
     }
     for block in 0..4 {
         cur = bottleneck(&mut b, cur, c(128), if block == 0 { 2 } else { 1 });

@@ -75,7 +75,7 @@ impl AnalyticalModel {
         // Register blocking: FMA latency (~4 cycles) needs ~8 independent
         // accumulators to saturate both FMA ports; diminishing above.
         let rn = s.reg_n as f32;
-        let pipe_util = (rn / 8.0).min(1.0) * 0.5 + 0.5 * (rn / 28.0).min(1.0).max(0.5);
+        let pipe_util = (rn / 8.0).min(1.0) * 0.5 + 0.5 * (rn / 28.0).clamp(0.5, 1.0);
         // Cache pressure: the inner working set (one weight block plus the
         // input rows it touches) should fit L1; penalize overflow.
         let ws = (s.ic_bn * s.oc_bn * p.kernel_h * p.kernel_w

@@ -5,8 +5,20 @@
 //! The on-disk format is a line-oriented text table (no third-party
 //! serialization dependency): one header line, then one line per ranked
 //! scheme keyed by `(target, workload)`.
+//!
+//! Because the file is an external input to a serving process, parsing is
+//! hardened: every malformed line produces a typed, line-numbered
+//! [`DbError`], schedules that cannot execute their workload (zero or
+//! non-dividing blocks, out-of-range `reg_n`) are rejected at parse time,
+//! non-finite times are refused, and exact duplicate rows are flagged. The
+//! strict entry points ([`SchemeDatabase::from_text`] /
+//! [`SchemeDatabase::load`]) fail on the first problem; the lenient ones
+//! ([`SchemeDatabase::from_text_lenient`] / [`SchemeDatabase::load_lenient`])
+//! skip bad lines and report them, so one corrupt row cannot take down a
+//! server that merely loses a cached tuning result.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -23,6 +35,46 @@ pub struct WorkloadKey {
     pub target: String,
     /// The convolution workload.
     pub params: Conv2dParams,
+}
+
+/// Typed failure from parsing or loading a scheme database.
+#[derive(Debug)]
+pub enum DbError {
+    /// The first line is not the expected format header.
+    BadHeader {
+        /// What the first line actually contained.
+        found: String,
+    },
+    /// A data line is malformed or describes an invalid scheme. `line` is
+    /// the 1-based line number within the file.
+    Line {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable reason the line was rejected.
+        reason: String,
+    },
+    /// Underlying file I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadHeader { found } => {
+                write!(f, "bad scheme-db header: expected 'neocpu-scheme-db v1', found '{found}'")
+            }
+            Self::Line { line, reason } => write!(f, "scheme-db line {line}: {reason}"),
+            Self::Io(e) => write!(f, "scheme-db i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
 }
 
 /// In-memory scheme cache with text-file persistence.
@@ -97,47 +149,43 @@ impl SchemeDatabase {
         s
     }
 
-    /// Parses the text format produced by [`SchemeDatabase::to_text`].
+    /// Parses the text format produced by [`SchemeDatabase::to_text`],
+    /// failing on the first malformed line.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed content.
-    pub fn from_text(text: &str) -> io::Result<Self> {
-        let mut lines = text.lines();
-        let header = lines.next().unwrap_or("");
-        if header != "neocpu-scheme-db v1" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad scheme-db header"));
-        }
+    /// Returns a line-numbered [`DbError`] on a bad header, malformed
+    /// fields, schemes that do not validate against their workload,
+    /// non-finite times, or exact duplicate rows.
+    pub fn from_text(text: &str) -> Result<Self, DbError> {
         let mut db = Self::new();
-        for (no, line) in lines.enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let bad =
-                || io::Error::new(io::ErrorKind::InvalidData, format!("bad line {}", no + 2));
-            let mut f = line.split_whitespace();
-            let target = f.next().ok_or_else(bad)?.to_string();
-            let params = parse_params(f.next().ok_or_else(bad)?).ok_or_else(bad)?;
-            let nums: Vec<&str> = f.collect();
-            if nums.len() != 5 {
-                return Err(bad());
-            }
-            let schedule = ConvSchedule {
-                ic_bn: nums[0].parse().map_err(|_| bad())?,
-                oc_bn: nums[1].parse().map_err(|_| bad())?,
-                reg_n: nums[2].parse().map_err(|_| bad())?,
-                unroll_ker: nums[3] == "1",
-            };
-            let time: f32 = nums[4].parse().map_err(|_| bad())?;
-            db.entries
-                .entry(WorkloadKey { target, params })
-                .or_default()
-                .push(RankedScheme { schedule, time });
-        }
-        for v in db.entries.values_mut() {
-            v.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are finite"));
-        }
+        parse_into(text, &mut db, &mut |e| Err(e))?;
+        db.sort_entries();
         Ok(db)
+    }
+
+    /// Parses the text format, skipping malformed lines instead of failing.
+    ///
+    /// Returns the recovered database plus one [`DbError`] per skipped
+    /// problem (including a bad header, after which no lines are trusted).
+    pub fn from_text_lenient(text: &str) -> (Self, Vec<DbError>) {
+        let mut db = Self::new();
+        let mut skipped = Vec::new();
+        let result = parse_into(text, &mut db, &mut |e| {
+            // A bad header means the rest of the file cannot be trusted.
+            let fatal = matches!(e, DbError::BadHeader { .. });
+            skipped.push(e);
+            if fatal {
+                Err(DbError::BadHeader { found: String::new() })
+            } else {
+                Ok(())
+            }
+        });
+        if result.is_err() {
+            return (Self::new(), skipped);
+        }
+        db.sort_entries();
+        (db, skipped)
     }
 
     /// Saves to a file.
@@ -149,14 +197,99 @@ impl SchemeDatabase {
         fs::write(path, self.to_text())
     }
 
-    /// Loads from a file.
+    /// Loads from a file, failing on the first malformed line.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and parse failures.
-    pub fn load(path: &Path) -> io::Result<Self> {
+    /// Propagates I/O failures and line-numbered parse errors.
+    pub fn load(path: &Path) -> Result<Self, DbError> {
         Self::from_text(&fs::read_to_string(path)?)
     }
+
+    /// Loads from a file, skipping malformed lines and reporting them.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors; parse problems are returned as the second
+    /// tuple element.
+    pub fn load_lenient(path: &Path) -> Result<(Self, Vec<DbError>), DbError> {
+        Ok(Self::from_text_lenient(&fs::read_to_string(path)?))
+    }
+
+    fn sort_entries(&mut self) {
+        for v in self.entries.values_mut() {
+            // Times are validated finite at insertion, but total_cmp keeps
+            // the sort panic-free even for programmatically inserted NaNs.
+            v.sort_by(|a, b| a.time.total_cmp(&b.time));
+        }
+    }
+}
+
+/// Parses `text` into `db`, routing each problem through `on_err`: strict
+/// parsing propagates the error, lenient parsing records it and continues.
+fn parse_into(
+    text: &str,
+    db: &mut SchemeDatabase,
+    on_err: &mut dyn FnMut(DbError) -> Result<(), DbError>,
+) -> Result<(), DbError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header != "neocpu-scheme-db v1" {
+        on_err(DbError::BadHeader { found: header.to_string() })?;
+    }
+    for (no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = no + 2;
+        match parse_line(line) {
+            Ok((key, scheme)) => {
+                let list = db.entries.entry(key).or_default();
+                if list.iter().any(|r| r.schedule == scheme.schedule) {
+                    on_err(DbError::Line {
+                        line: lineno,
+                        reason: format!("duplicate scheme {:?} for this workload", scheme.schedule),
+                    })?;
+                } else {
+                    list.push(scheme);
+                }
+            }
+            Err(reason) => on_err(DbError::Line { line: lineno, reason })?,
+        }
+    }
+    Ok(())
+}
+
+/// Parses one data line, returning a reason string on any defect.
+fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
+    let mut f = line.split_whitespace();
+    let target = f.next().ok_or_else(|| "missing target field".to_string())?.to_string();
+    let params_field = f.next().ok_or_else(|| "missing workload field".to_string())?;
+    let params =
+        parse_params(params_field).ok_or_else(|| format!("bad workload '{params_field}'"))?;
+    let nums: Vec<&str> = f.collect();
+    if nums.len() != 5 {
+        return Err(format!("expected 5 scheme fields, found {}", nums.len()));
+    }
+    let int = |s: &str, what: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("{what} '{s}' is not an unsigned integer"))
+    };
+    let schedule = ConvSchedule {
+        ic_bn: int(nums[0], "ic_bn")?,
+        oc_bn: int(nums[1], "oc_bn")?,
+        reg_n: int(nums[2], "reg_n")?,
+        unroll_ker: match nums[3] {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("unroll flag '{other}' is not 0 or 1")),
+        },
+    };
+    schedule.validate(&params).map_err(|e| format!("invalid scheme for its workload: {e}"))?;
+    let time: f32 = nums[4].parse().map_err(|_| format!("time '{}' is not a number", nums[4]))?;
+    if !time.is_finite() || time < 0.0 {
+        return Err(format!("time {time} is not finite and non-negative"));
+    }
+    Ok((WorkloadKey { target, params }, RankedScheme { schedule, time }))
 }
 
 fn fmt_params(p: &Conv2dParams) -> String {
@@ -257,9 +390,127 @@ mod tests {
 
     #[test]
     fn rejects_bad_header_and_lines() {
-        assert!(SchemeDatabase::from_text("nope\n").is_err());
+        assert!(matches!(
+            SchemeDatabase::from_text("nope\n"),
+            Err(DbError::BadHeader { .. })
+        ));
         let bad = "neocpu-scheme-db v1\nfoo bar\n";
-        assert!(SchemeDatabase::from_text(bad).is_err());
+        assert!(matches!(
+            SchemeDatabase::from_text(bad),
+            Err(DbError::Line { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line_number() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes);
+        let mut text = db.to_text();
+        text.push_str("host garbage-workload 1 1 4 0 1.0\n");
+        // Header is line 1, two good rows are lines 2-3, garbage is line 4.
+        match SchemeDatabase::from_text(&text) {
+            Err(DbError::Line { line: 4, reason }) => {
+                assert!(reason.contains("workload"), "reason was: {reason}")
+            }
+            other => panic!("expected line-4 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_last_line() {
+        // The second row was cut off mid-write, losing its trailing fields.
+        let text = "neocpu-scheme-db v1\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1e-4\n\
+            host 64x128x28x28k3x3s1x1p1x1 8 32\n";
+        let err = SchemeDatabase::from_text(text).unwrap_err();
+        match err {
+            DbError::Line { line: 3, reason } => {
+                assert!(reason.contains("5 scheme fields"), "reason was: {reason}")
+            }
+            other => panic!("expected line-3 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative_times() {
+        for bad_time in ["NaN", "inf", "-1.0"] {
+            let text = format!("neocpu-scheme-db v1\nhost 64x128x28x28k3x3s1x1p1x1 16 16 8 1 {bad_time}\n");
+            let err = SchemeDatabase::from_text(&text).unwrap_err();
+            assert!(matches!(err, DbError::Line { line: 2, .. }), "{bad_time}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_schemes_invalid_for_their_workload() {
+        // ic_bn 48 does not divide 64; reg_n 0 is out of range.
+        for bad in [
+            "host 64x128x28x28k3x3s1x1p1x1 48 16 8 1 1e-4",
+            "host 64x128x28x28k3x3s1x1p1x1 16 16 0 1 1e-4",
+        ] {
+            let text = format!("neocpu-scheme-db v1\n{bad}\n");
+            let err = SchemeDatabase::from_text(&text).unwrap_err();
+            match err {
+                DbError::Line { line: 2, reason } => {
+                    assert!(reason.contains("invalid scheme"), "reason was: {reason}")
+                }
+                other => panic!("expected line error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_rows() {
+        let row = "host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1e-4";
+        let text = format!("neocpu-scheme-db v1\n{row}\n{row}\n");
+        let err = SchemeDatabase::from_text(&text).unwrap_err();
+        match err {
+            DbError::Line { line: 3, reason } => {
+                assert!(reason.contains("duplicate"), "reason was: {reason}")
+            }
+            other => panic!("expected duplicate error on line 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_reports() {
+        let good = "host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1e-4";
+        let text = format!(
+            "neocpu-scheme-db v1\n{good}\ntotal garbage\n{good}\nhost 64x128x28x28k3x3s1x1p1x1 48 16 8 1 1e-4\n"
+        );
+        let (db, skipped) = SchemeDatabase::from_text_lenient(&text);
+        // The good row survives; the duplicate, the garbage line, and the
+        // non-dividing scheme are each reported with their line numbers.
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        assert_eq!(db.get("host", &p).unwrap().len(), 1);
+        let lines: Vec<usize> = skipped
+            .iter()
+            .map(|e| match e {
+                DbError::Line { line, .. } => *line,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn lenient_parse_distrusts_file_with_bad_header() {
+        let (db, skipped) =
+            SchemeDatabase::from_text_lenient("who knows\nhost 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1e-4\n");
+        assert!(db.is_empty());
+        assert!(matches!(skipped[0], DbError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn lenient_sorts_surviving_schemes_by_time() {
+        let text = "neocpu-scheme-db v1\n\
+            host 64x128x28x28k3x3s1x1p1x1 8 32 4 0 2.5e-4\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1.25e-4\n";
+        let (db, skipped) = SchemeDatabase::from_text_lenient(text);
+        assert!(skipped.is_empty());
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        let got = db.get("host", &p).unwrap();
+        assert!(got[0].time <= got[1].time);
     }
 
     #[test]
@@ -272,5 +523,12 @@ mod tests {
         let back = SchemeDatabase::load(&path).unwrap();
         assert_eq!(back.len(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("neocpu_db_does_not_exist.txt");
+        assert!(matches!(SchemeDatabase::load(&path), Err(DbError::Io(_))));
+        assert!(matches!(SchemeDatabase::load_lenient(&path), Err(DbError::Io(_))));
     }
 }

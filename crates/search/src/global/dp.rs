@@ -37,12 +37,12 @@ pub fn solve_dp(problem: &SearchProblem) -> Vec<usize> {
     // gs[i][j]: cumulative best; choice[i][j]: per in-edge argmin k.
     let mut gs: Vec<Vec<f32>> = Vec::with_capacity(n);
     let mut choice: Vec<Vec<Vec<usize>>> = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, edges_in) in in_edges.iter().enumerate() {
         let cands = problem.nodes[i].candidates.len();
         let mut row = problem.nodes[i].costs.clone();
-        let mut ch = vec![vec![0usize; in_edges[i].len()]; cands];
+        let mut ch = vec![vec![0usize; edges_in.len()]; cands];
         for j in 0..cands {
-            for (slot, &ei) in in_edges[i].iter().enumerate() {
+            for (slot, &ei) in edges_in.iter().enumerate() {
                 let e = &problem.edges[ei];
                 let a = e.a;
                 let cols = cands;

@@ -132,7 +132,7 @@ impl SearchProblem {
     /// undirected) — the condition under which the Algorithm 2 DP is exact.
     pub fn is_forest(&self) -> bool {
         let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

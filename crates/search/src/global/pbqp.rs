@@ -153,13 +153,13 @@ pub fn solve_pbqp(problem: &SearchProblem) -> Vec<usize> {
             }
             let d = g.degree(i);
             match d {
-                0 | 1 | 2 => {
-                    if pick.map_or(true, |(pd, _)| d < pd) {
+                0..=2 => {
+                    if pick.is_none_or(|(pd, _)| d < pd) {
                         pick = Some((d, i));
                     }
                 }
                 _ => {
-                    if pick.map_or(true, |(pd, _)| pd > 2 && d > pd) {
+                    if pick.is_none_or(|(pd, _)| pd > 2 && d > pd) {
                         pick = Some((d, i));
                     }
                 }
@@ -180,7 +180,7 @@ pub fn solve_pbqp(problem: &SearchProblem) -> Vec<usize> {
                 let ci = g.costs[i].len();
                 let cj = g.costs[j].len();
                 let mut table = vec![0usize; cj];
-                for l in 0..cj {
+                for (l, slot) in table.iter_mut().enumerate() {
                     let mut best = f32::INFINITY;
                     let mut best_k = 0;
                     for k in 0..ci {
@@ -191,7 +191,7 @@ pub fn solve_pbqp(problem: &SearchProblem) -> Vec<usize> {
                         }
                     }
                     g.costs[j][l] += best;
-                    table[l] = best_k;
+                    *slot = best_k;
                 }
                 g.kill_edge(e);
                 decisions.push(Decision::OneDep { node: i, dep: j, table });

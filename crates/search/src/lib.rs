@@ -26,6 +26,6 @@ pub mod global;
 pub mod local;
 
 pub use cost::{AnalyticalModel, CostModel, TimedMeasurer};
-pub use database::SchemeDatabase;
+pub use database::{DbError, SchemeDatabase};
 pub use global::{extract_problem, solve, GlobalCfg, SearchProblem, Solver};
 pub use local::{local_search, LocalSearchCfg, RankedScheme};

@@ -82,20 +82,20 @@ impl Layout {
             Self::Nchw | Self::Oihw => Ok(d.to_vec()),
             Self::Nhwc => Ok(vec![d[0], d[2], d[3], d[1]]),
             Self::NchwC(x) => {
-                if x == 0 || d[1] % x != 0 {
+                if x == 0 || !d[1].is_multiple_of(x) {
                     return Err(TensorError::NotDivisible { dim: "channel", size: d[1], block: x });
                 }
                 Ok(vec![d[0], d[1] / x, d[2], d[3], x])
             }
             Self::OihwIo { i, o } => {
-                if o == 0 || d[0] % o != 0 {
+                if o == 0 || !d[0].is_multiple_of(o) {
                     return Err(TensorError::NotDivisible {
                         dim: "out_channel",
                         size: d[0],
                         block: o,
                     });
                 }
-                if i == 0 || d[1] % i != 0 {
+                if i == 0 || !d[1].is_multiple_of(i) {
                     return Err(TensorError::NotDivisible {
                         dim: "in_channel",
                         size: d[1],

@@ -232,6 +232,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out (chunk*H + h)*W + w for clarity
     fn blocked_layout_logical_indexing() {
         let mut t = Tensor::zeros([1, 32, 2, 2], Layout::NchwC(16)).unwrap();
         t.set(&[0, 17, 0, 1], 3.0);

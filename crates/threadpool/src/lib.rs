@@ -69,6 +69,20 @@ impl Parallelism for Sequential {
     }
 }
 
+/// Best-effort extraction of a human-readable message from a panic payload
+/// (the `String`/`&str` cases cover `panic!` with and without formatting).
+/// Shared by both pools so a worker panic propagates with its original
+/// message instead of an anonymous "a worker panicked".
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Evenly splits `0..total` into at most `parts` non-empty contiguous
 /// ranges (the paper's static partitioning of the outermost loop).
 ///

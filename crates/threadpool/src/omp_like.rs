@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::{split_even, Parallelism};
+use crate::{panic_message, split_even, Parallelism};
 
 type Body<'a> = dyn Fn(usize, Range<usize>) + Sync + 'a;
 
@@ -44,6 +44,8 @@ struct Shared {
     work_ready: Condvar,
     region_done: Condvar,
     panicked: AtomicBool,
+    /// Message of the first panicking chunk of the active region.
+    panic_msg: Mutex<Option<String>>,
 }
 
 /// Mutex/condvar-based pool mimicking an OpenMP `parallel for` runtime.
@@ -74,6 +76,7 @@ impl OmpLikePool {
             work_ready: Condvar::new(),
             region_done: Condvar::new(),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         });
         let joins = (1..threads)
             .map(|w| {
@@ -90,7 +93,12 @@ impl OmpLikePool {
 
 fn run_chunk(shared: &Shared, body: &Body<'_>, worker: usize, range: Range<usize>) {
     let result = panic::catch_unwind(AssertUnwindSafe(|| body(worker, range)));
-    if result.is_err() {
+    if let Err(payload) = result {
+        let mut slot = shared.panic_msg.lock();
+        if slot.is_none() {
+            *slot = Some(panic_message(payload.as_ref()));
+        }
+        drop(slot);
         shared.panicked.store(true, Ordering::Relaxed);
     }
 }
@@ -174,7 +182,13 @@ impl Parallelism for OmpLikePool {
         drop(state);
 
         if self.shared.panicked.swap(false, Ordering::Relaxed) {
-            panic!("a worker panicked inside a parallel region");
+            let msg = self
+                .shared
+                .panic_msg
+                .lock()
+                .take()
+                .unwrap_or_else(|| "<message lost>".to_string());
+            panic!("a worker panicked inside a parallel region: {msg}");
         }
     }
 }

@@ -17,7 +17,7 @@ use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::spsc::{self, Consumer, Producer};
-use crate::{affinity, split_even, Parallelism};
+use crate::{affinity, panic_message, split_even, Parallelism};
 
 /// Tasks queued per worker; regions enqueue at most one task per worker and
 /// join before the next region, so this only needs headroom for `Stop`.
@@ -35,6 +35,10 @@ struct RegionStatus {
     remaining: CachePadded<AtomicUsize>,
     /// Set if any worker's body panicked.
     panicked: AtomicBool,
+    /// Message of the first worker panic, published before `remaining` is
+    /// decremented so the scheduler observes it at join time. Off the hot
+    /// path: the lock is touched only when a body panics.
+    panic_msg: Mutex<Option<String>>,
 }
 
 /// A unit of work sent to a worker.
@@ -156,6 +160,7 @@ impl Parallelism for ThreadPool {
         let status = RegionStatus {
             remaining: CachePadded::new(AtomicUsize::new(ranges.len() - 1)),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         };
         // SAFETY: transmuting away the body's lifetime is sound because this
         // function does not return until `status.remaining` hits zero, i.e.
@@ -205,7 +210,12 @@ impl Parallelism for ThreadPool {
             panic::resume_unwind(payload);
         }
         if status.panicked.load(Ordering::Relaxed) {
-            panic!("a worker panicked inside a parallel region");
+            let msg = status
+                .panic_msg
+                .lock()
+                .take()
+                .unwrap_or_else(|| "<message lost>".to_string());
+            panic!("a worker panicked inside a parallel region: {msg}");
         }
     }
 }
@@ -250,7 +260,12 @@ fn worker_loop(mut rx: Consumer<Msg>, core: Option<usize>) {
                 let (body, status) = unsafe { (&*item.body, &*item.status) };
                 let result =
                     panic::catch_unwind(AssertUnwindSafe(|| body(item.worker, item.range.clone())));
-                if result.is_err() {
+                if let Err(payload) = result {
+                    let mut slot = status.panic_msg.lock();
+                    if slot.is_none() {
+                        *slot = Some(panic_message(payload.as_ref()));
+                    }
+                    drop(slot);
                     status.panicked.store(true, Ordering::Relaxed);
                 }
                 // Release pairs with the scheduler's Acquire spin: all our
@@ -351,6 +366,24 @@ mod tests {
             count.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_message_is_captured() {
+        let pool = ThreadPool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|worker, _| {
+                if worker != 0 {
+                    panic!("boom from worker {worker}");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string panic payload");
+        assert!(
+            msg.contains("boom from worker"),
+            "propagated panic lost the worker message: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only [`utils::CachePadded`] is provided — the single item this workspace
+//! uses. The semantics match the real crate: align the wrapped value to a
+//! cache-line boundary so adjacent atomics don't false-share.
+
+/// Utility types.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes (two 64-byte lines, matching
+    /// crossbeam's choice on x86_64 to defeat adjacent-line prefetching).
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let p = CachePadded::new(42u64);
+        assert_eq!(*p, 42);
+        assert_eq!(std::mem::align_of_val(&p), 128);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal, dependency-free implementation of the tiny `rand` API surface it
+//! actually uses: `StdRng::seed_from_u64` plus `Rng::gen_range` over
+//! half-open ranges. The generator is SplitMix64 — statistically fine for
+//! test-fixture data, deterministic per seed, and stable across platforms
+//! (which is all the workspace relies on; see DESIGN.md).
+
+use std::ops::Range;
+
+/// Seedable random number generator sources.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by this shim.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[low, high)` from 64 random bits.
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+        // 24 explicit mantissa bits → uniform in [0, 1).
+        let unit = (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from_bits(bits: u64, low: Self, high: Self) -> Self {
+                debug_assert!(low < high, "gen_range requires a non-empty range");
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random value generation over a source of random bits.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        T::sample_from_bits(self.next_u64(), range.start, range.end)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Commonly used generator types.
+pub mod rngs {
+    /// The standard generator: SplitMix64 in this shim.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (public domain, Sebastiano Vigna).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f32_range_respected() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_respected_and_covers() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 /// Factors of `n` (helper for valid blocking choices).
 fn factors(n: usize) -> Vec<usize> {
-    (1..=n).filter(|d| n % d == 0).collect()
+    (1..=n).filter(|&d| n.is_multiple_of(d)).collect()
 }
 
 proptest! {
@@ -101,6 +101,31 @@ proptest! {
             "diff {}",
             reference.max_abs_diff(&out)
         );
+    }
+
+    /// An arbitrary *invalid* schedule must surface as `Err` from the
+    /// blocked convolution — never a panic or an out-of-bounds access.
+    #[test]
+    fn invalid_schedule_errors_never_panic(
+        ic_bn in 0usize..40,
+        oc_bn in 0usize..40,
+        reg_n in 0usize..40,
+        unroll in any::<bool>(),
+        seed in 0u64..200,
+    ) {
+        let p = Conv2dParams::square(12, 20, 8, 3, 1, 1);
+        let s = ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker: unroll };
+        prop_assume!(s.validate(&p).is_err());
+        let input = Tensor::random([1, 12, 8, 8], Layout::Nchw, seed, 1.0).unwrap();
+        let weights = Tensor::random([20, 12, 3, 3], Layout::Oihw, seed + 1, 1.0).unwrap();
+        let mut out = Tensor::zeros([1, 20, 8, 8], Layout::Nchw).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv2d_nchwc(&input, &weights, &mut out, &p, &s, &Epilogue::none(), &Sequential, 16)
+        }));
+        match caught {
+            Ok(res) => prop_assert!(res.is_err(), "invalid schedule {s:?} was accepted"),
+            Err(_) => prop_assert!(false, "conv2d_nchwc panicked on invalid schedule {s:?}"),
+        }
     }
 
     /// Static loop partitioning covers the range exactly once with balanced
