@@ -58,7 +58,7 @@ fn bench_layout_families(c: &mut Criterion) {
     let (bi, bw, mut bo) = blocked_io(&p, &s);
     group.bench_function("nchwc_template", |b| {
         b.iter(|| {
-            conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+            conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
                 .expect("conv")
         })
     });
@@ -75,7 +75,7 @@ fn bench_reg_n(c: &mut Criterion) {
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_with_input(BenchmarkId::from_parameter(reg_n), &reg_n, |b, _| {
             b.iter(|| {
-                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
                     .expect("conv")
             })
         });
@@ -93,7 +93,7 @@ fn bench_unroll(c: &mut Criterion) {
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |b, _| {
             b.iter(|| {
-                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
                     .expect("conv")
             })
         });
@@ -114,7 +114,7 @@ fn bench_isa_tiers(c: &mut Criterion) {
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_function(label, |b| {
             b.iter(|| {
-                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, lanes)
+                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, lanes, None)
                     .expect("conv")
             })
         });

@@ -62,7 +62,7 @@ fn bench_conv_on_pools(c: &mut Criterion) {
     for (name, pool) in &pools {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             b.iter(|| {
-                conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &**pool, usize::MAX)
+                conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &**pool, usize::MAX, None)
                     .expect("conv")
             })
         });

@@ -10,6 +10,7 @@
 //! | Figure 4 — thread-pool strong scaling | [`run_fig4`] | `fig4` |
 //! | §3.3.2 — PBQP vs DP quality | [`run_pbqp_quality`] | `pbqp_quality` |
 //! | §3.3.1 — local-search behaviour per workload | [`run_local_search`] | `local_search` |
+//! | Memory planner — arena peak + allocation counts | [`run_memplan`] | `memplan` |
 //!
 //! Microbenchmarks (Criterion) for the conv template, thread pools, layout
 //! transforms, and the solvers live in `benches/`.
@@ -23,7 +24,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use neocpu::{
-    compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, SearchStrategy,
+    compile, compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, SearchStrategy,
 };
 use neocpu_models::{build, ModelKind, ModelScale};
 use neocpu_search::SchemeDatabase;
@@ -508,6 +509,88 @@ pub fn run_pbqp_quality(cfg: &HarnessCfg) {
     println!(
         "\n(paper: PBQP achieves at least 88% of the best available result; >100% here means\n\
          PBQP beat the Algorithm 2 DP, which is itself approximate on non-forest graphs)"
+    );
+}
+
+/// Memory-planner report across the zoo: planned arena peak vs. the naive
+/// sum of intermediate outputs, reuse decisions, planned conv scratch, and
+/// *measured* heap allocations per inference on the warm paths.
+///
+/// `alloc_count` reads the caller's counting global allocator (the
+/// `memplan` binary installs one); allocation columns report `-` when the
+/// counter never moves between probes (no counting allocator installed).
+pub fn run_memplan(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) {
+    let models = if cfg.models.is_empty() { neocpu_models::zoo() } else { cfg.models.clone() };
+    let target = CpuTarget::host();
+    println!(
+        "Memory planner — arena peak and steady-state allocations (O2, {} scale, {} thread(s))",
+        if cfg.full { "FULL" } else { "reduced" },
+        cfg.threads,
+    );
+    println!(
+        "{:<16} {:>6} {:>11} {:>11} {:>7} {:>6} {:>12} {:>11} {:>11}",
+        "model",
+        "nodes",
+        "naive (MB)",
+        "arena (MB)",
+        "saved",
+        "reuse",
+        "scratch (KB)",
+        "allocs/ctx",
+        "allocs/run"
+    );
+    let mb = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    for kind in models {
+        let scale = cfg.scale(kind);
+        let graph = build(kind, scale, 42);
+        let opts = CompileOptions::level(OptLevel::O2).with_threads(cfg.threads);
+        let module = compile(&graph, &target, &opts).expect("compilation succeeds");
+        let mem = *module.memory_report();
+        let input = Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 7, 1.0)
+            .expect("valid input");
+        let reps = cfg.reps.max(1) as u64;
+
+        // Warm explicit-context path: the zero-allocation contract.
+        let mut ctx = module.make_context();
+        for _ in 0..cfg.warmup.max(1) {
+            module.run_with(&mut ctx, std::slice::from_ref(&input)).expect("warm-up");
+        }
+        let before = alloc_count();
+        for _ in 0..reps {
+            module.run_with(&mut ctx, std::slice::from_ref(&input)).expect("inference");
+        }
+        let ctx_allocs = (alloc_count() - before) as f64 / reps as f64;
+
+        // Pooled `run` path: allowed exactly the detached output tensors.
+        for _ in 0..cfg.warmup.max(1) {
+            module.run(std::slice::from_ref(&input)).expect("warm-up");
+        }
+        let before = alloc_count();
+        for _ in 0..reps {
+            module.run(std::slice::from_ref(&input)).expect("inference");
+        }
+        let run_allocs = (alloc_count() - before) as f64 / reps as f64;
+
+        let counting = alloc_count() > 0;
+        let fmt_allocs =
+            |v: f64| if counting { format!("{v:.1}") } else { "-".to_string() };
+        println!(
+            "{:<16} {:>6} {:>11.2} {:>11.2} {:>6.1}% {:>6} {:>12.1} {:>11} {:>11}",
+            kind.name(),
+            module.graph().len(),
+            mb(mem.naive_bytes),
+            mb(mem.planned_peak_bytes),
+            100.0 * (1.0 - mem.planned_peak_bytes as f64 / mem.naive_bytes.max(1) as f64),
+            mem.reused,
+            mem.scratch_bytes as f64 / 1024.0,
+            fmt_allocs(ctx_allocs),
+            fmt_allocs(run_allocs),
+        );
+    }
+    println!(
+        "\n(allocs/ctx: heap allocations per warm inference on a caller-owned RunContext — \
+         the executor's contract is 0;\n allocs/run: per pooled Module::run, which clones \
+         only the output tensors out of the arena)"
     );
 }
 

@@ -166,6 +166,9 @@ pub struct CompileReport {
     pub dropped_schemes: Vec<DroppedScheme>,
     /// Convs that degraded to a synthesized default schedule.
     pub fallbacks: Vec<ScheduleFallback>,
+    /// The static memory plan's statistics: planned arena peak vs. the
+    /// naive sum of all intermediate outputs, and how much was reused.
+    pub memory: crate::memory::MemoryReport,
 }
 
 impl CompileReport {
@@ -252,7 +255,9 @@ pub fn compile_with_report(
     let layouts = infer_layouts(&pre, &shapes)?;
     verify_module(&pre, &shapes, &layouts, target)?;
     let pool = make_pool(opts);
-    Ok((Module::new(pre, shapes, layouts, pool, target.max_lanes()), report))
+    let module = Module::new(pre, shapes, layouts, pool, target.max_lanes())?;
+    report.memory = *module.memory_report();
+    Ok((module, report))
 }
 
 /// Compiles `graph` with a caller-supplied thread pool (used by the

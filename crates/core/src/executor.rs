@@ -1,31 +1,53 @@
-//! The module executor: a topological interpreter over the compiled graph.
+//! The module executor: a topological interpreter over the compiled graph,
+//! running on statically planned memory.
 //!
-//! Buffers are liveness-managed: a node's output tensor is dropped as soon
-//! as its last consumer has executed (in-place reuse for unary ops when the
-//! producer dies there), so peak memory tracks the widest live set rather
-//! than the whole network — the runtime-side half of memory planning.
+//! At compile time the memory planner (`crate::memory`) assigns every
+//! intermediate value an offset into a single 64-byte-aligned arena, with
+//! in-place reuse (Relu/Dropout/Flatten/residual-Add) decided by liveness
+//! analysis rather than runtime reference juggling. A [`RunContext`] holds
+//! that arena plus one prebuilt tensor *view* per node, so a warm inference
+//! performs **zero heap allocations** for intermediates: kernels write
+//! straight into planned slices, conv padding lands in planned scratch, and
+//! fully-overwritten outputs skip the memset a fresh `Tensor::zeros` would
+//! pay.
+//!
+//! [`Module::run`] keeps its shareable `&self` signature by pooling
+//! contexts behind a mutex; latency-critical callers create their own via
+//! [`Module::make_context`] and drive [`Module::run_with`] directly.
 //!
 //! Every node executes inside a **panic boundary**: an unwind out of kernel
 //! or thread-pool code is caught and converted into
 //! [`NeoError::Panicked`] with the node's identity, leaving the module and
-//! its pool reusable for the next request. Kernel and tensor errors are
-//! likewise enriched with node context ([`NeoError::AtNode`]) on their way
-//! out.
+//! its pool (and the borrowed context) reusable for the next request.
+//! Kernel and tensor errors are likewise enriched with node context
+//! ([`NeoError::AtNode`]) on their way out.
+//!
+//! [`Module::run_reference`] keeps the old clone-everything interpreter
+//! alive as the correctness oracle the plan is tested against.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use neocpu_graph::{Graph, Op};
 use neocpu_kernels::conv::{conv2d_nchw_direct, conv2d_nchwc, Epilogue};
 use neocpu_kernels::elementwise::{
-    add, batchnorm_fold, concat_channels, relu_inplace, scale_shift,
+    add, add_assign, batchnorm_fold, concat_channels, relu_inplace, scale_shift,
 };
 use neocpu_kernels::pool2d::{global_avg_pool, pool2d};
 use neocpu_kernels::{dense, softmax};
-use neocpu_tensor::{transform::to_layout, Layout, Shape, Tensor};
+use neocpu_tensor::{
+    transform::{to_layout, to_layout_into},
+    Arena, Layout, Shape, Tensor,
+};
 use neocpu_threadpool::Parallelism;
 
+use crate::memory::{plan_memory, MemoryPlan, MemoryReport};
 use crate::{NeoError, Result};
+
+/// Distinguishes modules so a [`RunContext`] can never be replayed against
+/// a module it was not planned for.
+static NEXT_MODULE_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Aggregated wall time of one operator kind during a profiled inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +60,65 @@ pub struct OpProfile {
     pub total_ms: f64,
 }
 
+/// Reusable per-inference execution state: the planned arena and one tensor
+/// view per node at its planned offset.
+///
+/// Create with [`Module::make_context`], drive with [`Module::run_with`].
+/// Creation allocates (the arena and the view table); every run afterwards
+/// allocates nothing. A context is bound to the module that made it.
+pub struct RunContext {
+    module_uid: u64,
+    arena: Arc<Arena>,
+    /// One view per node, at the node's planned offset with its inferred
+    /// shape/layout. Aliased views (Flatten/Dropout/in-place ops) share
+    /// offsets by plan; the executor only ever *accesses* disjoint ones.
+    values: Vec<Tensor>,
+    output_ids: Vec<usize>,
+    /// Reusable fan-in pointer buffer for `Concat` nodes, sized at context
+    /// creation to the widest concat so warm runs never reallocate it.
+    /// Holds no pointers outside a single node's execution (cleared after
+    /// use), which is what makes the `Send` impl below sound.
+    fanin: Vec<*const Tensor>,
+}
+
+// SAFETY: every field but `fanin` is `Send` by composition (`Arc<Arena>`
+// and arena-view tensors are `Send + Sync`). `fanin` is an empty scratch
+// buffer whenever the context is at rest — pointers are written and
+// cleared within one `exec_node_planned` call — so moving the context
+// across threads never moves live aliases.
+unsafe impl Send for RunContext {}
+
+impl RunContext {
+    /// Views of the graph outputs from the most recent successful
+    /// [`Module::run_with`] on this context.
+    ///
+    /// The views borrow the context's arena: they are valid until the next
+    /// run reuses the storage. Clone a view to detach a snapshot.
+    pub fn outputs(&self) -> Vec<&Tensor> {
+        self.output_ids.iter().map(|&o| &self.values[o]).collect()
+    }
+
+    /// View of output `i`, if it exists (see [`RunContext::outputs`]).
+    pub fn output(&self, i: usize) -> Option<&Tensor> {
+        self.output_ids.get(i).map(|&o| &self.values[o])
+    }
+
+    /// Size of the planned arena in bytes (the module's peak intermediate
+    /// memory).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len() * 4
+    }
+}
+
+impl std::fmt::Debug for RunContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunContext")
+            .field("arena_bytes", &self.arena_bytes())
+            .field("values", &self.values.len())
+            .finish()
+    }
+}
+
 /// A compiled, executable model.
 pub struct Module {
     graph: Graph,
@@ -45,9 +126,11 @@ pub struct Module {
     layouts: Vec<Layout>,
     pool: Arc<dyn Parallelism>,
     max_lanes: usize,
-    /// For each node, the index of its last consumer (or `usize::MAX` for
-    /// graph outputs, pinning them).
-    last_use: Vec<usize>,
+    plan: MemoryPlan,
+    uid: u64,
+    /// Idle contexts for [`Module::run`]; popped per call, pushed back
+    /// after (also on error — a failed run leaves a context reusable).
+    contexts: Mutex<Vec<RunContext>>,
 }
 
 impl Module {
@@ -57,17 +140,18 @@ impl Module {
         layouts: Vec<Layout>,
         pool: Arc<dyn Parallelism>,
         max_lanes: usize,
-    ) -> Self {
-        let mut last_use = vec![0usize; graph.len()];
-        for (id, node) in graph.nodes.iter().enumerate() {
-            for &i in &node.inputs {
-                last_use[i] = last_use[i].max(id);
-            }
-        }
-        for &o in &graph.outputs {
-            last_use[o] = usize::MAX;
-        }
-        Self { graph, shapes, layouts, pool, max_lanes, last_use }
+    ) -> Result<Self> {
+        let plan = plan_memory(&graph, &shapes, &layouts)?;
+        Ok(Self {
+            graph,
+            shapes,
+            layouts,
+            pool,
+            max_lanes,
+            plan,
+            uid: NEXT_MODULE_UID.fetch_add(1, Ordering::Relaxed),
+            contexts: Mutex::new(Vec::new()),
+        })
     }
 
     /// The optimized graph this module executes.
@@ -93,6 +177,53 @@ impl Module {
         self.pool.num_threads()
     }
 
+    /// The static memory plan's statistics (planned peak vs. naive
+    /// allocation, reuse decisions, scratch reservation).
+    pub fn memory_report(&self) -> &MemoryReport {
+        &self.plan.report
+    }
+
+    /// Creates a fresh execution context for this module.
+    ///
+    /// This is the only allocating step of steady-state serving: allocate
+    /// one context per concurrent in-flight inference, then reuse it via
+    /// [`Module::run_with`] for allocation-free runs. ([`Module::run`] does
+    /// exactly that internally with a pooled context.)
+    pub fn make_context(&self) -> RunContext {
+        let arena = Arena::new(self.plan.arena_len);
+        let values: Vec<Tensor> = (0..self.graph.len())
+            .map(|id| {
+                // SAFETY: the planner guarantees that views which are ever
+                // accessed simultaneously occupy disjoint arena ranges
+                // (verified at plan time); in-bounds is re-checked here.
+                unsafe {
+                    Tensor::arena_view(
+                        arena.clone(),
+                        self.plan.offsets[id],
+                        self.shapes[id].clone(),
+                        self.layouts[id],
+                    )
+                }
+                .expect("planned arena view was validated at compile time")
+            })
+            .collect();
+        let max_fanin = self
+            .graph
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Concat))
+            .map(|n| n.inputs.len())
+            .max()
+            .unwrap_or(0);
+        RunContext {
+            module_uid: self.uid,
+            arena,
+            values,
+            output_ids: self.graph.outputs.clone(),
+            fanin: Vec::with_capacity(max_fanin),
+        }
+    }
+
     /// Runs one inference and reports per-operator wall time, aggregated by
     /// operator name — the profile that shows where transforms and CONVs
     /// spend the inference budget.
@@ -108,7 +239,11 @@ impl Module {
             e.count += 1;
             e.total_ms += secs * 1e3;
         };
-        let outputs = self.run_inner(inputs, Some(&mut probe))?;
+        let mut ctx = self.checkout_context();
+        let result = self.run_ctx(&mut ctx, inputs, Some(&mut probe));
+        let outputs = result.map(|()| ctx.outputs().into_iter().cloned().collect());
+        self.contexts.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ctx);
+        let outputs = outputs?;
         let mut profiles: Vec<OpProfile> = per_op.into_values().collect();
         profiles.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
         Ok((outputs, profiles))
@@ -120,22 +255,56 @@ impl Module {
     /// must be `NCHW` (rank 4) or `NC` (rank 2) tensors of the declared
     /// shapes; surplus tensors are rejected.
     ///
+    /// Internally borrows a pooled [`RunContext`], so intermediates cost
+    /// zero allocations on warm runs; only the returned output tensors are
+    /// fresh copies (detached from the context so the next run cannot
+    /// overwrite them).
+    ///
     /// # Errors
     ///
     /// Returns an error on input mismatch or kernel failure. A panic in
     /// kernel or thread-pool code is caught at the per-node boundary and
     /// returned as [`NeoError::Panicked`]; the module stays usable.
     pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
-        self.run_inner(inputs, None)
+        let mut ctx = self.checkout_context();
+        let result = self.run_ctx(&mut ctx, inputs, None);
+        let outputs = result.map(|()| ctx.outputs().into_iter().cloned().collect());
+        self.contexts.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ctx);
+        outputs
     }
 
-    fn run_inner(
+    /// Runs one inference on a caller-owned context, allocation-free.
+    ///
+    /// Outputs stay inside `ctx` as arena views — read them with
+    /// [`RunContext::outputs`] / [`RunContext::output`] before the next run
+    /// on the same context overwrites the storage.
+    ///
+    /// # Errors
+    ///
+    /// As [`Module::run`]; additionally rejects a context created by a
+    /// different module. After an error the context remains reusable.
+    pub fn run_with(&self, ctx: &mut RunContext, inputs: &[Tensor]) -> Result<()> {
+        self.run_ctx(ctx, inputs, None)
+    }
+
+    fn checkout_context(&self) -> RunContext {
+        let pooled =
+            self.contexts.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
+        pooled.unwrap_or_else(|| self.make_context())
+    }
+
+    fn run_ctx(
         &self,
+        ctx: &mut RunContext,
         inputs: &[Tensor],
         mut probe: Option<&mut dyn FnMut(&'static str, f64)>,
-    ) -> Result<Vec<Tensor>> {
+    ) -> Result<()> {
+        if ctx.module_uid != self.uid {
+            return Err(NeoError::BadInput(
+                "RunContext was created by a different Module".into(),
+            ));
+        }
         let g = &self.graph;
-        let mut values: Vec<Option<Tensor>> = vec![None; g.len()];
         let mut next_input = 0usize;
         #[cfg(feature = "fault-injection")]
         let pool_wrap = crate::faults::WorkerFaultPar(&*self.pool);
@@ -151,7 +320,234 @@ impl Module {
             // re-raised by the pool's own containment) becomes a typed
             // error instead of tearing down the serving thread.
             let unwound = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.exec_node(id, node, &mut values, inputs, &mut next_input, par)
+                self.exec_node_planned(id, node, ctx, inputs, &mut next_input, par)
+            }));
+            match unwound {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(at_node(id, node.op.name(), e)),
+                Err(payload) => {
+                    return Err(NeoError::Panicked {
+                        node: id,
+                        op: node.op.name(),
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+            if let (Some(p), Some(t0)) = (probe.as_deref_mut(), t0) {
+                p(node.op.name(), t0.elapsed().as_secs_f64());
+            }
+        }
+
+        if next_input != inputs.len() {
+            return Err(NeoError::BadInput(format!(
+                "graph consumes {next_input} input tensor(s) but {} were provided",
+                inputs.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes one node into its planned arena region. Called inside the
+    /// per-node panic boundary of [`Module::run_ctx`].
+    fn exec_node_planned(
+        &self,
+        id: usize,
+        node: &neocpu_graph::Node,
+        ctx: &mut RunContext,
+        inputs: &[Tensor],
+        next_input: &mut usize,
+        par: &dyn Parallelism,
+    ) -> Result<()> {
+        let g = &self.graph;
+        if !matches!(node.op, Op::Input { .. } | Op::LayoutTransform { .. }) {
+            crate::faults::fire(crate::faults::KERNEL_ENTRY)?;
+        }
+        // The ops that allocated a fresh output buffer in the pre-planned
+        // executor keep their allocation failpoint, now modelling "output
+        // region acquisition" so fault tests exercise the same sites.
+        if matches!(
+            node.op,
+            Op::Conv2d { .. }
+                | Op::ScaleShift { .. }
+                | Op::BatchNorm { .. }
+                | Op::Pool { .. }
+                | Op::GlobalAvgPool
+                | Op::Add
+                | Op::Concat
+                | Op::Dense { .. }
+                | Op::Softmax
+        ) {
+            crate::faults::fire(crate::faults::TENSOR_ALLOC)?;
+        }
+        let arena = &ctx.arena;
+        let fanin = &mut ctx.fanin;
+        // Split so earlier values stay readable while this node's view is
+        // written: planner disjointness makes the aliased cases (in-place,
+        // Flatten/Dropout) never touch both sides at once.
+        let (before, rest) = ctx.values.split_at_mut(id);
+        let out = &mut rest[0];
+        match &node.op {
+            Op::Input { shape } => {
+                let t = inputs
+                    .get(*next_input)
+                    .ok_or_else(|| NeoError::BadInput(format!("missing input #{next_input}")))?;
+                *next_input += 1;
+                if t.shape().dims() != &shape[..] {
+                    return Err(NeoError::BadInput(format!(
+                        "input #{} has shape {}, expected {:?}",
+                        *next_input - 1,
+                        t.shape(),
+                        shape
+                    )));
+                }
+                if t.layout() != self.layouts[id] {
+                    return Err(NeoError::BadInput(format!(
+                        "input #{} must be {}, got {}",
+                        *next_input - 1,
+                        self.layouts[id],
+                        t.layout()
+                    )));
+                }
+                out.data_mut().copy_from_slice(t.data());
+            }
+            Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
+                let x = &before[node.inputs[0]];
+                let res = residual.then(|| &before[node.inputs[1]]);
+                let bias_data = bias.map(|b| g.params[b].data());
+                let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
+                match schedule {
+                    Some(s) => {
+                        // SAFETY: the scratch region is live only at this
+                        // node, so it overlaps no value view accessed here
+                        // (planner invariant, verified at compile time).
+                        let scratch = self.plan.scratch[id]
+                            .map(|(off, len)| unsafe { arena.slice_mut(off, len) });
+                        conv2d_nchwc(
+                            x,
+                            &g.params[*weight],
+                            out,
+                            params,
+                            s,
+                            &epi,
+                            par,
+                            self.max_lanes,
+                            scratch,
+                        )?;
+                    }
+                    None => {
+                        conv2d_nchw_direct(x, &g.params[*weight], out, params, &epi, par)?;
+                    }
+                }
+            }
+            Op::ScaleShift { scale, shift } => {
+                let x = &before[node.inputs[0]];
+                scale_shift(x, out, g.params[*scale].data(), g.params[*shift].data(), par)?;
+            }
+            Op::BatchNorm { gamma, beta, mean, var, eps } => {
+                // Normally folded away; kept total for un-simplified graphs.
+                let (scale, shift) = batchnorm_fold(
+                    g.params[*gamma].data(),
+                    g.params[*beta].data(),
+                    g.params[*mean].data(),
+                    g.params[*var].data(),
+                    *eps,
+                );
+                let x = &before[node.inputs[0]];
+                scale_shift(x, out, &scale, &shift, par)?;
+            }
+            Op::Relu => {
+                if self.plan.inplace[id].is_none() {
+                    // Input storage outlives this node: work on a copy in
+                    // the planned output region.
+                    out.data_mut().copy_from_slice(before[node.inputs[0]].data());
+                }
+                // In-place: `out` aliases the input's region, which already
+                // holds the data — clamp it where it sits.
+                relu_inplace(out, par);
+            }
+            // Aliased reinterpretations: the plan mapped the output view
+            // onto the producer's storage; nothing moves at run time.
+            Op::Dropout | Op::Flatten => {}
+            Op::Pool { params, kind } => {
+                let x = &before[node.inputs[0]];
+                pool2d(x, out, params, *kind, par)?;
+            }
+            Op::GlobalAvgPool => {
+                let x = &before[node.inputs[0]];
+                global_avg_pool(x, out, par)?;
+            }
+            Op::Add => match self.plan.inplace[id] {
+                // `out` aliases input `pos`; accumulate the other operand
+                // into it without ever forming an aliased `&`/`&mut` pair.
+                Some(pos) => {
+                    let other = &before[node.inputs[1 - pos]];
+                    add_assign(out, other, par)?;
+                }
+                None => {
+                    let a = &before[node.inputs[0]];
+                    let b = &before[node.inputs[1]];
+                    add(a, b, out, par)?;
+                }
+            },
+            Op::Concat => {
+                fanin.clear();
+                fanin.extend(node.inputs.iter().map(|&i| std::ptr::from_ref(&before[i])));
+                // SAFETY: `&Tensor` and `*const Tensor` have identical
+                // layout, and each pointer was derived from a reference
+                // that stays live for this whole call.
+                let ins: &[&Tensor] = unsafe {
+                    std::slice::from_raw_parts(fanin.as_ptr().cast::<&Tensor>(), fanin.len())
+                };
+                let result = concat_channels(ins, out, par);
+                fanin.clear();
+                result?;
+            }
+            Op::Dense { weight, bias, relu } => {
+                let x = &before[node.inputs[0]];
+                let bias_data = bias.map(|b| g.params[b].data());
+                dense::dense(x, &g.params[*weight], out, bias_data, *relu, par)?;
+            }
+            Op::Softmax => {
+                let x = &before[node.inputs[0]];
+                softmax::softmax(x, out, par)?;
+            }
+            Op::LayoutTransform { .. } => {
+                crate::faults::fire(crate::faults::LAYOUT_TRANSFORM)?;
+                let x = &before[node.inputs[0]];
+                to_layout_into(x, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one inference through the **naive reference interpreter**: every
+    /// node output is a freshly allocated tensor ([`Tensor::uninit`] — all
+    /// kernels overwrite their outputs in full), nothing is reused in
+    /// place, and all values live to the end of the run.
+    ///
+    /// This is the oracle the static memory plan is validated against: for
+    /// any module and inputs, [`Module::run`] must produce **bit-identical**
+    /// outputs to this method (same kernels, same order — only the storage
+    /// strategy differs).
+    ///
+    /// # Errors
+    ///
+    /// As [`Module::run`].
+    pub fn run_reference(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let g = &self.graph;
+        let mut values: Vec<Option<Tensor>> = vec![None; g.len()];
+        let mut next_input = 0usize;
+        #[cfg(feature = "fault-injection")]
+        let pool_wrap = crate::faults::WorkerFaultPar(&*self.pool);
+        #[cfg(feature = "fault-injection")]
+        let par: &dyn Parallelism = &pool_wrap;
+        #[cfg(not(feature = "fault-injection"))]
+        let par: &dyn Parallelism = &*self.pool;
+
+        for id in 0..g.len() {
+            let node = &g.nodes[id];
+            let unwound = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.exec_node_reference(id, node, &values, inputs, &mut next_input, par)
             }));
             let out = match unwound {
                 Ok(Ok(t)) => t,
@@ -164,16 +560,7 @@ impl Module {
                     })
                 }
             };
-            if let (Some(p), Some(t0)) = (probe.as_deref_mut(), t0) {
-                p(node.op.name(), t0.elapsed().as_secs_f64());
-            }
             values[id] = Some(out);
-            // Liveness: drop every input whose last consumer was this node.
-            for &i in &node.inputs {
-                if self.last_use[i] == id {
-                    values[i] = None;
-                }
-            }
         }
 
         if next_input != inputs.len() {
@@ -193,19 +580,19 @@ impl Module {
             .collect()
     }
 
-    /// Allocates the output buffer of node `id`.
+    /// Allocates the output buffer of node `id` for the reference path —
+    /// uninitialized, because every kernel writes its output in full.
     fn alloc(&self, id: usize) -> Result<Tensor> {
         crate::faults::fire(crate::faults::TENSOR_ALLOC)?;
-        Ok(Tensor::zeros(self.shapes[id].clone(), self.layouts[id])?)
+        Ok(Tensor::uninit(self.shapes[id].clone(), self.layouts[id])?)
     }
 
-    /// Executes one node and returns its output tensor. Called inside the
-    /// per-node panic boundary of [`Module::run_inner`].
-    fn exec_node(
+    /// Executes one node of the reference interpreter.
+    fn exec_node_reference(
         &self,
         id: usize,
         node: &neocpu_graph::Node,
-        values: &mut [Option<Tensor>],
+        values: &[Option<Tensor>],
         inputs: &[Tensor],
         next_input: &mut usize,
         par: &dyn Parallelism,
@@ -214,11 +601,16 @@ impl Module {
         if !matches!(node.op, Op::Input { .. } | Op::LayoutTransform { .. }) {
             crate::faults::fire(crate::faults::KERNEL_ENTRY)?;
         }
+        let value = |vid: usize| -> Result<&Tensor> {
+            values[vid]
+                .as_ref()
+                .ok_or_else(|| NeoError::Internal(format!("value {vid} not computed")))
+        };
         let out = match &node.op {
             Op::Input { shape } => {
-                let t = inputs.get(*next_input).ok_or_else(|| {
-                    NeoError::BadInput(format!("missing input #{next_input}"))
-                })?;
+                let t = inputs
+                    .get(*next_input)
+                    .ok_or_else(|| NeoError::BadInput(format!("missing input #{next_input}")))?;
                 *next_input += 1;
                 if t.shape().dims() != &shape[..] {
                     return Err(NeoError::BadInput(format!(
@@ -239,12 +631,8 @@ impl Module {
                 t.clone()
             }
             Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
-                let x = self.value(values, node.inputs[0])?;
-                let res = if *residual {
-                    Some(self.value(values, node.inputs[1])?)
-                } else {
-                    None
-                };
+                let x = value(node.inputs[0])?;
+                let res = if *residual { Some(value(node.inputs[1])?) } else { None };
                 let bias_data = bias.map(|b| g.params[b].data());
                 let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
                 let mut out = self.alloc(id)?;
@@ -259,6 +647,7 @@ impl Module {
                             &epi,
                             par,
                             self.max_lanes,
+                            None,
                         )?;
                     }
                     None => {
@@ -268,13 +657,12 @@ impl Module {
                 out
             }
             Op::ScaleShift { scale, shift } => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let mut out = self.alloc(id)?;
                 scale_shift(x, &mut out, g.params[*scale].data(), g.params[*shift].data(), par)?;
                 out
             }
             Op::BatchNorm { gamma, beta, mean, var, eps } => {
-                // Normally folded away; kept total for un-simplified graphs.
                 let (scale, shift) = batchnorm_fold(
                     g.params[*gamma].data(),
                     g.params[*beta].data(),
@@ -282,95 +670,67 @@ impl Module {
                     g.params[*var].data(),
                     *eps,
                 );
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let mut out = self.alloc(id)?;
                 scale_shift(x, &mut out, &scale, &shift, par)?;
                 out
             }
             Op::Relu => {
-                let mut t = self.take_or_clone(values, node.inputs[0], id)?;
+                let mut t = value(node.inputs[0])?.clone();
                 relu_inplace(&mut t, par);
                 t
             }
-            Op::Dropout => self.take_or_clone(values, node.inputs[0], id)?,
+            Op::Dropout => value(node.inputs[0])?.clone(),
             Op::Pool { params, kind } => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let mut out = self.alloc(id)?;
                 pool2d(x, &mut out, params, *kind, par)?;
                 out
             }
             Op::GlobalAvgPool => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let mut out = self.alloc(id)?;
                 global_avg_pool(x, &mut out, par)?;
                 out
             }
             Op::Add => {
-                let a = self.value(values, node.inputs[0])?;
-                let b = self.value(values, node.inputs[1])?;
+                let a = value(node.inputs[0])?;
+                let b = value(node.inputs[1])?;
                 let mut out = self.alloc(id)?;
                 add(a, b, &mut out, par)?;
                 out
             }
             Op::Concat => {
-                let ins: Vec<&Tensor> = node
-                    .inputs
-                    .iter()
-                    .map(|&i| self.value(values, i))
-                    .collect::<Result<_>>()?;
+                let ins: Vec<&Tensor> =
+                    node.inputs.iter().map(|&i| value(i)).collect::<Result<_>>()?;
                 let mut out = self.alloc(id)?;
                 concat_channels(&ins, &mut out, par)?;
                 out
             }
             Op::Flatten => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 x.reshaped(self.shapes[id].clone())?
             }
             Op::Dense { weight, bias, relu } => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let bias_data = bias.map(|b| g.params[b].data());
                 let mut out = self.alloc(id)?;
                 dense::dense(x, &g.params[*weight], &mut out, bias_data, *relu, par)?;
                 out
             }
             Op::Softmax => {
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 let mut out = self.alloc(id)?;
                 softmax::softmax(x, &mut out, par)?;
                 out
             }
             Op::LayoutTransform { to } => {
                 crate::faults::fire(crate::faults::LAYOUT_TRANSFORM)?;
-                let x = self.value(values, node.inputs[0])?;
+                let x = value(node.inputs[0])?;
                 to_layout(x, *to)?
             }
         };
         Ok(out)
-    }
-
-    fn value<'v>(&self, values: &'v [Option<Tensor>], id: usize) -> Result<&'v Tensor> {
-        values[id]
-            .as_ref()
-            .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
-    }
-
-    /// Takes ownership of an input value when this node is its last
-    /// consumer (enabling in-place unary ops), cloning otherwise.
-    fn take_or_clone(
-        &self,
-        values: &mut [Option<Tensor>],
-        id: usize,
-        consumer: usize,
-    ) -> Result<Tensor> {
-        if self.last_use[id] == consumer {
-            values[id]
-                .take()
-                .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
-        } else {
-            values[id]
-                .clone()
-                .ok_or_else(|| NeoError::Internal(format!("value {id} freed too early")))
-        }
     }
 }
 
@@ -402,6 +762,7 @@ impl std::fmt::Debug for Module {
             .field("nodes", &self.graph.len())
             .field("transforms", &self.transform_count())
             .field("threads", &self.pool.num_threads())
+            .field("arena_bytes", &self.plan.report.planned_peak_bytes)
             .finish()
     }
 }
@@ -530,6 +891,83 @@ mod tests {
         let a = m.run(std::slice::from_ref(&input)).unwrap();
         let b2 = m.run(std::slice::from_ref(&input)).unwrap();
         assert_eq!(a[0].data(), b2[0].data());
+    }
+
+    #[test]
+    fn explicit_context_runs_match_pooled_runs() {
+        let mut b = GraphBuilder::new(6);
+        let x = b.input([1, 8, 8, 8]);
+        let c = b.conv_bn_relu(x, 8, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let input = Tensor::random([1, 8, 8, 8], Layout::Nchw, 13, 1.0).unwrap();
+        let pooled = m.run(std::slice::from_ref(&input)).unwrap();
+        let mut ctx = m.make_context();
+        // Warm the context, then run again: results must be identical (the
+        // arena holds stale data between runs; every output is overwritten).
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+        let out = ctx.output(0).unwrap();
+        assert!(out.is_view());
+        assert_eq!(out.data(), pooled[0].data());
+        // Cloning an output detaches it from the arena.
+        let snap = out.clone();
+        assert!(!snap.is_view());
+    }
+
+    #[test]
+    fn context_from_another_module_is_rejected() {
+        let mut b = GraphBuilder::new(6);
+        let x = b.input([1, 4, 8, 8]);
+        let c = b.conv2d(x, 4, 3, 1, 1);
+        let g = b.finish(vec![c]);
+        let m1 = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let m2 = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let mut ctx = m1.make_context();
+        let input = Tensor::random([1, 4, 8, 8], Layout::Nchw, 17, 1.0).unwrap();
+        let err = m2.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap_err();
+        assert!(matches!(err, NeoError::BadInput(_)), "unexpected error: {err}");
+        m1.run_with(&mut ctx, &[input]).unwrap();
+    }
+
+    #[test]
+    fn arena_run_is_bit_identical_to_reference_run() {
+        let mut b = GraphBuilder::new(9);
+        let x = b.input([1, 8, 8, 8]);
+        let c0 = b.conv2d(x, 8, 1, 1, 0);
+        let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+        let a = b.add(c1, c0);
+        let r = b.relu(a);
+        let g = b.finish(vec![r]);
+        let input = Tensor::random([1, 8, 8, 8], Layout::Nchw, 19, 1.0).unwrap();
+        for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+            let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(level)).unwrap();
+            let planned = m.run(std::slice::from_ref(&input)).unwrap();
+            let reference = m.run_reference(std::slice::from_ref(&input)).unwrap();
+            assert_eq!(planned[0].data(), reference[0].data(), "{level:?} diverged");
+        }
+    }
+
+    #[test]
+    fn memory_report_shows_reuse_below_naive() {
+        let mut b = GraphBuilder::new(12);
+        let x = b.input([1, 8, 16, 16]);
+        let c1 = b.conv_bn_relu(x, 16, 3, 1, 1);
+        let c2 = b.conv_bn_relu(c1, 16, 3, 1, 1);
+        let c3 = b.conv_bn_relu(c2, 16, 3, 1, 1);
+        let g = b.finish(vec![c3]);
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+        let r = m.memory_report();
+        assert!(r.planned_peak_bytes > 0);
+        assert!(
+            r.planned_peak_bytes < r.naive_bytes,
+            "no reuse: peak {} vs naive {}",
+            r.planned_peak_bytes,
+            r.naive_bytes
+        );
+        assert!(r.scratch_bytes > 0, "padded convs must reserve scratch");
+        let ctx = m.make_context();
+        assert_eq!(ctx.arena_bytes(), r.planned_peak_bytes);
     }
 
     #[test]

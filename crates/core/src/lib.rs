@@ -41,6 +41,7 @@ mod compile;
 mod error;
 mod executor;
 pub mod faults;
+pub mod memory;
 mod target;
 
 pub use compile::{
@@ -49,7 +50,8 @@ pub use compile::{
     ScheduleFallback, SearchStrategy,
 };
 pub use error::NeoError;
-pub use executor::{Module, OpProfile};
+pub use executor::{Module, OpProfile, RunContext};
+pub use memory::MemoryReport;
 pub use target::{CpuTarget, IsaKind};
 
 /// Crate-wide result alias.

@@ -16,13 +16,26 @@
 //! input (the standard direct-convolution arrangement, also what TVM's x86
 //! schedule does), so the hot loops are entirely branch-free.
 
-use neocpu_tensor::{Layout, Tensor};
+use neocpu_tensor::{AlignedBuf, Layout, Tensor};
 use neocpu_threadpool::Parallelism;
 
 use super::microkernel::{self, Geo};
 use super::{Conv2dParams, ConvSchedule, Epilogue};
 use crate::util::SendPtr;
 use crate::{KernelError, Result};
+
+/// Number of `f32` elements of padded-input scratch [`conv2d_nchwc`] needs
+/// for a workload at batch `batch` under input blocking `ic_bn`, or 0 when
+/// the workload is unpadded (no scratch is touched then).
+///
+/// The static memory planner uses this to reserve per-conv scratch regions
+/// in the execution arena so padding never allocates at run time.
+pub fn padded_input_len(p: &Conv2dParams, ic_bn: usize, batch: usize) -> usize {
+    if p.pad_h == 0 && p.pad_w == 0 {
+        return 0;
+    }
+    batch * (p.in_channels / ic_bn.max(1)) * (p.in_h + 2 * p.pad_h) * (p.in_w + 2 * p.pad_w) * ic_bn
+}
 
 /// Direct convolution on blocked layouts: `NCHW[ic_bn]c` input,
 /// `OIHW[ic_bn]i[oc_bn]o` weights, `NCHW[oc_bn]c` output.
@@ -31,10 +44,17 @@ use crate::{KernelError, Result};
 /// `CpuTarget` descriptor can model a narrower machine than the host; pass
 /// `usize::MAX` for "whatever the host has".
 ///
+/// For padded workloads the kernel materializes a zero-padded copy of the
+/// input. `scratch` optionally supplies that buffer — it must hold exactly
+/// [`padded_input_len`] elements and its prior contents are irrelevant (the
+/// padding writer touches every element). Passing `None` allocates a
+/// temporary internally; the arena executor passes planned scratch so the
+/// hot path never allocates.
+///
 /// # Errors
 ///
-/// Returns an error if the schedule does not divide the workload or any
-/// operand has the wrong layout/shape.
+/// Returns an error if the schedule does not divide the workload, any
+/// operand has the wrong layout/shape, or `scratch` has the wrong length.
 pub fn conv2d_nchwc(
     input: &Tensor,
     weights: &Tensor,
@@ -44,6 +64,7 @@ pub fn conv2d_nchwc(
     epilogue: &Epilogue<'_>,
     par: &dyn Parallelism,
     max_lanes: usize,
+    scratch: Option<&mut [f32]>,
 ) -> Result<()> {
     schedule.validate(p)?;
     let (ic_bn, oc_bn) = (schedule.ic_bn, schedule.oc_bn);
@@ -80,12 +101,32 @@ pub fn conv2d_nchwc(
     }
     epilogue.validate(output, p.out_channels)?;
 
-    let padded_storage;
-    let padded: &Tensor = if p.pad_h == 0 && p.pad_w == 0 {
-        input
+    let owned_pad;
+    let in_data: &[f32] = if p.pad_h == 0 && p.pad_w == 0 {
+        input.data()
     } else {
-        padded_storage = pad_nchwc(input, p, ic_bn, par)?;
-        &padded_storage
+        let need = padded_input_len(p, ic_bn, n);
+        match scratch {
+            Some(buf) => {
+                if buf.len() != need {
+                    return Err(KernelError::BadOperand(format!(
+                        "conv scratch length {} != required {need}",
+                        buf.len()
+                    )));
+                }
+                pad_nchwc_into(input, p, ic_bn, par, &mut *buf);
+                buf
+            }
+            None => {
+                // Fallback path: every element of the padded buffer is
+                // written by `pad_nchwc_into` (interior copy + halo zero),
+                // so an uninitialized allocation is sound.
+                let mut b = AlignedBuf::uninit(need);
+                pad_nchwc_into(input, p, ic_bn, par, &mut b);
+                owned_pad = b;
+                &owned_pad
+            }
+        }
     };
 
     let geo = Geo::new(p, ic_bn, oc_bn);
@@ -96,7 +137,6 @@ pub fn conv2d_nchwc(
     let unroll = schedule.unroll_ker;
     let sh = p.stride_h;
 
-    let in_data = padded.data();
     let w_data = weights.data();
     let bias = epilogue.bias;
     let relu = epilogue.relu;
@@ -167,42 +207,66 @@ pub fn conv2d_nchwc(
     Ok(())
 }
 
-/// Copies a blocked input into a zero-padded blocked buffer
+/// Writes a blocked input into `dst` as a zero-padded blocked buffer
 /// (`[N, C, H+2ph, W+2pw]` logical, same `NCHW[x]c` layout).
-fn pad_nchwc(
+///
+/// Every element of `dst` is written exactly once: halo rows/columns are
+/// zero-filled and interior rows are copied from `input` — no full-buffer
+/// memset followed by an interior overwrite (the double-write the naive
+/// `Tensor::zeros` + copy arrangement paid). `dst`'s prior contents are
+/// irrelevant, so it may be uninitialized memory or reused arena scratch.
+///
+/// # Panics
+///
+/// Panics if `dst.len()` differs from [`padded_input_len`] for the
+/// workload; callers (only [`conv2d_nchwc`]) validate first.
+fn pad_nchwc_into(
     input: &Tensor,
     p: &Conv2dParams,
     ic_bn: usize,
     par: &dyn Parallelism,
-) -> Result<Tensor> {
+    dst: &mut [f32],
+) {
     let d = input.shape().dims();
     let (n, c) = (d[0], d[1]);
     let (ph, pw) = (p.in_h + 2 * p.pad_h, p.in_w + 2 * p.pad_w);
-    let mut out = Tensor::zeros([n, c, ph, pw], Layout::NchwC(ic_bn))?;
     let chunks = c / ic_bn;
+    assert_eq!(dst.len(), n * chunks * ph * pw * ic_bn, "padded scratch length mismatch");
     let src = input.data();
-    let dst_ptr = SendPtr(out.data_mut().as_mut_ptr());
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
     let row_elems = p.in_w * ic_bn;
-    par.run(n * chunks * p.in_h, &|_, range| {
+    let pad_row = pw * ic_bn;
+    let edge = p.pad_w * ic_bn;
+    // One job per *padded* row, so halo rows parallelize like interior rows.
+    par.run(n * chunks * ph, &|_, range| {
         let dst_ptr = dst_ptr;
         for job in range {
-            let b = job / (chunks * p.in_h);
-            let rest = job % (chunks * p.in_h);
-            let (cc, y) = (rest / p.in_h, rest % p.in_h);
-            let src_off = ((b * chunks + cc) * p.in_h + y) * row_elems;
-            let dst_off = (((b * chunks + cc) * ph + y + p.pad_h) * pw + p.pad_w) * ic_bn;
-            // SAFETY: jobs are disjoint (b, cc, y) rows; the destination row
-            // slice lies inside the padded buffer by construction.
+            let b = job / (chunks * ph);
+            let rest = job % (chunks * ph);
+            let (cc, y) = (rest / ph, rest % ph);
+            let row_base = ((b * chunks + cc) * ph + y) * pad_row;
+            // SAFETY: jobs are disjoint (b, cc, y) rows; every offset below
+            // stays inside the row, which lies inside `dst` per the assert.
             unsafe {
-                std::ptr::copy_nonoverlapping(
-                    src[src_off..].as_ptr(),
-                    dst_ptr.0.add(dst_off),
-                    row_elems,
-                );
+                if y < p.pad_h || y >= p.pad_h + p.in_h {
+                    // Full halo row above or below the image.
+                    std::ptr::write_bytes(dst_ptr.0.add(row_base), 0, pad_row);
+                } else {
+                    // Interior row: zero left edge, copy image row, zero
+                    // right edge.
+                    let sy = y - p.pad_h;
+                    let src_off = ((b * chunks + cc) * p.in_h + sy) * row_elems;
+                    std::ptr::write_bytes(dst_ptr.0.add(row_base), 0, edge);
+                    std::ptr::copy_nonoverlapping(
+                        src[src_off..].as_ptr(),
+                        dst_ptr.0.add(row_base + edge),
+                        row_elems,
+                    );
+                    std::ptr::write_bytes(dst_ptr.0.add(row_base + edge + row_elems), 0, edge);
+                }
             }
         }
     });
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -234,7 +298,7 @@ mod tests {
         let mut out_b =
             Tensor::zeros([batch, p.out_channels, p.out_h(), p.out_w()], Layout::NchwC(s.oc_bn))
                 .unwrap();
-        conv2d_nchwc(&in_b, &w_b, &mut out_b, p, s, &Epilogue::none(), &Sequential, usize::MAX)
+        conv2d_nchwc(&in_b, &w_b, &mut out_b, p, s, &Epilogue::none(), &Sequential, usize::MAX, None)
             .unwrap();
         let out = to_layout(&out_b, Layout::Nchw).unwrap();
         (ref_out, out)
@@ -306,10 +370,10 @@ mod tests {
             Tensor::random([16, 8, 3, 3], Layout::OihwIo { i: 8, o: 16 }, 32, 1.0).unwrap();
         let mut seq = Tensor::zeros([1, 16, 12, 12], Layout::NchwC(16)).unwrap();
         let mut par = Tensor::zeros([1, 16, 12, 12], Layout::NchwC(16)).unwrap();
-        conv2d_nchwc(&input, &weights, &mut seq, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+        conv2d_nchwc(&input, &weights, &mut seq, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
             .unwrap();
         let pool = ThreadPool::new(4);
-        conv2d_nchwc(&input, &weights, &mut par, &p, &s, &Epilogue::none(), &pool, usize::MAX)
+        conv2d_nchwc(&input, &weights, &mut par, &p, &s, &Epilogue::none(), &pool, usize::MAX, None)
             .unwrap();
         assert_eq!(seq.data(), par.data());
     }
@@ -332,7 +396,7 @@ mod tests {
         let res_b = to_layout(&residual, Layout::NchwC(8)).unwrap();
         let mut out_b = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(8)).unwrap();
         let epi_b = Epilogue { bias: Some(&bias), relu: true, residual: Some(&res_b) };
-        conv2d_nchwc(&in_b, &w_b, &mut out_b, &p, &s, &epi_b, &Sequential, usize::MAX).unwrap();
+        conv2d_nchwc(&in_b, &w_b, &mut out_b, &p, &s, &epi_b, &Sequential, usize::MAX, None).unwrap();
         assert!(ref_out.approx_eq(&out_b, 1e-4));
     }
 
@@ -351,9 +415,61 @@ mod tests {
             &s,
             &Epilogue::none(),
             &Sequential,
-            usize::MAX
+            usize::MAX,
+            None
         )
         .is_err());
+    }
+
+    #[test]
+    fn caller_scratch_matches_internal_padding() {
+        let p = Conv2dParams::square(8, 8, 10, 3, 1, 1);
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let input = Tensor::random([2, 8, 10, 10], Layout::NchwC(4), 61, 1.0).unwrap();
+        let weights =
+            Tensor::random([8, 8, 3, 3], Layout::OihwIo { i: 4, o: 8 }, 62, 1.0).unwrap();
+        let mut auto = Tensor::zeros([2, 8, 10, 10], Layout::NchwC(8)).unwrap();
+        let mut planned = Tensor::zeros([2, 8, 10, 10], Layout::NchwC(8)).unwrap();
+        conv2d_nchwc(&input, &weights, &mut auto, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
+            .unwrap();
+        // Poisoned scratch must be fully overwritten by the halo writer.
+        let mut scratch = vec![f32::NAN; super::padded_input_len(&p, s.ic_bn, 2)];
+        conv2d_nchwc(
+            &input,
+            &weights,
+            &mut planned,
+            &p,
+            &s,
+            &Epilogue::none(),
+            &Sequential,
+            usize::MAX,
+            Some(&mut scratch),
+        )
+        .unwrap();
+        assert_eq!(auto.data(), planned.data());
+
+        // Wrong-length scratch is rejected, not silently resized.
+        let mut short = vec![0.0f32; 8];
+        assert!(conv2d_nchwc(
+            &input,
+            &weights,
+            &mut planned,
+            &p,
+            &s,
+            &Epilogue::none(),
+            &Sequential,
+            usize::MAX,
+            Some(&mut short),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn padded_len_is_zero_only_without_padding() {
+        let padded = Conv2dParams::square(8, 8, 10, 3, 1, 1);
+        assert_eq!(super::padded_input_len(&padded, 4, 2), 2 * 2 * 12 * 12 * 4);
+        let unpadded = Conv2dParams::square(8, 8, 10, 1, 1, 0);
+        assert_eq!(super::padded_input_len(&unpadded, 4, 2), 0);
     }
 
     #[test]
@@ -366,9 +482,9 @@ mod tests {
             Tensor::random([16, 16, 3, 3], Layout::OihwIo { i: 16, o: 16 }, 52, 1.0).unwrap();
         let mut simd = Tensor::zeros([1, 16, 8, 8], Layout::NchwC(16)).unwrap();
         let mut scalar = Tensor::zeros([1, 16, 8, 8], Layout::NchwC(16)).unwrap();
-        conv2d_nchwc(&input, &weights, &mut simd, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+        conv2d_nchwc(&input, &weights, &mut simd, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
             .unwrap();
-        conv2d_nchwc(&input, &weights, &mut scalar, &p, &s, &Epilogue::none(), &Sequential, 1)
+        conv2d_nchwc(&input, &weights, &mut scalar, &p, &s, &Epilogue::none(), &Sequential, 1, None)
             .unwrap();
         assert!(simd.approx_eq(&scalar, 1e-4));
     }

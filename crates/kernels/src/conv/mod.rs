@@ -5,7 +5,7 @@ mod blocked;
 mod microkernel;
 mod reference;
 
-pub use blocked::conv2d_nchwc;
+pub use blocked::{conv2d_nchwc, padded_input_len};
 pub use reference::{conv2d_nchw_direct, conv2d_nhwc_direct};
 
 use neocpu_tensor::Tensor;

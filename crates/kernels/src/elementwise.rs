@@ -59,6 +59,33 @@ pub fn add(a: &Tensor, b: &Tensor, out: &mut Tensor, par: &dyn Parallelism) -> R
     Ok(())
 }
 
+/// Element-wise `acc += rhs` in place (layout-oblivious).
+///
+/// The single-tensor form of [`add`] the arena executor uses when the
+/// memory planner maps an Add output onto one of its inputs: with the
+/// accumulator mutated in place there is never an aliased input/output
+/// tensor pair.
+///
+/// # Errors
+///
+/// Returns an error if shapes or layouts differ.
+pub fn add_assign(acc: &mut Tensor, rhs: &Tensor, par: &dyn Parallelism) -> Result<()> {
+    if acc.shape() != rhs.shape() || acc.layout() != rhs.layout() {
+        return Err(KernelError::BadOperand(
+            "elementwise add operands must share shape and layout".into(),
+        ));
+    }
+    let src = rhs.data();
+    let ptr = SendPtr(acc.data_mut().as_mut_ptr());
+    par.run(src.len(), &|_, range| {
+        for i in range {
+            // SAFETY: disjoint ranges.
+            unsafe { *ptr.add(i) += src[i] };
+        }
+    });
+    Ok(())
+}
+
 /// Resolves `(block, chunks)` for a channel-wise op on `NCHW`/`NCHW[x]c`.
 fn channel_blocking(t: &Tensor, what: &str) -> Result<(usize, usize)> {
     let c = t.shape().dims()[1];
@@ -255,6 +282,19 @@ mod tests {
         assert!(add(&a, &b, &mut out, &Sequential).is_err());
         add(&a, &a, &mut out, &Sequential).unwrap();
         assert_eq!(out.at(&[0, 3, 1, 0]), 2.0 * a.at(&[0, 3, 1, 0]));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = Tensor::random([1, 8, 2, 2], Layout::NchwC(4), 2, 1.0).unwrap();
+        let b = Tensor::random([1, 8, 2, 2], Layout::NchwC(4), 3, 1.0).unwrap();
+        let mut out = Tensor::zeros([1, 8, 2, 2], Layout::NchwC(4)).unwrap();
+        add(&a, &b, &mut out, &Sequential).unwrap();
+        let mut acc = a.clone();
+        add_assign(&mut acc, &b, &Sequential).unwrap();
+        assert_eq!(acc.data(), out.data());
+        let mismatched = Tensor::zeros([1, 8, 2, 2], Layout::Nchw).unwrap();
+        assert!(add_assign(&mut acc, &mismatched, &Sequential).is_err());
     }
 
     #[test]

@@ -161,6 +161,7 @@ impl CostModel for TimedMeasurer {
                 &Epilogue::none(),
                 &Sequential,
                 self.max_lanes,
+                None,
             )
             .expect("workload/schedule validated");
             let dt = t0.elapsed().as_secs_f32();

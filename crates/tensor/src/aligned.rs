@@ -60,9 +60,37 @@ impl AlignedBuf {
         Self { ptr, len }
     }
 
+    /// Allocates a buffer of `len` elements **without** zero-filling it.
+    ///
+    /// The contents are unspecified (whatever the allocator returns); the
+    /// caller must fully overwrite the buffer before reading meaningful
+    /// values from it. This exists for kernel outputs that are written in
+    /// their entirety — skipping the memset halves the memory traffic of
+    /// every fresh output allocation on the non-arena path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation size overflows `isize` or the allocator
+    /// fails.
+    pub fn uninit(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::alloc_layout(len);
+        // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc::alloc(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            alloc::handle_alloc_error(layout);
+        };
+        Self { ptr, len }
+    }
+
     /// Allocates a buffer holding a copy of `src`.
     pub fn from_slice(src: &[f32]) -> Self {
-        let mut buf = Self::zeroed(src.len());
+        let mut buf = Self::uninit(src.len());
         buf.copy_from_slice(src);
         buf
     }

@@ -1,0 +1,176 @@
+//! The execution arena: one shared, 64-byte aligned allocation that backs
+//! every intermediate tensor of an inference.
+//!
+//! The static memory planner (in the `neocpu` core crate) assigns each
+//! intermediate value an offset into a single [`Arena`] ahead of time, so
+//! steady-state inference touches the allocator zero times. Tensors then
+//! *view* disjoint arena ranges instead of owning buffers.
+//!
+//! Safety model: the arena itself never hands out references — only the
+//! `unsafe` [`Arena::slice`] / [`Arena::slice_mut`] accessors do, and the
+//! planner is responsible for the invariant that makes them sound: **two
+//! simultaneously-live views never overlap unless both are read-only**.
+//! Everything above this module (the `Tensor` view storage, the executor)
+//! inherits that contract.
+
+use std::alloc::{self, Layout as AllocLayout};
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use crate::aligned::BUF_ALIGN;
+
+/// A fixed-size, 64-byte aligned, shared `f32` allocation that tensors can
+/// view at planned offsets.
+///
+/// Unlike [`crate::AlignedBuf`], an `Arena` is shared (`Arc`) and supports
+/// interior mutation through raw-pointer-derived slices: the planner
+/// guarantees disjointness of simultaneously-live mutable ranges, which is
+/// exactly the guarantee `split_at_mut` provides lexically.
+///
+/// The memory is zero-initialized once at construction; after that, nothing
+/// is ever cleared — kernels fully overwrite their output regions, and the
+/// conv padding path re-zeroes only its halo.
+pub struct Arena {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: the arena is plain memory; all access goes through the unsafe
+// slice accessors whose callers uphold disjointness, and `f32` is Send+Sync.
+unsafe impl Send for Arena {}
+// SAFETY: as above — shared access alone never aliases a mutable range
+// except under the caller-upheld planner contract.
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Allocates a zero-initialized arena of `len` elements behind an `Arc`.
+    ///
+    /// A zero-length arena performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation size overflows `isize` or the allocator
+    /// fails (allocation failure is not recoverable for the runtime).
+    pub fn new(len: usize) -> Arc<Self> {
+        if len == 0 {
+            return Arc::new(Self { ptr: NonNull::dangling(), len: 0 });
+        }
+        let layout = Self::alloc_layout(len);
+        // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc::alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            alloc::handle_alloc_error(layout);
+        };
+        Arc::new(Self { ptr, len })
+    }
+
+    /// Number of `f32` elements in the arena.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the arena holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared view of `len` elements starting at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie within the arena, and for the lifetime of the
+    /// returned slice no mutable slice overlapping it may exist. The memory
+    /// planner upholds this by assigning overlapping live values disjoint
+    /// offsets.
+    #[allow(clippy::missing_panics_doc)] // bounds assert is part of the contract
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[f32] {
+        assert!(offset.checked_add(len).is_some_and(|end| end <= self.len), "arena slice OOB");
+        // SAFETY: in-bounds per the assert; aliasing per the caller contract.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().add(offset), len) }
+    }
+
+    /// Mutable view of `len` elements starting at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie within the arena, and for the lifetime of the
+    /// returned slice no other slice (shared or mutable) overlapping it may
+    /// be accessed — the manual equivalent of `split_at_mut` disjointness,
+    /// guaranteed by the memory planner.
+    #[allow(clippy::missing_panics_doc)] // bounds assert is part of the contract
+    #[allow(clippy::mut_from_ref)] // interior mutability under the planner's disjointness contract
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [f32] {
+        assert!(offset.checked_add(len).is_some_and(|end| end <= self.len), "arena slice OOB");
+        // SAFETY: in-bounds per the assert; exclusivity per the caller
+        // contract (the pointer is derived from the original allocation,
+        // never from a shared reference, so it retains write provenance).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset), len) }
+    }
+
+    fn alloc_layout(len: usize) -> AllocLayout {
+        let bytes = len.checked_mul(std::mem::size_of::<f32>()).expect("Arena size overflow");
+        AllocLayout::from_size_align(bytes, BUF_ALIGN).expect("Arena layout overflow")
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let layout = Self::alloc_layout(self.len);
+        // SAFETY: allocated in `new` with exactly this layout, not yet freed.
+        unsafe { alloc::dealloc(self.ptr.as_ptr().cast::<u8>(), layout) };
+    }
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed_and_aligned() {
+        let a = Arena::new(1000);
+        assert_eq!(a.len(), 1000);
+        // SAFETY: no mutable slices exist.
+        let s = unsafe { a.slice(0, 1000) };
+        assert!(s.iter().all(|&v| v == 0.0));
+        assert_eq!(s.as_ptr() as usize % BUF_ALIGN, 0);
+    }
+
+    #[test]
+    fn disjoint_mut_slices_coexist() {
+        let a = Arena::new(64);
+        // SAFETY: the two ranges are disjoint.
+        let (lo, hi) = unsafe { (a.slice_mut(0, 16), a.slice_mut(16, 48)) };
+        lo.fill(1.0);
+        hi.fill(2.0);
+        // SAFETY: the mutable slices above are no longer used.
+        let all = unsafe { a.slice(0, 64) };
+        assert_eq!(all[15], 1.0);
+        assert_eq!(all[16], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB")]
+    fn oob_slice_panics() {
+        let a = Arena::new(8);
+        // SAFETY: bounds are checked before any slice is formed.
+        let _ = unsafe { a.slice(4, 8) };
+    }
+
+    #[test]
+    fn zero_len_arena_is_usable() {
+        let a = Arena::new(0);
+        assert!(a.is_empty());
+        // SAFETY: empty range.
+        assert_eq!(unsafe { a.slice(0, 0) }, &[] as &[f32]);
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(rust_2018_idioms)]
 
 mod aligned;
+mod arena;
 mod error;
 mod layout;
 mod shape;
@@ -22,6 +23,7 @@ mod tensor;
 pub mod transform;
 
 pub use aligned::AlignedBuf;
+pub use arena::Arena;
 pub use error::TensorError;
 pub use layout::Layout;
 pub use shape::Shape;

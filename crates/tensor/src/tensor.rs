@@ -1,11 +1,27 @@
 //! The dense `f32` tensor type.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AlignedBuf, Layout, Shape, TensorError};
+use crate::{AlignedBuf, Arena, Layout, Shape, TensorError};
+
+/// Physical storage behind a [`Tensor`]: an owned aligned buffer, or a
+/// planned view into a shared execution [`Arena`].
+enum Storage {
+    /// Exclusively owned buffer (the default for user-facing tensors).
+    Owned(AlignedBuf),
+    /// A view of `len` elements at `offset` into a shared arena. The
+    /// memory planner guarantees that simultaneously-live views never
+    /// overlap unless all of them are read-only.
+    View {
+        arena: Arc<Arena>,
+        offset: usize,
+        len: usize,
+    },
+}
 
 /// A dense `f32` tensor: logical shape + physical layout + aligned buffer.
 ///
@@ -14,11 +30,15 @@ use crate::{AlignedBuf, Layout, Shape, TensorError};
 /// describes how elements are arranged in the buffer. Fast kernels work on
 /// the raw slice with layout-specialized loops; the indexed accessors here
 /// are the slow general path used by transforms and tests.
-#[derive(Clone)]
+///
+/// A tensor either **owns** its buffer or **views** a planned range of a
+/// shared execution [`Arena`] (see [`Tensor::arena_view`]); the distinction
+/// is invisible to kernels, which only see `data()`/`data_mut()` slices.
+/// Cloning always detaches: the clone owns a fresh copy of the data.
 pub struct Tensor {
     shape: Shape,
     layout: Layout,
-    buf: AlignedBuf,
+    buf: Storage,
 }
 
 impl Tensor {
@@ -32,7 +52,69 @@ impl Tensor {
         let shape = shape.into();
         layout.physical_dims(&shape)?;
         let buf = AlignedBuf::zeroed(shape.num_elements());
-        Ok(Self { shape, layout, buf })
+        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
+    }
+
+    /// Creates a tensor whose contents are **unspecified** (no memset).
+    ///
+    /// The buffer is allocated but not initialized: every element must be
+    /// written before it is meaningfully read. Use this for kernel outputs
+    /// that are fully overwritten (conv, pool, dense, concat, softmax);
+    /// [`Tensor::zeros`] remains the right call for padding and accumulator
+    /// buffers whose untouched cells must read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout.
+    pub fn uninit(shape: impl Into<Shape>, layout: Layout) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        layout.physical_dims(&shape)?;
+        let buf = AlignedBuf::uninit(shape.num_elements());
+        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
+    }
+
+    /// Creates a tensor viewing `shape.num_elements()` elements of `arena`
+    /// starting at element `offset`, without copying or allocating.
+    ///
+    /// This is the executor-side handle the static memory planner hands
+    /// out: node outputs become arena views at planned offsets, so
+    /// steady-state inference allocates nothing.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that, whenever this view is read or
+    /// written (via [`Tensor::data`] / [`Tensor::data_mut`]), no other
+    /// simultaneously-accessed view of the same arena overlaps the range
+    /// `offset .. offset + num_elements` — except that any number of
+    /// overlapping views may be *read* concurrently. The memory planner
+    /// establishes this invariant by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout or the
+    /// range does not fit in the arena.
+    pub unsafe fn arena_view(
+        arena: Arc<Arena>,
+        offset: usize,
+        shape: impl Into<Shape>,
+        layout: Layout,
+    ) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        layout.physical_dims(&shape)?;
+        let len = shape.num_elements();
+        if offset.checked_add(len).is_none_or(|end| end > arena.len()) {
+            return Err(TensorError::LengthMismatch {
+                expected: offset.saturating_add(len),
+                actual: arena.len(),
+            });
+        }
+        Ok(Self { shape, layout, buf: Storage::View { arena, offset, len } })
+    }
+
+    /// Whether this tensor views a shared arena (planned storage) rather
+    /// than owning its buffer.
+    pub fn is_view(&self) -> bool {
+        matches!(self.buf, Storage::View { .. })
     }
 
     /// Creates a tensor from existing data (moved into an aligned buffer).
@@ -54,7 +136,7 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Self { shape, layout, buf: AlignedBuf::from_slice(&data) })
+        Ok(Self { shape, layout, buf: Storage::Owned(AlignedBuf::from_slice(&data)) })
     }
 
     /// Creates a tensor with deterministic pseudo-random values in
@@ -77,11 +159,11 @@ impl Tensor {
         layout.physical_dims(&shape)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let n = shape.num_elements();
-        let mut buf = AlignedBuf::zeroed(n);
+        let mut buf = AlignedBuf::uninit(n);
         for v in buf.iter_mut() {
             *v = rng.gen_range(-scale..scale);
         }
-        Ok(Self { shape, layout, buf })
+        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
     }
 
     /// Logical shape.
@@ -101,12 +183,22 @@ impl Tensor {
 
     /// Read-only view of the raw buffer in physical order.
     pub fn data(&self) -> &[f32] {
-        &self.buf
+        match &self.buf {
+            Storage::Owned(b) => b,
+            // SAFETY: upheld by the `arena_view` caller contract — no
+            // overlapping mutable view is accessed while this one lives.
+            Storage::View { arena, offset, len } => unsafe { arena.slice(*offset, *len) },
+        }
     }
 
     /// Mutable view of the raw buffer in physical order.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.buf
+        match &mut self.buf {
+            Storage::Owned(b) => b,
+            // SAFETY: upheld by the `arena_view` caller contract — no other
+            // view overlapping this range is accessed while this one lives.
+            Storage::View { arena, offset, len } => unsafe { arena.slice_mut(*offset, *len) },
+        }
     }
 
     /// Element at a logical multi-index (slow general path).
@@ -115,7 +207,7 @@ impl Tensor {
     ///
     /// Panics on rank mismatch or out-of-range coordinates.
     pub fn at(&self, idx: &[usize]) -> f32 {
-        self.buf[self.layout.offset(&self.shape, idx)]
+        self.data()[self.layout.offset(&self.shape, idx)]
     }
 
     /// Writes an element at a logical multi-index (slow general path).
@@ -125,7 +217,7 @@ impl Tensor {
     /// Panics on rank mismatch or out-of-range coordinates.
     pub fn set(&mut self, idx: &[usize], value: f32) {
         let off = self.layout.offset(&self.shape, idx);
-        self.buf[off] = value;
+        self.data_mut()[off] = value;
     }
 
     /// Reinterprets the tensor under a new logical shape of equal element
@@ -163,7 +255,15 @@ impl Tensor {
                 return Err(TensorError::RankMismatch { expected: 4, actual: r });
             }
         };
-        Ok(Self { shape, layout, buf: self.buf.clone() })
+        let buf = match &self.buf {
+            Storage::Owned(b) => Storage::Owned(b.clone()),
+            // A reshape of a view shares the same planned region: the
+            // element count is identical and no data moves.
+            Storage::View { arena, offset, len } => {
+                Storage::View { arena: Arc::clone(arena), offset: *offset, len: *len }
+            }
+        };
+        Ok(Self { shape, layout, buf })
     }
 
     /// Largest absolute element-wise difference between two tensors compared
@@ -206,6 +306,19 @@ impl Tensor {
     /// indices (layouts may differ).
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl Clone for Tensor {
+    /// Deep copy. Cloning a view **detaches** it: the clone owns a fresh
+    /// buffer holding a snapshot of the viewed arena range, so it stays
+    /// valid after the arena is reused for the next inference.
+    fn clone(&self) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            layout: self.layout,
+            buf: Storage::Owned(AlignedBuf::from_slice(self.data())),
+        }
     }
 }
 
@@ -280,6 +393,47 @@ mod tests {
             .unwrap()
             .reshaped([2, 512])
             .is_err());
+    }
+
+    #[test]
+    fn arena_view_reads_and_writes_planned_range() {
+        let arena = crate::Arena::new(64);
+        // SAFETY: the two views are disjoint (16..32 and 32..48).
+        let mut a =
+            unsafe { Tensor::arena_view(arena.clone(), 16, [1, 1, 4, 4], Layout::Nchw) }.unwrap();
+        let b =
+            unsafe { Tensor::arena_view(arena.clone(), 32, [1, 1, 4, 4], Layout::Nchw) }.unwrap();
+        assert!(a.is_view() && b.is_view());
+        a.set(&[0, 0, 0, 0], 5.0);
+        assert_eq!(a.at(&[0, 0, 0, 0]), 5.0);
+        assert_eq!(b.at(&[0, 0, 0, 0]), 0.0);
+        // Out-of-range view is rejected.
+        assert!(unsafe { Tensor::arena_view(arena, 56, [1, 1, 4, 4], Layout::Nchw) }.is_err());
+    }
+
+    #[test]
+    fn cloning_a_view_detaches_it() {
+        let arena = crate::Arena::new(16);
+        // SAFETY: sole view of the arena.
+        let mut v =
+            unsafe { Tensor::arena_view(arena, 0, [1, 1, 4, 4], Layout::Nchw) }.unwrap();
+        v.set(&[0, 0, 0, 0], 3.0);
+        let snap = v.clone();
+        assert!(!snap.is_view());
+        v.set(&[0, 0, 0, 0], 9.0);
+        assert_eq!(snap.at(&[0, 0, 0, 0]), 3.0);
+    }
+
+    #[test]
+    fn reshaping_a_view_shares_storage() {
+        let arena = crate::Arena::new(16);
+        // SAFETY: `r` is only accessed after writes through `v` are done.
+        let mut v =
+            unsafe { Tensor::arena_view(arena, 0, [1, 1, 4, 4], Layout::Nchw) }.unwrap();
+        v.set(&[0, 0, 3, 3], 2.0);
+        let r = v.reshaped([1, 16]).unwrap();
+        assert!(r.is_view());
+        assert_eq!(r.at(&[0, 15]), 2.0);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! Hot pairs (`NCHW → NCHW[x]c`, `NCHW[x]c → NCHW`, re-blocking between two
 //! `NCHW[x]c` factors, `OIHW → OIHW[x]i[y]o`) have specialized loops; any
 //! remaining pair falls back to a generic logical-index walk.
+//!
+//! Every transform writes every destination element, so [`to_layout`]
+//! allocates its output with [`Tensor::uninit`] (no memset), and
+//! [`to_layout_into`] lets the arena executor write into planned storage
+//! without allocating at all.
 
 use crate::{Layout, Tensor, TensorError};
 
@@ -24,23 +29,45 @@ use crate::{Layout, Tensor, TensorError};
 /// Returns an error if the logical shape is incompatible with `target`
 /// (wrong rank or indivisible blocked dimension).
 pub fn to_layout(src: &Tensor, target: Layout) -> Result<Tensor, TensorError> {
-    target.physical_dims(src.shape())?;
-    match (src.layout(), target) {
-        (Layout::Nchw, Layout::NchwC(x)) => nchw_to_nchwc(src, x),
-        (Layout::NchwC(x), Layout::Nchw) => nchwc_to_nchw(src, x),
-        (Layout::NchwC(a), Layout::NchwC(b)) if a != b => reblock_nchwc(src, a, b),
-        (Layout::Oihw, Layout::OihwIo { i, o }) => oihw_to_oihwio(src, i, o),
-        _ => generic_transform(src, target),
+    let mut dst = Tensor::uninit(src.shape().clone(), target)?;
+    to_layout_into(src, &mut dst)?;
+    Ok(dst)
+}
+
+/// Transforms `src` into `dst`'s layout, writing into `dst`'s storage.
+///
+/// `dst` supplies both the target layout and the destination buffer, which
+/// may be an arena view: this is how the executor performs layout
+/// transformations without allocating. Every element of `dst` is
+/// overwritten, so its prior contents are irrelevant.
+///
+/// # Errors
+///
+/// Returns an error if the logical shapes of `src` and `dst` differ.
+pub fn to_layout_into(src: &Tensor, dst: &mut Tensor) -> Result<(), TensorError> {
+    if src.shape() != dst.shape() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "layout transform {} -> {} changes logical shape",
+            src.shape(),
+            dst.shape()
+        )));
     }
+    match (src.layout(), dst.layout()) {
+        (Layout::Nchw, Layout::NchwC(x)) => nchw_to_nchwc(src, dst, x),
+        (Layout::NchwC(x), Layout::Nchw) => nchwc_to_nchw(src, dst, x),
+        (Layout::NchwC(a), Layout::NchwC(b)) if a != b => reblock_nchwc(src, dst, a, b),
+        (Layout::Oihw, Layout::OihwIo { i, o }) => oihw_to_oihwio(src, dst, i, o),
+        _ => generic_transform_into(src, dst),
+    }
+    Ok(())
 }
 
 /// Specialized `NCHW → NCHW[x]c`: gathers `x` consecutive channels into the
 /// innermost dimension.
-fn nchw_to_nchwc(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
+fn nchw_to_nchwc(src: &Tensor, dst: &mut Tensor, x: usize) {
     let d = src.shape().dims();
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let hw = h * w;
-    let mut dst = Tensor::zeros(src.shape().clone(), Layout::NchwC(x))?;
     let s = src.data();
     let o = dst.data_mut();
     let chunks = c / x;
@@ -55,15 +82,13 @@ fn nchw_to_nchwc(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Ok(dst)
 }
 
 /// Specialized `NCHW[x]c → NCHW`: scatters the innermost block back out.
-fn nchwc_to_nchw(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
+fn nchwc_to_nchw(src: &Tensor, dst: &mut Tensor, x: usize) {
     let d = src.shape().dims();
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let hw = h * w;
-    let mut dst = Tensor::zeros(src.shape().clone(), Layout::Nchw)?;
     let s = src.data();
     let o = dst.data_mut();
     let chunks = c / x;
@@ -78,7 +103,6 @@ fn nchwc_to_nchw(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Ok(dst)
 }
 
 /// Re-blocks between two channel factors without materializing plain NCHW.
@@ -87,11 +111,10 @@ fn nchwc_to_nchw(src: &Tensor, x: usize) -> Result<Tensor, TensorError> {
 /// consecutive CONVs pays when the global search picks different split
 /// factors (§3.3.2); doing it directly halves the traffic of a naive
 /// `NCHW[a]c → NCHW → NCHW[b]c` round trip.
-fn reblock_nchwc(src: &Tensor, a: usize, b: usize) -> Result<Tensor, TensorError> {
+fn reblock_nchwc(src: &Tensor, dst: &mut Tensor, a: usize, b: usize) {
     let d = src.shape().dims();
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let hw = h * w;
-    let mut dst = Tensor::zeros(src.shape().clone(), Layout::NchwC(b))?;
     let s = src.data();
     let o = dst.data_mut();
     let (ca, cb) = (c / a, c / b);
@@ -106,15 +129,13 @@ fn reblock_nchwc(src: &Tensor, a: usize, b: usize) -> Result<Tensor, TensorError
             }
         }
     }
-    Ok(dst)
 }
 
 /// Specialized `OIHW → OIHW[i]i[o]o` weight pre-transformation (Figure 2:
 /// `KCRS → OIHW16i16o` done once at compile time).
-fn oihw_to_oihwio(src: &Tensor, i: usize, o: usize) -> Result<Tensor, TensorError> {
+fn oihw_to_oihwio(src: &Tensor, dst: &mut Tensor, i: usize, o: usize) {
     let d = src.shape().dims();
     let (oc, ic, kh, kw) = (d[0], d[1], d[2], d[3]);
-    let mut dst = Tensor::zeros(src.shape().clone(), Layout::OihwIo { i, o })?;
     let s = src.data();
     let out = dst.data_mut();
     let (oco_n, ico_n) = (oc / o, ic / i);
@@ -132,17 +153,15 @@ fn oihw_to_oihwio(src: &Tensor, i: usize, o: usize) -> Result<Tensor, TensorErro
             }
         }
     }
-    Ok(dst)
 }
 
 /// Generic transform via logical indices; correct for any layout pair of
 /// matching rank, slower than the specialized paths.
-fn generic_transform(src: &Tensor, target: Layout) -> Result<Tensor, TensorError> {
-    let mut dst = Tensor::zeros(src.shape().clone(), target)?;
+fn generic_transform_into(src: &Tensor, dst: &mut Tensor) {
     let dims = src.shape().dims().to_vec();
     let rank = dims.len();
     if src.num_elements() == 0 {
-        return Ok(dst);
+        return;
     }
     let mut idx = vec![0usize; rank];
     loop {
@@ -150,7 +169,7 @@ fn generic_transform(src: &Tensor, target: Layout) -> Result<Tensor, TensorError
         let mut k = rank;
         loop {
             if k == 0 {
-                return Ok(dst);
+                return;
             }
             k -= 1;
             idx[k] += 1;
@@ -171,6 +190,12 @@ mod tests {
         let shape = shape.into();
         let data: Vec<f32> = (0..shape.num_elements()).map(|v| v as f32).collect();
         Tensor::from_vec(data, shape, layout).unwrap()
+    }
+
+    fn generic_to_layout(src: &Tensor, target: Layout) -> Tensor {
+        let mut dst = Tensor::zeros(src.shape().clone(), target).unwrap();
+        generic_transform_into(src, &mut dst);
+        dst
     }
 
     #[test]
@@ -219,15 +244,22 @@ mod tests {
     }
 
     #[test]
+    fn into_rejects_shape_mismatch() {
+        let t = seq_tensor([1, 8, 2, 2], Layout::Nchw);
+        let mut dst = Tensor::zeros([1, 8, 2, 3], Layout::NchwC(4)).unwrap();
+        assert!(to_layout_into(&t, &mut dst).is_err());
+    }
+
+    #[test]
     fn specialized_paths_match_generic() {
         let t = seq_tensor([2, 24, 3, 5], Layout::Nchw);
         let fast = to_layout(&t, Layout::NchwC(4)).unwrap();
-        let slow = generic_transform(&t, Layout::NchwC(4)).unwrap();
+        let slow = generic_to_layout(&t, Layout::NchwC(4));
         assert_eq!(fast.data(), slow.data());
 
         let w = seq_tensor([8, 6, 3, 3], Layout::Oihw);
         let fast = to_layout(&w, Layout::OihwIo { i: 3, o: 4 }).unwrap();
-        let slow = generic_transform(&w, Layout::OihwIo { i: 3, o: 4 }).unwrap();
+        let slow = generic_to_layout(&w, Layout::OihwIo { i: 3, o: 4 });
         assert_eq!(fast.data(), slow.data());
     }
 }

@@ -1,0 +1,129 @@
+//! Asserts the arena executor's headline property: a **warm** inference
+//! performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after warming a
+//! module's pooled context, repeated `Module::run_with` calls must not
+//! change the allocation counter at all. `Module::run` is also measured —
+//! it clones the outputs out of the arena, so it is allowed exactly the
+//! output-tensor allocations and nothing more.
+//!
+//! The test is its own integration-test binary so the `#[global_allocator]`
+//! hook cannot interfere with (or be perturbed by) other tests.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use neocpu::{compile, CompileOptions, CpuTarget, OptLevel, PoolChoice};
+use neocpu_graph::GraphBuilder;
+use neocpu_tensor::{Layout, Tensor};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A ResNet-style tower exercising every steady-state op kind the planner
+/// handles in place or via the arena: padded scheduled convs (planned
+/// scratch), batch-norm folding, in-place Relu, residual Add, pooling,
+/// flatten aliasing, dense and softmax.
+fn residual_net() -> neocpu_graph::Graph {
+    let mut b = GraphBuilder::new(5);
+    let x = b.input([1, 8, 16, 16]);
+    let c0 = b.conv2d(x, 8, 1, 1, 0);
+    let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+    let c2 = b.conv2d_opts(c1, 8, 3, 1, 1, false);
+    let a = b.add(c2, c0);
+    let r = b.relu(a);
+    let p = b.max_pool(r, 2, 2, 0);
+    let f = b.flatten(p);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    b.finish(vec![s])
+}
+
+#[test]
+fn warm_run_with_performs_zero_allocations() {
+    let g = residual_net();
+    // Single-threaded: worker pools hand out work through their own
+    // queues; `Sequential` keeps the measurement about the executor.
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = compile(&g, &CpuTarget::host(), &opts).unwrap();
+    let input = Tensor::random([1, 8, 16, 16], Layout::Nchw, 3, 1.0).unwrap();
+
+    let mut ctx = m.make_context();
+    // Warm-up: first runs may lazily initialize allocator internals.
+    for _ in 0..3 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "warm run_with allocated {delta} time(s); expected zero");
+
+    // The context still holds a valid result after the measured loop.
+    let out = ctx.output(0).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 10]);
+    assert!(out.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn pooled_run_allocates_only_the_returned_outputs() {
+    let g = residual_net();
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = compile(&g, &CpuTarget::host(), &opts).unwrap();
+    let input = Tensor::random([1, 8, 16, 16], Layout::Nchw, 5, 1.0).unwrap();
+
+    // Warm the context pool.
+    for _ in 0..3 {
+        m.run(std::slice::from_ref(&input)).unwrap();
+    }
+
+    let before = allocation_count();
+    let runs = 10u64;
+    let mut outputs = Vec::with_capacity(runs as usize);
+    for _ in 0..runs {
+        outputs.push(m.run(std::slice::from_ref(&input)).unwrap());
+    }
+    let delta = allocation_count() - before;
+    // Per run: one Vec of outputs plus one detached buffer per output
+    // (and nothing for intermediates). Allow a tiny constant of slack for
+    // the collecting Vec above, but the naive executor's dozens of
+    // per-node tensor allocations must be gone.
+    let per_run = delta / runs;
+    assert!(
+        per_run <= 4,
+        "pooled run allocates {per_run} times per inference; intermediates are leaking \
+         out of the arena"
+    );
+    drop(outputs);
+}

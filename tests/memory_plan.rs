@@ -1,0 +1,131 @@
+//! Integration tests for the static memory planner and the arena executor.
+//!
+//! Two properties are checked end-to-end through the public API:
+//!
+//! 1. **Bit-exactness** — for real model topologies (ResNet-style residual
+//!    graphs, Inception-style concat graphs), the arena-backed planned run
+//!    produces byte-identical output to the naive clone-everything
+//!    reference interpreter ([`neocpu::Module::run_reference`]). Same
+//!    kernels, same order — only the storage strategy differs, so any
+//!    difference is a planner bug.
+//! 2. **Plan quality** — over the whole 15-model zoo, the planned arena
+//!    peak stays strictly below the naive sum of all intermediate outputs,
+//!    and liveness reuse actually fires.
+
+use neocpu::{compile, compile_with_report, CompileOptions, CpuTarget, OptLevel};
+use neocpu_models::{build, zoo, ModelKind, ModelScale};
+use neocpu_search::SchemeDatabase;
+use neocpu_tensor::{Layout, Tensor};
+
+fn tiny_input(kind: ModelKind, seed: u64) -> Tensor {
+    let scale = ModelScale::tiny(kind);
+    Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, seed, 1.0).unwrap()
+}
+
+fn assert_bit_exact(kind: ModelKind, levels: &[OptLevel]) {
+    let input = tiny_input(kind, 42);
+    let g = build(kind, ModelScale::tiny(kind), 4242);
+    for &level in levels {
+        let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(level))
+            .unwrap_or_else(|e| panic!("{} {level:?}: compile failed: {e}", kind.name()));
+        let planned = m.run(std::slice::from_ref(&input)).unwrap();
+        let reference = m.run_reference(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(planned.len(), reference.len(), "{}: output arity", kind.name());
+        for (p, r) in planned.iter().zip(&reference) {
+            assert_eq!(
+                p.data(),
+                r.data(),
+                "{} {level:?}: arena run is not bit-identical to the reference run",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// ResNet-style graph: residual adds, in-place Relu, downsample branches.
+#[test]
+fn resnet18_arena_matches_reference_bit_exact() {
+    assert_bit_exact(ModelKind::ResNet18, &[OptLevel::O0, OptLevel::O2, OptLevel::O3]);
+}
+
+/// Bottleneck variant: longer branch lifetimes across the skip connection.
+#[test]
+fn resnet50_arena_matches_reference_bit_exact() {
+    assert_bit_exact(ModelKind::ResNet50, &[OptLevel::O2]);
+}
+
+/// Inception-style graph: concat fan-ins with branches of differing depth,
+/// the hardest liveness shape for interval packing.
+#[test]
+fn inception_v3_arena_matches_reference_bit_exact() {
+    assert_bit_exact(ModelKind::InceptionV3, &[OptLevel::O2]);
+}
+
+/// DenseNet-style graph: every block output stays live into a concat far
+/// downstream, so reuse must not clobber long-lived values.
+#[test]
+fn densenet121_arena_matches_reference_bit_exact() {
+    assert_bit_exact(ModelKind::DenseNet121, &[OptLevel::O2]);
+}
+
+/// Across the whole zoo the planner must beat the naive allocator: the
+/// arena peak stays strictly below the sum of all intermediate outputs,
+/// and at least one liveness-reuse decision fires per model.
+#[test]
+fn planned_peak_beats_naive_across_the_zoo() {
+    for kind in zoo() {
+        let g = build(kind, ModelScale::tiny(kind), 7);
+        let mut db = SchemeDatabase::new();
+        let (m, report) = compile_with_report(
+            &g,
+            &CpuTarget::host(),
+            &CompileOptions::level(OptLevel::O2),
+            &mut db,
+        )
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", kind.name()));
+        let mem = report.memory;
+        assert_eq!(&mem, m.memory_report(), "{}: report/module disagree", kind.name());
+        assert!(mem.planned_peak_bytes > 0, "{}: empty plan", kind.name());
+        assert!(
+            mem.planned_peak_bytes < mem.naive_bytes,
+            "{}: planned peak {} is not below naive {}",
+            kind.name(),
+            mem.planned_peak_bytes,
+            mem.naive_bytes
+        );
+        // Epilogue fusion can absorb every Relu/Add into the convs (SSD);
+        // reuse decisions are required only where eligible ops survive.
+        let eligible = m.graph().nodes.iter().any(|n| {
+            matches!(
+                n.op,
+                neocpu_graph::Op::Relu
+                    | neocpu_graph::Op::Add
+                    | neocpu_graph::Op::Flatten
+                    | neocpu_graph::Op::Dropout
+            )
+        });
+        assert!(
+            !eligible || mem.reused > 0,
+            "{}: no in-place reuse decisions despite eligible ops",
+            kind.name()
+        );
+    }
+}
+
+/// The arena survives reuse across runs: outputs of a second warm run on
+/// the same pooled context equal a fresh module's outputs.
+#[test]
+fn warm_context_reuse_is_stable_on_resnet18() {
+    let kind = ModelKind::ResNet18;
+    let input = tiny_input(kind, 9);
+    let g = build(kind, ModelScale::tiny(kind), 99);
+    let m = compile(&g, &CpuTarget::host(), &CompileOptions::level(OptLevel::O2)).unwrap();
+    let first = m.run(std::slice::from_ref(&input)).unwrap();
+    // The second run reuses the pooled context (stale arena contents).
+    let second = m.run(std::slice::from_ref(&input)).unwrap();
+    assert_eq!(first[0].data(), second[0].data());
+    // Explicit context path agrees as well.
+    let mut ctx = m.make_context();
+    m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    assert_eq!(first[0].data(), ctx.output(0).unwrap().data());
+}

@@ -94,7 +94,7 @@ proptest! {
         let bw = to_layout(&weights, Layout::OihwIo { i: s.ic_bn, o: s.oc_bn }).unwrap();
         let mut out =
             Tensor::zeros([1, cout, p.out_h(), p.out_w()], Layout::NchwC(s.oc_bn)).unwrap();
-        conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &Sequential, usize::MAX)
+        conv2d_nchwc(&bi, &bw, &mut out, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
             .unwrap();
         prop_assert!(
             reference.approx_eq(&out, 1e-3),
@@ -120,7 +120,7 @@ proptest! {
         let weights = Tensor::random([20, 12, 3, 3], Layout::Oihw, seed + 1, 1.0).unwrap();
         let mut out = Tensor::zeros([1, 20, 8, 8], Layout::Nchw).unwrap();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            conv2d_nchwc(&input, &weights, &mut out, &p, &s, &Epilogue::none(), &Sequential, 16)
+            conv2d_nchwc(&input, &weights, &mut out, &p, &s, &Epilogue::none(), &Sequential, 16, None)
         }));
         match caught {
             Ok(res) => prop_assert!(res.is_err(), "invalid schedule {s:?} was accepted"),
@@ -208,5 +208,52 @@ proptest! {
         let a = o0.run(std::slice::from_ref(&input)).unwrap();
         let b2 = o2.run(std::slice::from_ref(&input)).unwrap();
         prop_assert!(a[0].approx_eq(&b2[0], 1e-3), "diff {}", a[0].max_abs_diff(&b2[0]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The memory planner's interval packing never hands overlapping arena
+    /// regions to values whose live ranges overlap, keeps every offset
+    /// vector-aligned, and never exceeds the arena length it reports.
+    #[test]
+    fn live_range_packing_never_overlaps(
+        count in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        use neocpu::memory::{pack_live_ranges, LiveRange, ALIGN_ELEMS};
+
+        let mut rng = TestRng::new(seed);
+        let ranges: Vec<LiveRange> = (0..count)
+            .map(|_| {
+                let start = (rng.next_u64() % 24) as usize;
+                let dur = (rng.next_u64() % 12) as usize;
+                // A few pinned ranges (graph outputs live forever).
+                let end = if rng.next_u64().is_multiple_of(8) { usize::MAX } else { start + dur };
+                let len = 1 + (rng.next_u64() % 300) as usize;
+                LiveRange { start, end, len }
+            })
+            .collect();
+        let (offsets, arena_len) = pack_live_ranges(&ranges);
+        prop_assert_eq!(offsets.len(), ranges.len());
+        for (r, &off) in ranges.iter().zip(&offsets) {
+            prop_assert!(off.is_multiple_of(ALIGN_ELEMS), "offset {} unaligned", off);
+            prop_assert!(off + r.len <= arena_len, "region [{}, {}) beyond arena {}",
+                off, off + r.len, arena_len);
+        }
+        for i in 0..ranges.len() {
+            for j in i + 1..ranges.len() {
+                if ranges[i].overlaps(&ranges[j]) {
+                    let (a0, a1) = (offsets[i], offsets[i] + ranges[i].len);
+                    let (b0, b1) = (offsets[j], offsets[j] + ranges[j].len);
+                    prop_assert!(
+                        a1 <= b0 || b1 <= a0,
+                        "live-overlapping ranges {} and {} share arena bytes: \
+                         [{}, {}) vs [{}, {})", i, j, a0, a1, b0, b1
+                    );
+                }
+            }
+        }
     }
 }
