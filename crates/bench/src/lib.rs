@@ -11,6 +11,7 @@
 //! | §3.3.2 — PBQP vs DP quality | [`run_pbqp_quality`] | `pbqp_quality` |
 //! | §3.3.1 — local-search behaviour per workload | [`run_local_search`] | `local_search` |
 //! | Memory planner — arena peak + allocation counts | [`run_memplan`] | `memplan` |
+//! | Serving engine — throughput vs concurrency (E8) | [`run_serve`] | `serve` |
 //!
 //! Microbenchmarks (Criterion) for the conv template, thread pools, layout
 //! transforms, and the solvers live in `benches/`.
@@ -24,7 +25,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use neocpu::{
-    compile, compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, SearchStrategy,
+    compile, compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, PoolChoice,
+    SearchStrategy, ServeEngine, ServeOptions,
 };
 use neocpu_models::{build, ModelKind, ModelScale};
 use neocpu_search::SchemeDatabase;
@@ -44,17 +46,41 @@ pub struct HarnessCfg {
     pub threads: usize,
     /// Model subset (empty = experiment default).
     pub models: Vec<ModelKind>,
+    /// `serve` only: CI smoke mode (small model, hard assertions).
+    pub smoke: bool,
+    /// `serve` only: engine worker threads (each owns one `RunContext`).
+    pub workers: usize,
+    /// `serve` only: client-thread counts to sweep (empty = 1,2,4,8).
+    pub clients: Vec<usize>,
+    /// `serve` only: requests each client sends.
+    pub requests: usize,
+    /// `serve` only: batch size B the module is compiled at (the
+    /// batcher's ceiling).
+    pub batch: usize,
 }
 
 impl Default for HarnessCfg {
     fn default() -> Self {
-        Self { full: false, reps: 5, warmup: 1, threads: 1, models: Vec::new() }
+        Self {
+            full: false,
+            reps: 5,
+            warmup: 1,
+            threads: 1,
+            models: Vec::new(),
+            smoke: false,
+            workers: 2,
+            clients: Vec::new(),
+            requests: 32,
+            batch: 4,
+        }
     }
 }
 
 impl HarnessCfg {
     /// Parses `--full`, `--reps N`, `--warmup N`, `--threads N`,
-    /// `--models a,b` from `std::env::args`.
+    /// `--models a,b`, and the `serve` flags `--smoke`, `--workers N`,
+    /// `--clients a,b`, `--requests N`, `--batch N` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +110,24 @@ impl HarnessCfg {
                             })
                         })
                         .collect();
+                    i += 1;
+                }
+                "--smoke" => cfg.smoke = true,
+                "--workers" if i + 1 < args.len() => {
+                    cfg.workers = args[i + 1].parse().unwrap_or(cfg.workers);
+                    i += 1;
+                }
+                "--clients" if i + 1 < args.len() => {
+                    cfg.clients =
+                        args[i + 1].split(',').filter_map(|n| n.parse().ok()).collect();
+                    i += 1;
+                }
+                "--requests" if i + 1 < args.len() => {
+                    cfg.requests = args[i + 1].parse().unwrap_or(cfg.requests);
+                    i += 1;
+                }
+                "--batch" if i + 1 < args.len() => {
+                    cfg.batch = args[i + 1].parse().unwrap_or(cfg.batch);
                     i += 1;
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
@@ -592,6 +636,200 @@ pub fn run_memplan(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) {
          the executor's contract is 0;\n allocs/run: per pooled Module::run, which clones \
          only the output tensors out of the arena)"
     );
+}
+
+/// Compiles `kind` at batch `cfg.batch` for the serving engine: O2 with a
+/// sequential in-module pool — the engine's workers are the parallelism,
+/// one inference per core (module §-level rationale in `neocpu::serve`).
+fn compile_for_serving(kind: ModelKind, cfg: &HarnessCfg) -> (Arc<Module>, ModelScale) {
+    let scale = cfg.scale(kind).with_batch(cfg.batch.max(1));
+    let graph = build(kind, scale, 42);
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let module =
+        Arc::new(compile(&graph, &CpuTarget::host(), &opts).expect("compilation succeeds"));
+    (module, scale)
+}
+
+/// Drives `clients` concurrent client threads against `engine`, each
+/// looping `per_client` requests on its own pre-allocated slot. Returns
+/// (completed, failed) as counted by the clients themselves.
+fn drive_clients(
+    engine: &ServeEngine,
+    clients: usize,
+    per_client: usize,
+    input: usize,
+) -> (u64, u64) {
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (ok, failed) = (&ok, &failed);
+            s.spawn(move || {
+                let req = engine.make_request();
+                let img =
+                    Tensor::random([1, 3, input, input], Layout::Nchw, c as u64 + 1, 1.0)
+                        .expect("valid client input");
+                req.fill(&img).expect("fill pre-allocated slot");
+                for _ in 0..per_client {
+                    if engine.submit(&req).is_err() {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match req.wait() {
+                        Ok(()) => ok.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    (ok.load(Ordering::Relaxed), failed.load(Ordering::Relaxed))
+}
+
+/// CI smoke: a small model served by ≥ 2 workers under concurrent clients,
+/// asserting every request completes, batches actually coalesce, and the
+/// warm fill → submit → wait cycle performs zero heap allocations.
+fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
+    let kind = ModelKind::ResNet18;
+    let (module, scale) = compile_for_serving(kind, cfg);
+    let engine = ServeEngine::new(
+        Arc::clone(&module),
+        &ServeOptions { workers: cfg.workers.max(2), ..Default::default() },
+    )
+    .expect("engine starts");
+    println!(
+        "serve --smoke: {} batch {} | {:?}",
+        kind.name(),
+        engine.module_batch(),
+        engine
+    );
+
+    let mut pass = true;
+    let clients = 4usize;
+    let per_client = cfg.requests.clamp(8, 64);
+    let want = (clients * per_client) as u64;
+    let (ok, failed) = drive_clients(&engine, clients, per_client, scale.input);
+    if ok != want || failed != 0 {
+        println!("FAIL: {ok}/{want} requests completed, {failed} failed");
+        pass = false;
+    }
+    let report = engine.report();
+    println!("{report}");
+    if report.multi_batches == 0 {
+        println!(
+            "FAIL: no multi-request batch formed under {clients} concurrent clients \
+             (batcher never coalesced)"
+        );
+        pass = false;
+    }
+
+    // Zero-alloc contract on the serve path: one warm slot, measured loop.
+    let req = engine.make_request();
+    let img = Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 7, 1.0)
+        .expect("valid input");
+    req.fill(&img).expect("fill");
+    for _ in 0..3 {
+        engine.submit(&req).expect("warm submit");
+        req.wait().expect("warm wait");
+    }
+    let reps = 10u64;
+    let before = alloc_count();
+    for _ in 0..reps {
+        engine.submit(&req).expect("measured submit");
+        req.wait().expect("measured wait");
+    }
+    let delta = alloc_count() - before;
+    let counting = alloc_count() > 0;
+    if counting {
+        println!("allocs over {reps} warm serve cycles: {delta}");
+        if delta != 0 {
+            println!("FAIL: warm serve path allocated (contract is 0)");
+            pass = false;
+        }
+    } else {
+        println!("allocs over {reps} warm serve cycles: - (no counting allocator)");
+    }
+    engine.shutdown();
+    println!("serve --smoke: {}", if pass { "PASS" } else { "FAIL" });
+    pass
+}
+
+/// Throughput-vs-concurrency table (EXPERIMENTS.md E8): each model is
+/// compiled once at batch B and served by a fresh engine per client count;
+/// one memory plan backs every pooled context.
+///
+/// MobileNet (the paper's third serving-style model) needs depthwise
+/// convolutions the kernel library does not implement; VGG-16 stands in
+/// (documented in EXPERIMENTS.md).
+fn serve_table(cfg: &HarnessCfg) {
+    use ModelKind::*;
+    let models = if cfg.models.is_empty() {
+        vec![ResNet50, Vgg16, InceptionV3]
+    } else {
+        cfg.models.clone()
+    };
+    let client_counts: Vec<usize> =
+        if cfg.clients.is_empty() { vec![1, 2, 4, 8] } else { cfg.clients.clone() };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "E8 — serving throughput vs concurrency ({} scale, batch {}, {} workers, \
+         {} reqs/client, {} hardware threads)",
+        if cfg.full { "FULL" } else { "reduced" },
+        cfg.batch.max(1),
+        cfg.workers.max(1),
+        cfg.requests.max(1),
+        host_cores,
+    );
+    println!(
+        "{:<16} {:>8} {:>6} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "model", "clients", "ok", "fail", "img/s", "mean B", "p50 (ms)", "p95 (ms)", "p99 (ms)", "queue hwm"
+    );
+    for kind in models {
+        let (module, scale) = compile_for_serving(kind, cfg);
+        for &n in &client_counts {
+            let engine = ServeEngine::new(
+                Arc::clone(&module),
+                &ServeOptions { workers: cfg.workers.max(1), ..Default::default() },
+            )
+            .expect("engine starts");
+            let (ok, failed) = drive_clients(&engine, n, cfg.requests.max(1), scale.input);
+            let r = engine.report();
+            engine.shutdown();
+            println!(
+                "{:<16} {:>8} {:>6} {:>6} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>10}",
+                kind.name(),
+                n,
+                ok,
+                failed,
+                r.images_per_sec(),
+                r.mean_batch,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.queue_depth_hwm,
+            );
+        }
+    }
+    println!(
+        "\n(one compile + one memory plan per model, shared by every worker's context; \
+         mean B > 1 shows the dynamic batcher coalescing under load)"
+    );
+}
+
+/// Serving-engine harness (`bin/serve`): `--smoke` runs the CI assertions
+/// and returns whether they passed; otherwise prints the E8
+/// throughput-vs-concurrency table and returns `true`.
+///
+/// `alloc_count` reads the caller's counting global allocator exactly as
+/// in [`run_memplan`]; without one the smoke mode skips (and reports `-`
+/// for) the zero-allocation check.
+pub fn run_serve(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
+    if cfg.smoke {
+        serve_smoke(cfg, alloc_count)
+    } else {
+        serve_table(cfg);
+        true
+    }
 }
 
 /// §3.3.1: local-search report for ResNet-50's distinct conv workloads.

@@ -385,7 +385,9 @@ fn global_search(
         }
         // The database ends up holding only verified entries for this
         // target — dropped schemes never resurface on the next compile.
-        db.put(&tname, params, kept.clone());
+        // `replace` (not the merging `put`) is load-bearing here: merging
+        // would resurrect the very entries verification just rejected.
+        db.replace(&tname, params, kept.clone());
         kept
     };
     let problem = extract_problem(g, &mut ranked, &analytical)?;

@@ -63,6 +63,11 @@ pub enum NeoError {
         /// Name of the failpoint that fired.
         failpoint: &'static str,
     },
+    /// A serving-engine protocol violation: submitting to a stopped
+    /// engine, re-submitting an in-flight request, reading outputs of a
+    /// request that never completed, or building an engine over a module
+    /// the batcher cannot serve.
+    Serve(String),
 }
 
 impl NeoError {
@@ -96,6 +101,7 @@ impl fmt::Display for NeoError {
             Self::Fault { failpoint } => {
                 write!(f, "injected fault at failpoint '{failpoint}'")
             }
+            Self::Serve(m) => write!(f, "serving error: {m}"),
         }
     }
 }

@@ -183,6 +183,45 @@ impl Module {
         &self.plan.report
     }
 
+    /// Declared shapes of the graph's `Input` nodes, in consumption order
+    /// (the order [`Module::run`] matches its `inputs` slice against).
+    pub fn input_shapes(&self) -> Vec<Shape> {
+        self.graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Input { .. }))
+            .map(|(id, _)| self.shapes[id].clone())
+            .collect()
+    }
+
+    /// Shapes of the graph outputs, in output order.
+    pub fn output_shapes(&self) -> Vec<Shape> {
+        self.graph.outputs.iter().map(|&o| self.shapes[o].clone()).collect()
+    }
+
+    /// Layouts the graph's `Input` nodes expect, parallel to
+    /// [`Module::input_shapes`].
+    pub(crate) fn input_layouts(&self) -> Vec<Layout> {
+        self.graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Input { .. }))
+            .map(|(id, _)| self.layouts[id])
+            .collect()
+    }
+
+    /// Layouts of the graph outputs, parallel to [`Module::output_shapes`].
+    pub(crate) fn output_layouts(&self) -> Vec<Layout> {
+        self.graph.outputs.iter().map(|&o| self.layouts[o]).collect()
+    }
+
+    /// The module's unique id (contexts and serve requests are bound to it).
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
     /// Creates a fresh execution context for this module.
     ///
     /// This is the only allocating step of steady-state serving: allocate

@@ -42,6 +42,7 @@ mod error;
 mod executor;
 pub mod faults;
 pub mod memory;
+pub mod serve;
 mod target;
 
 pub use compile::{
@@ -52,6 +53,7 @@ pub use compile::{
 pub use error::NeoError;
 pub use executor::{Module, OpProfile, RunContext};
 pub use memory::MemoryReport;
+pub use serve::{Request, ServeEngine, ServeOptions, ServeReport};
 pub use target::{CpuTarget, IsaKind};
 
 /// Crate-wide result alias.

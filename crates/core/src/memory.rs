@@ -71,6 +71,25 @@ pub struct MemoryReport {
     pub reused: usize,
     /// Bytes of planned conv padded-input scratch inside the arena.
     pub scratch_bytes: usize,
+    /// Batch size the module was planned at (leading dim of the first
+    /// graph input; 1 when the graph has no batched input). One plan is
+    /// shared by every `RunContext` built from the module, so a serving
+    /// context pool of `w` workers costs `w × planned_peak_bytes`.
+    pub batch: usize,
+}
+
+impl MemoryReport {
+    /// Planned arena bytes attributable to one image of the batch — the
+    /// per-request memory cost a batched serving engine amortizes.
+    pub fn per_image_peak_bytes(&self) -> usize {
+        self.planned_peak_bytes / self.batch.max(1)
+    }
+
+    /// Total arena bytes for a pool of `contexts` concurrent
+    /// `RunContext`s sharing this plan.
+    pub fn pool_bytes(&self, contexts: usize) -> usize {
+        self.planned_peak_bytes * contexts
+    }
 }
 
 /// The compile-time storage assignment for one module.
@@ -341,6 +360,16 @@ pub(crate) fn plan_memory(
     let _ = layouts; // layouts participate via shapes; kept for signature symmetry
 
     let naive_bytes: usize = shapes.iter().map(|s| s.num_elements() * 4).sum();
+    // Batch from the first graph input: every context built from this plan
+    // serves that many images per run, which the report surfaces so a
+    // context pool's memory bill is `pool_bytes(workers)`.
+    let batch = g
+        .nodes
+        .iter()
+        .enumerate()
+        .find(|(_, node)| matches!(node.op, Op::Input { .. }))
+        .and_then(|(id, _)| shapes[id].dims().first().copied())
+        .unwrap_or(1);
     Ok(MemoryPlan {
         offsets,
         scratch,
@@ -351,6 +380,7 @@ pub(crate) fn plan_memory(
             naive_bytes,
             reused,
             scratch_bytes,
+            batch,
         },
     })
 }

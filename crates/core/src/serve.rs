@@ -1,0 +1,832 @@
+//! Throughput-serving engine: concurrent, batched inference over pooled
+//! [`RunContext`]s.
+//!
+//! [`Module::run`] serves one request at a time; nothing in the stack
+//! drives the zero-allocation context machinery concurrently or at
+//! batch > 1. This module closes that gap with a classic serving front end
+//! layered on the arena executor:
+//!
+//! ```text
+//!  clients ──submit──▶ bounded queue ──▶ dynamic batcher ──▶ workers
+//!  (N threads)         (Mutex+Condvar,    (coalesce up to     (1 RunContext
+//!                       backpressure)      B or timeout)       each, affine)
+//! ```
+//!
+//! * Every worker owns a pre-built [`RunContext`] plus a staging input
+//!   tensor, both allocated once at engine start — a warm request costs
+//!   **zero heap allocations** end to end: submit pushes an `Arc` clone
+//!   into a pre-reserved `VecDeque`, the worker memcpys request rows into
+//!   its staging tensor, runs [`Module::run_with`] (allocation-free by the
+//!   executor's contract), and memcpys each output row back into the
+//!   request's pre-allocated buffers.
+//! * The **dynamic batcher** coalesces queued requests into one batched
+//!   run: a worker takes the first request, then waits up to
+//!   [`ServeOptions::batch_timeout`] for more, up to the module's batch
+//!   size. Under load batches fill instantly; at low load the timeout
+//!   bounds added latency.
+//! * **Fault containment** comes from the executor's per-node panic
+//!   boundary: a kernel panic or error fails the requests of that batch
+//!   with a typed [`NeoError`] — the worker, its context, and the engine
+//!   keep serving.
+//! * Workers bind to distinct cores via `neocpu-threadpool`'s affinity
+//!   helper (best effort; see [`ServeOptions::bind_workers`]).
+//!
+//! The module executed by the engine should usually be compiled
+//! single-threaded (`PoolChoice::Sequential`): the engine's workers are
+//! the parallelism, one inference per core, which is the throughput-optimal
+//! arrangement when requests outnumber cores (cf. the paper's §3.1.2 pool,
+//! which optimizes the *latency* of one inference instead).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use neocpu_tensor::{Layout, Shape, Tensor};
+use neocpu_threadpool::affinity;
+
+use crate::executor::{Module, RunContext};
+use crate::{NeoError, Result};
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads, each owning one [`RunContext`] (≥ 1).
+    pub workers: usize,
+    /// Upper bound on requests coalesced into one batched run. Clamped to
+    /// the module's compiled batch size; `0` means "the module's batch".
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for more requests
+    /// before running it anyway.
+    pub batch_timeout: Duration,
+    /// Bounded submission-queue capacity; a full queue blocks `submit`
+    /// (backpressure) until a worker drains it.
+    pub queue_cap: usize,
+    /// Pin worker `w` to core `w % cores` (best effort, Linux only).
+    pub bind_workers: bool,
+    /// Latency samples retained for percentile reporting; older samples
+    /// are overwritten ring-style so the warm path never reallocates.
+    pub latency_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 0,
+            batch_timeout: Duration::from_millis(1),
+            queue_cap: 256,
+            bind_workers: true,
+            latency_capacity: 65_536,
+        }
+    }
+}
+
+/// State of a request slot.
+enum SlotState {
+    /// Not submitted (or reset by [`Request::fill`] for reuse).
+    Idle,
+    /// In the queue or executing; the slot's buffers belong to the engine.
+    Queued,
+    /// Completed; outputs are valid.
+    Done,
+    /// The batch this request rode in failed with this error.
+    Failed(NeoError),
+}
+
+/// Everything a request owns, under one lock.
+struct SlotInner {
+    state: SlotState,
+    /// Caller-filled single-image input (leading dim 1).
+    input: Tensor,
+    /// One single-image buffer per module output, filled on completion.
+    outputs: Vec<Tensor>,
+    /// Submission timestamp, for queue-to-completion latency.
+    submitted: Instant,
+}
+
+/// A reusable request slot: one in-flight inference.
+///
+/// Created by [`ServeEngine::make_request`] with all buffers
+/// pre-allocated; the fill → submit → wait → read cycle performs no heap
+/// allocations, so a client looping on one slot preserves the arena
+/// executor's zero-allocation warm path end to end.
+///
+/// A slot may be reused (fill again after `wait` returns) but not aliased:
+/// submitting a slot that is already in flight is an error.
+pub struct Request {
+    module_uid: u64,
+    inner: Mutex<SlotInner>,
+    done: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Request {
+    /// Copies `data` into the slot's input buffer, resetting the slot for
+    /// (re-)submission.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an in-flight slot and shape/layout mismatches.
+    pub fn fill(&self, data: &Tensor) -> Result<()> {
+        let mut inner = lock(&self.inner);
+        if matches!(inner.state, SlotState::Queued) {
+            return Err(NeoError::Serve("cannot fill a request that is in flight".into()));
+        }
+        if data.shape().dims() != inner.input.shape().dims()
+            || data.layout() != inner.input.layout()
+        {
+            return Err(NeoError::BadInput(format!(
+                "request input must be {} {}, got {} {}",
+                inner.input.shape(),
+                inner.input.layout(),
+                data.shape(),
+                data.layout()
+            )));
+        }
+        inner.input.data_mut().copy_from_slice(data.data());
+        inner.state = SlotState::Idle;
+        Ok(())
+    }
+
+    /// Blocks until the request completes (or fails).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed execution error when the request's batch failed,
+    /// or a protocol error for a slot that was never submitted.
+    pub fn wait(&self) -> Result<()> {
+        let mut inner = lock(&self.inner);
+        while matches!(inner.state, SlotState::Queued) {
+            inner = self.done.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+        match &inner.state {
+            SlotState::Done => Ok(()),
+            SlotState::Failed(e) => Err(e.clone()),
+            SlotState::Idle | SlotState::Queued => {
+                Err(NeoError::Serve("request was not submitted".into()))
+            }
+        }
+    }
+
+    /// Reads the completed outputs without copying: `f` runs under the
+    /// slot lock with the single-image output tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's failure, or a protocol error when no
+    /// completed result is available.
+    pub fn with_outputs<R>(&self, f: impl FnOnce(&[Tensor]) -> R) -> Result<R> {
+        let inner = lock(&self.inner);
+        match &inner.state {
+            SlotState::Done => Ok(f(&inner.outputs)),
+            SlotState::Failed(e) => Err(e.clone()),
+            SlotState::Idle | SlotState::Queued => {
+                Err(NeoError::Serve("request has no completed result".into()))
+            }
+        }
+    }
+
+    /// Detached copy of completed output `i`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::with_outputs`]; also rejects an out-of-range index.
+    pub fn output(&self, i: usize) -> Result<Tensor> {
+        self.with_outputs(|outs| outs.get(i).cloned())?
+            .ok_or_else(|| NeoError::Serve(format!("request has no output #{i}")))
+    }
+}
+
+/// The bounded submission queue plus its synchronization.
+struct QueueInner {
+    items: VecDeque<Arc<Request>>,
+    stopping: bool,
+    depth_hwm: usize,
+}
+
+/// Aggregate counters and the latency ring, under one lock (touched once
+/// per request/batch — cheap next to an inference).
+struct ServeStats {
+    /// Queue-to-completion latencies, µs; ring-overwritten past capacity.
+    latencies_us: Vec<f64>,
+    ring_next: usize,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    batched_requests: u64,
+    multi_batches: u64,
+    max_batch_formed: usize,
+}
+
+/// State shared between the engine handle and its workers.
+struct Shared {
+    queue: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_cap: usize,
+    stats: Mutex<ServeStats>,
+}
+
+/// Point-in-time serving statistics (see [`ServeEngine::report`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed (their batch's execution errored or panicked).
+    pub failed: u64,
+    /// Batched runs executed.
+    pub batches: u64,
+    /// Batches that coalesced more than one request.
+    pub multi_batches: u64,
+    /// Mean formed batch size (requests per run).
+    pub mean_batch: f64,
+    /// Largest batch formed.
+    pub max_batch_formed: usize,
+    /// Submission-queue depth high-water mark.
+    pub queue_depth_hwm: usize,
+    /// Median queue-to-completion latency, ms (over retained samples).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Worker threads serving the engine.
+    pub workers: usize,
+    /// The module's compiled batch size B.
+    pub module_batch: usize,
+    /// Arena bytes of one pooled context (× `workers` = pool total).
+    pub arena_bytes_per_context: usize,
+    /// Wall time since the engine started, seconds.
+    pub elapsed_s: f64,
+}
+
+impl ServeReport {
+    /// Completed images per second over the engine's lifetime.
+    pub fn images_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ok / {} failed in {:.2}s ({:.1} img/s) | {} batches (mean {:.2}, max {}, >1: {}) \
+             | queue hwm {} | p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms | {} workers × {} KiB arena",
+            self.completed,
+            self.failed,
+            self.elapsed_s,
+            self.images_per_sec(),
+            self.batches,
+            self.mean_batch,
+            self.max_batch_formed,
+            self.multi_batches,
+            self.queue_depth_hwm,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.workers,
+            self.arena_bytes_per_context / 1024,
+        )
+    }
+}
+
+/// The serving engine: owns the queue, the batcher, and the worker pool.
+///
+/// Dropping the engine shuts it down: the queue is drained, workers join.
+pub struct ServeEngine {
+    module: Arc<Module>,
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    batch: usize,
+    image_shape: Shape,
+    input_layout: Layout,
+    out_row_shapes: Vec<Shape>,
+    out_layouts: Vec<Layout>,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Starts an engine over `module` with `opts`.
+    ///
+    /// The module must have exactly one graph input; every output's
+    /// leading dimension must equal the input's batch size B, so the
+    /// engine can slice per-request rows out of a batched run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoError::Serve`] when the module's signature cannot be
+    /// served (multi-input, non-batched outputs) or `opts.workers == 0`.
+    pub fn new(module: Arc<Module>, opts: &ServeOptions) -> Result<Self> {
+        if opts.workers == 0 {
+            return Err(NeoError::Serve("engine needs at least one worker".into()));
+        }
+        let input_shapes = module.input_shapes();
+        let [input_shape] = input_shapes.as_slice() else {
+            return Err(NeoError::Serve(format!(
+                "batched serving requires exactly one graph input, module has {}",
+                input_shapes.len()
+            )));
+        };
+        let batch = input_shape.dims().first().copied().unwrap_or(1).max(1);
+        let out_shapes = module.output_shapes();
+        for (i, s) in out_shapes.iter().enumerate() {
+            if s.dims().first().copied().unwrap_or(0) != batch {
+                return Err(NeoError::Serve(format!(
+                    "output #{i} has shape {s}; leading dim must equal the input batch {batch} \
+                     so per-request rows can be sliced out"
+                )));
+            }
+        }
+        let mut image_dims = input_shape.dims().to_vec();
+        image_dims[0] = 1;
+        let image_shape = Shape::new(image_dims);
+        let input_layout = module.input_layouts()[0];
+        let out_layouts = module.output_layouts();
+        let out_row_shapes: Vec<Shape> = out_shapes
+            .iter()
+            .map(|s| {
+                let mut d = s.dims().to_vec();
+                d[0] = 1;
+                Shape::new(d)
+            })
+            .collect();
+
+        let max_batch = if opts.max_batch == 0 { batch } else { opts.max_batch.min(batch) };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(opts.queue_cap.max(1)),
+                stopping: false,
+                depth_hwm: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_cap: opts.queue_cap.max(1),
+            stats: Mutex::new(ServeStats {
+                latencies_us: Vec::with_capacity(opts.latency_capacity),
+                ring_next: 0,
+                completed: 0,
+                failed: 0,
+                batches: 0,
+                batched_requests: 0,
+                multi_batches: 0,
+                max_batch_formed: 0,
+            }),
+        });
+
+        let mut handles = Vec::with_capacity(opts.workers);
+        for w in 0..opts.workers {
+            let cfg = WorkerCfg {
+                module: Arc::clone(&module),
+                shared: Arc::clone(&shared),
+                index: w,
+                max_batch,
+                batch_timeout: opts.batch_timeout,
+                bind: opts.bind_workers,
+                input_shape: input_shape.clone(),
+                input_layout,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("neocpu-serve-{w}"))
+                    .spawn(move || worker_loop(cfg))
+                    .map_err(|e| NeoError::Serve(format!("failed to spawn worker: {e}")))?,
+            );
+        }
+
+        Ok(Self {
+            module,
+            shared,
+            workers: Mutex::new(handles),
+            worker_count: opts.workers,
+            batch,
+            image_shape,
+            input_layout,
+            out_row_shapes,
+            out_layouts,
+            started: Instant::now(),
+        })
+    }
+
+    /// The module's compiled batch size B (the batcher's ceiling).
+    pub fn module_batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Creates a request slot with pre-allocated input/output buffers.
+    ///
+    /// This is the only allocating step of a client's steady state:
+    /// allocate one slot per concurrent request, then loop
+    /// fill → submit → wait on it allocation-free.
+    pub fn make_request(&self) -> Arc<Request> {
+        let input = Tensor::zeros(self.image_shape.clone(), self.input_layout)
+            .expect("image shape was validated at engine construction");
+        let outputs = self
+            .out_row_shapes
+            .iter()
+            .zip(&self.out_layouts)
+            .map(|(s, &l)| {
+                Tensor::zeros(s.clone(), l).expect("output row shape mirrors a planned value")
+            })
+            .collect();
+        Arc::new(Request {
+            module_uid: self.module.uid(),
+            inner: Mutex::new(SlotInner {
+                state: SlotState::Idle,
+                input,
+                outputs,
+                submitted: Instant::now(),
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a filled request slot; blocks while the queue is full
+    /// (backpressure). Returns as soon as the request is queued — pair
+    /// with [`Request::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects requests made by another engine's module, slots already in
+    /// flight, and submissions to a stopped engine.
+    pub fn submit(&self, req: &Arc<Request>) -> Result<()> {
+        if req.module_uid != self.module.uid() {
+            return Err(NeoError::Serve("request belongs to a different engine".into()));
+        }
+        {
+            let mut inner = lock(&req.inner);
+            if matches!(inner.state, SlotState::Queued) {
+                return Err(NeoError::Serve("request is already in flight".into()));
+            }
+            inner.state = SlotState::Queued;
+            inner.submitted = Instant::now();
+        }
+        let mut q = lock(&self.shared.queue);
+        while !q.stopping && q.items.len() >= self.shared.queue_cap {
+            q = self.shared.not_full.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+        if q.stopping {
+            drop(q);
+            lock(&req.inner).state = SlotState::Idle;
+            return Err(NeoError::Serve("engine is shut down".into()));
+        }
+        q.items.push_back(Arc::clone(req));
+        if q.items.len() > q.depth_hwm {
+            q.depth_hwm = q.items.len();
+        }
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// One-shot convenience: fill a fresh slot, submit, wait, and return
+    /// detached output copies. Allocates per call — latency/throughput
+    /// loops should hold their own slot instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit/execution failures.
+    pub fn infer(&self, input: &Tensor) -> Result<Vec<Tensor>> {
+        let req = self.make_request();
+        req.fill(input)?;
+        self.submit(&req)?;
+        req.wait()?;
+        req.with_outputs(|outs| outs.to_vec())
+    }
+
+    /// Snapshot of the engine's serving statistics.
+    pub fn report(&self) -> ServeReport {
+        let (depth_hwm, st) = {
+            let q = lock(&self.shared.queue);
+            let hwm = q.depth_hwm;
+            drop(q);
+            let st = lock(&self.shared.stats);
+            (
+                hwm,
+                (
+                    st.latencies_us.clone(),
+                    st.completed,
+                    st.failed,
+                    st.batches,
+                    st.batched_requests,
+                    st.multi_batches,
+                    st.max_batch_formed,
+                ),
+            )
+        };
+        let (mut lat, completed, failed, batches, batched_requests, multi, max_formed) = st;
+        lat.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+            lat[idx.min(lat.len() - 1)] / 1e3
+        };
+        ServeReport {
+            completed,
+            failed,
+            batches,
+            multi_batches: multi,
+            mean_batch: if batches > 0 { batched_requests as f64 / batches as f64 } else { 0.0 },
+            max_batch_formed: max_formed,
+            queue_depth_hwm: depth_hwm,
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            workers: self.worker_count,
+            module_batch: self.batch,
+            arena_bytes_per_context: self.module.memory_report().planned_peak_bytes,
+            elapsed_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Stops the engine: in-queue requests are drained and answered, then
+    /// workers exit and are joined. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.stopping = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.worker_count)
+            .field("module_batch", &self.batch)
+            .field("queue_cap", &self.shared.queue_cap)
+            .finish()
+    }
+}
+
+/// Everything one worker thread needs, moved into its closure.
+struct WorkerCfg {
+    module: Arc<Module>,
+    shared: Arc<Shared>,
+    index: usize,
+    max_batch: usize,
+    batch_timeout: Duration,
+    bind: bool,
+    input_shape: Shape,
+    input_layout: Layout,
+}
+
+/// The worker: pop → coalesce → stage → run → distribute, forever.
+fn worker_loop(cfg: WorkerCfg) {
+    if cfg.bind {
+        let cores = affinity::available_cores().max(1);
+        // Best effort — serving must work on hosts without affinity APIs.
+        let _ = affinity::bind_current_thread(cfg.index % cores);
+    }
+    let mut ctx: RunContext = cfg.module.make_context();
+    let mut staging = Tensor::zeros(cfg.input_shape.clone(), cfg.input_layout)
+        .expect("module input shape is constructible");
+    // Reused per round: holds at most `max_batch` Arc clones, so warm
+    // rounds never grow it.
+    let mut batch: Vec<Arc<Request>> = Vec::with_capacity(cfg.max_batch.max(1));
+
+    loop {
+        batch.clear();
+        {
+            let mut q = lock(&cfg.shared.queue);
+            // Block for the first request (or drain-and-exit on shutdown).
+            loop {
+                if let Some(r) = q.items.pop_front() {
+                    batch.push(r);
+                    cfg.shared.not_full.notify_one();
+                    break;
+                }
+                if q.stopping {
+                    return;
+                }
+                q = cfg.shared.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            // Dynamic batcher: coalesce up to `max_batch`, waiting at most
+            // `batch_timeout` past the first request.
+            if cfg.max_batch > 1 {
+                let deadline = Instant::now() + cfg.batch_timeout;
+                while batch.len() < cfg.max_batch {
+                    if let Some(r) = q.items.pop_front() {
+                        batch.push(r);
+                        cfg.shared.not_full.notify_one();
+                        continue;
+                    }
+                    if q.stopping {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = cfg
+                        .shared
+                        .not_empty
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                    if timeout.timed_out() && q.items.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        run_batch(&cfg, &mut ctx, &mut staging, &batch);
+    }
+}
+
+/// Executes one formed batch on the worker's context and distributes
+/// results (or the shared failure) to every request in it.
+fn run_batch(cfg: &WorkerCfg, ctx: &mut RunContext, staging: &mut Tensor, batch: &[Arc<Request>]) {
+    {
+        let mut st = lock(&cfg.shared.stats);
+        st.batches += 1;
+        st.batched_requests += batch.len() as u64;
+        if batch.len() > 1 {
+            st.multi_batches += 1;
+        }
+        if batch.len() > st.max_batch_formed {
+            st.max_batch_formed = batch.len();
+        }
+    }
+
+    // Stage request rows into the batched input. Rows past `batch.len()`
+    // keep stale (deterministically initialized) data; their results are
+    // computed and discarded — the price of a fixed-batch plan.
+    for (row, req) in batch.iter().enumerate() {
+        let inner = lock(&req.inner);
+        let row_len = inner.input.data().len();
+        staging.data_mut()[row * row_len..(row + 1) * row_len].copy_from_slice(inner.input.data());
+    }
+
+    match cfg.module.run_with(ctx, std::slice::from_ref(staging)) {
+        Ok(()) => {
+            for (row, req) in batch.iter().enumerate() {
+                let mut inner = lock(&req.inner);
+                for o in 0..inner.outputs.len() {
+                    let src = ctx.output(o).expect("output count validated at engine start");
+                    let row_len = inner.outputs[o].data().len();
+                    let rows = &src.data()[row * row_len..(row + 1) * row_len];
+                    inner.outputs[o].data_mut().copy_from_slice(rows);
+                }
+                let latency = inner.submitted.elapsed();
+                // Record before waking the waiter, so a client that reads
+                // `report()` right after `wait()` sees its own completion.
+                record_completion(&cfg.shared, latency);
+                inner.state = SlotState::Done;
+                drop(inner);
+                req.done.notify_all();
+            }
+        }
+        Err(e) => {
+            // The panic boundary already contained the failure; every
+            // request of this batch degrades, the engine keeps serving.
+            lock(&cfg.shared.stats).failed += batch.len() as u64;
+            for req in batch {
+                let mut inner = lock(&req.inner);
+                inner.state = SlotState::Failed(e.clone());
+                drop(inner);
+                req.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Records one completed request's latency in the ring (allocation-free
+/// past the pre-reserved capacity).
+fn record_completion(shared: &Shared, latency: Duration) {
+    let mut st = lock(&shared.stats);
+    st.completed += 1;
+    let us = latency.as_secs_f64() * 1e6;
+    if st.latencies_us.len() < st.latencies_us.capacity() {
+        st.latencies_us.push(us);
+    } else if !st.latencies_us.is_empty() {
+        let i = st.ring_next % st.latencies_us.len();
+        st.latencies_us[i] = us;
+        st.ring_next = st.ring_next.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, CpuTarget, OptLevel, PoolChoice};
+    use neocpu_graph::GraphBuilder;
+
+    fn batched_module(batch: usize) -> Arc<Module> {
+        let mut b = GraphBuilder::new(11);
+        let x = b.input([batch, 4, 8, 8]);
+        let c = b.conv_bn_relu(x, 8, 3, 1, 1);
+        let p = b.max_pool(c, 2, 2, 0);
+        let f = b.flatten(p);
+        let d = b.dense(f, 5);
+        let s = b.softmax(d);
+        let g = b.finish(vec![s]);
+        let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+        Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap())
+    }
+
+    #[test]
+    fn serves_requests_and_matches_direct_run() {
+        let m = batched_module(2);
+        let engine =
+            ServeEngine::new(Arc::clone(&m), &ServeOptions { workers: 2, ..Default::default() })
+                .unwrap();
+        let img = Tensor::random([1, 4, 8, 8], Layout::Nchw, 3, 1.0).unwrap();
+        let outs = engine.infer(&img).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].shape().dims(), &[1, 5]);
+        assert!(outs[0].data().iter().all(|v| v.is_finite()));
+
+        // Cross-check against a direct batched run with the same image in
+        // every row: the served row must be bit-identical.
+        let mut stacked = Tensor::zeros([2, 4, 8, 8], Layout::Nchw).unwrap();
+        let n = img.data().len();
+        stacked.data_mut()[..n].copy_from_slice(img.data());
+        let img2 = img.data().to_vec();
+        stacked.data_mut()[n..].copy_from_slice(&img2);
+        let direct = m.run(std::slice::from_ref(&stacked)).unwrap();
+        assert_eq!(outs[0].data(), &direct[0].data()[..outs[0].data().len()]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn slot_reuse_cycle_works() {
+        let m = batched_module(2);
+        let engine = ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() })
+            .unwrap();
+        let req = engine.make_request();
+        for seed in 0..4 {
+            let img = Tensor::random([1, 4, 8, 8], Layout::Nchw, seed, 1.0).unwrap();
+            req.fill(&img).unwrap();
+            engine.submit(&req).unwrap();
+            req.wait().unwrap();
+            req.with_outputs(|outs| {
+                assert!(outs[0].data().iter().all(|v| v.is_finite()));
+            })
+            .unwrap();
+        }
+        let report = engine.report();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn rejects_multi_input_modules_and_bad_requests() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input([1, 4, 8, 8]);
+        let y = b.input([1, 4, 8, 8]);
+        let a = b.add(x, y);
+        let g = b.finish(vec![a]);
+        let opts = CompileOptions::level(OptLevel::O0).with_pool(PoolChoice::Sequential);
+        let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+        let err = ServeEngine::new(m, &ServeOptions::default()).unwrap_err();
+        assert!(matches!(err, NeoError::Serve(_)), "unexpected: {err}");
+
+        // Requests from one engine are rejected by another.
+        let e1 = ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        let e2 = ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        let req = e1.make_request();
+        let err = e2.submit(&req).unwrap_err();
+        assert!(matches!(err, NeoError::Serve(_)), "unexpected: {err}");
+
+        // Wrong-shape fill is rejected.
+        let bad = Tensor::zeros([1, 4, 9, 9], Layout::Nchw).unwrap();
+        assert!(req.fill(&bad).is_err());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let engine =
+            ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        let req = engine.make_request();
+        engine.shutdown();
+        let err = engine.submit(&req).unwrap_err();
+        assert!(matches!(err, NeoError::Serve(_)), "unexpected: {err}");
+        // The failed submit left the slot reusable (not stuck in flight).
+        assert!(req.fill(&Tensor::zeros([1, 4, 8, 8], Layout::Nchw).unwrap()).is_ok());
+    }
+}

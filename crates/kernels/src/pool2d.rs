@@ -51,7 +51,15 @@ impl Pool2dParams {
             return 0;
         }
         if self.ceil_mode {
-            (span - k).div_ceil(s) + 1
+            let mut out = (span - k).div_ceil(s) + 1;
+            // PyTorch/ONNX convention: the last ceil-mode window must start
+            // inside `input + left padding`. Without this clamp the rounded-up
+            // extra window can lie entirely in the padded region, where a max
+            // pool has nothing to reduce over (it would emit `-inf`).
+            if out > 1 && (out - 1) * s >= in_dim + p {
+                out -= 1;
+            }
+            out
         } else {
             (span - k) / s + 1
         }
@@ -147,14 +155,16 @@ pub fn pool2d(
                                 count += 1;
                             }
                         }
-                        let out = match kind {
-                            PoolKind::Max => acc,
-                            PoolKind::Avg => {
-                                if count == 0 {
-                                    0.0
-                                } else {
-                                    acc / count as f32
-                                }
+                        // `count == 0` (a window entirely in padding) cannot
+                        // happen for convention-correct output dims, but both
+                        // branches stay defensive so a non-finite value can
+                        // never escape into downstream kernels.
+                        let out = if count == 0 {
+                            0.0
+                        } else {
+                            match kind {
+                                PoolKind::Max => acc,
+                                PoolKind::Avg => acc / count as f32,
                             }
                         };
                         // SAFETY: jobs are disjoint (batch, chunk) planes.
@@ -262,5 +272,84 @@ mod tests {
         assert_eq!(q.out_h(8), 3);
         // When the span divides evenly, the modes agree.
         assert_eq!(p.out_h(7), q.out_h(7));
+    }
+
+    #[test]
+    fn ceil_mode_last_window_starts_inside_input_plus_padding() {
+        // 1×1 input, kernel 2, stride 2, pad 1, ceil: the un-clamped formula
+        // yields 2 output rows, whose second window starts at row 1·2−1 = 1,
+        // i.e. past the single input row — entirely in padding. The standard
+        // convention clamps it away.
+        let p = Pool2dParams { ceil_mode: true, ..Pool2dParams::square(2, 2, 1) };
+        assert_eq!(p.out_h(1), 1);
+        // Kernel 1 windows degenerate fastest: in=2, k=1, s=2, p=1 would put
+        // a third window at row 3 with only rows −1..2 populated or padded.
+        let p = Pool2dParams {
+            kernel_h: 1,
+            kernel_w: 1,
+            stride_h: 2,
+            stride_w: 2,
+            pad_h: 1,
+            pad_w: 1,
+            ceil_mode: true,
+        };
+        assert_eq!(p.out_h(2), 2);
+        // Clamped dims never place a window past `input + padding`.
+        for (inp, k, s, pad) in [(1, 2, 2, 1), (2, 1, 2, 1), (3, 2, 3, 1), (5, 3, 4, 1)] {
+            let p = Pool2dParams { ceil_mode: true, ..Pool2dParams::square(k, s, pad) };
+            let out = p.out_h(inp);
+            assert!(out >= 1);
+            assert!(
+                (out - 1) * s < inp + pad,
+                "in={inp} k={k} s={s} p={pad}: window {} starts outside input+pad",
+                out - 1
+            );
+        }
+    }
+
+    #[test]
+    fn padding_only_window_emits_finite_max() {
+        // Regression: before the clamp, ceil-mode max pooling over a 1×1
+        // input with pad 1 emitted -inf for the padding-only windows.
+        let input = Tensor::from_vec(vec![3.5], [1, 1, 1, 1], Layout::Nchw).unwrap();
+        let p = Pool2dParams { ceil_mode: true, ..Pool2dParams::square(2, 2, 1) };
+        let (oh, ow) = (p.out_h(1), p.out_w(1));
+        assert_eq!((oh, ow), (1, 1));
+        let mut out = Tensor::zeros([1, 1, oh, ow], Layout::Nchw).unwrap();
+        pool2d(&input, &mut out, &p, PoolKind::Max, &Sequential).unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite()), "got {:?}", out.data());
+        assert_eq!(out.data(), &[3.5]);
+    }
+
+    #[test]
+    fn degenerate_empty_window_is_defensively_zero() {
+        // A kernel no larger than the padding leaves the very first window
+        // without a single real cell (k=1 ≤ p=1, window at row −1). The
+        // output-dim convention cannot rule this out, so the kernel itself
+        // must stay finite: empty windows produce 0.0 for both kinds.
+        let input = Tensor::from_vec(vec![2.0, 4.0], [1, 1, 2, 1], Layout::Nchw).unwrap();
+        let p = Pool2dParams {
+            kernel_h: 1,
+            kernel_w: 1,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+            ceil_mode: false,
+        };
+        let (oh, ow) = (p.out_h(2), p.out_w(1));
+        let mut out = Tensor::zeros([1, 1, oh, ow], Layout::Nchw).unwrap();
+        for kind in [PoolKind::Max, PoolKind::Avg] {
+            pool2d(&input, &mut out, &p, kind, &Sequential).unwrap();
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "{kind:?} leaked non-finite values: {:?}",
+                out.data()
+            );
+            // Window 0 sits at row −1 (pure padding) → defensive 0.0; window
+            // 1 covers real row 1.
+            assert_eq!(out.data()[0], 0.0);
+            assert_eq!(out.data()[1], 4.0);
+        }
     }
 }

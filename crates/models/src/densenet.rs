@@ -21,7 +21,7 @@ pub(crate) fn densenet(
     seed: u64,
 ) -> Graph {
     let mut b = GraphBuilder::new(seed);
-    let x = b.input([1, 3, scale.input, scale.input]);
+    let x = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
     let growth = scale.c(growth);
     let c0 = b.conv_bn_relu(x, scale.c(stem), 7, 2, 3);
     let mut cur = b.max_pool(c0, 3, 2, 1);

@@ -10,7 +10,7 @@ use crate::ModelScale;
 pub(crate) fn inception_v3(scale: ModelScale, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(seed);
     let c = |ch: usize| scale.c(ch);
-    let x = b.input([1, 3, scale.input, scale.input]);
+    let x = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
 
     // Stem.
     let s1 = b.conv_bn_relu(x, c(32), 3, 2, 0);

@@ -108,22 +108,33 @@ pub struct ModelScale {
     pub input: usize,
     /// Classifier classes (1000 in the paper; smaller in tests).
     pub classes: usize,
+    /// Input batch size (leading dimension of the graph input). The paper
+    /// evaluates latency at batch 1; batched serving compiles at B > 1 so
+    /// one memory plan serves B coalesced requests per run.
+    pub batch: usize,
 }
 
 impl ModelScale {
-    /// The paper's full-size workload for `kind`.
+    /// The paper's full-size workload for `kind` (batch 1).
     pub fn full(kind: ModelKind) -> Self {
-        Self { channel_div: 1, input: kind.full_input(), classes: 1000 }
+        Self { channel_div: 1, input: kind.full_input(), classes: 1000, batch: 1 }
     }
 
-    /// A CI-speed workload: channels ÷ 4, small input, 10 classes.
+    /// A CI-speed workload: channels ÷ 4, small input, 10 classes, batch 1.
     pub fn tiny(kind: ModelKind) -> Self {
         let input = match kind {
             ModelKind::InceptionV3 => 139,
             ModelKind::SsdResNet50 => 128,
             _ => 64,
         };
-        Self { channel_div: 4, input, classes: 10 }
+        Self { channel_div: 4, input, classes: 10, batch: 1 }
+    }
+
+    /// The same workload compiled at batch `b` (≥ 1).
+    #[must_use]
+    pub fn with_batch(mut self, b: usize) -> Self {
+        self.batch = b.max(1);
+        self
     }
 
     /// Applies the channel divisor (≥ 1, preserving divisibility by 4 of
@@ -220,6 +231,23 @@ mod tests {
                 .count();
             assert!(concats > 0, "{} should contain concat blocks", kind.name());
         }
+    }
+
+    #[test]
+    fn with_batch_threads_through_to_input_and_output() {
+        let scale = ModelScale::tiny(ModelKind::ResNet18).with_batch(4);
+        let g = build(ModelKind::ResNet18, scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        let input_id = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, neocpu_graph::Op::Input { .. }))
+            .unwrap();
+        assert_eq!(shapes[input_id].dims()[0], 4);
+        let out = &shapes[*g.outputs.first().unwrap()];
+        assert_eq!(out.dims(), &[4, 10]);
+        // with_batch clamps degenerate batches to 1.
+        assert_eq!(ModelScale::tiny(ModelKind::ResNet18).with_batch(0).batch, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::ModelScale;
 /// Builds a ResNet with the given stage depths.
 pub(crate) fn resnet(stages: &[usize; 4], bottleneck: bool, scale: ModelScale, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(seed);
-    let x = b.input([1, 3, scale.input, scale.input]);
+    let x = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
     // Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max pool.
     let stem = b.conv_bn_relu(x, scale.c(64), 7, 2, 3);
     let mut cur = b.max_pool(stem, 3, 2, 1);

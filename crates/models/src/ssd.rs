@@ -21,7 +21,7 @@ const ANCHORS: [usize; 7] = [4, 6, 6, 6, 6, 4, 4];
 pub(crate) fn ssd_resnet50(scale: ModelScale, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(seed);
     let c = |ch: usize| scale.c(ch);
-    let x = b.input([1, 3, scale.input, scale.input]);
+    let x = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
 
     // ResNet-50 backbone through conv4 (stride 16), keeping conv3's output
     // (stride 8) as the first detection scale.

@@ -7,7 +7,7 @@ use crate::ModelScale;
 /// Builds a VGG net from per-stage conv counts (A=11, B=13, D=16, E=19).
 pub(crate) fn vgg(stage_convs: &[usize; 5], scale: ModelScale, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(seed);
-    let mut cur = b.input([1, 3, scale.input, scale.input]);
+    let mut cur = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
     let widths = [64usize, 128, 256, 512, 512];
     for (&n, &w) in stage_convs.iter().zip(&widths) {
         for _ in 0..n {

@@ -106,10 +106,46 @@ impl SchemeDatabase {
             .map(Vec::as_slice)
     }
 
-    /// Stores ranked schemes for a workload (replacing existing ones).
+    /// Stores ranked schemes for a workload, **merging** with any existing
+    /// entry: schemes are deduplicated by schedule (keeping the better, i.e.
+    /// smaller, time) and the merged list is re-sorted by time.
+    ///
+    /// Earlier versions replaced the entire candidate list, so an
+    /// incremental tuning run that explored a different slice of the space
+    /// silently dropped previously searched results. Use
+    /// [`SchemeDatabase::replace`] when overwrite semantics are wanted
+    /// (e.g. purging entries that failed verification).
     pub fn put(&mut self, target: &str, params: &Conv2dParams, schemes: Vec<RankedScheme>) {
-        self.entries
-            .insert(WorkloadKey { target: target.to_string(), params: *params }, schemes);
+        let list = self
+            .entries
+            .entry(WorkloadKey { target: target.to_string(), params: *params })
+            .or_default();
+        for s in schemes {
+            match list.iter_mut().find(|r| r.schedule == s.schedule) {
+                Some(existing) => {
+                    if s.time.total_cmp(&existing.time).is_lt() {
+                        existing.time = s.time;
+                    }
+                }
+                None => list.push(s),
+            }
+        }
+        list.sort_by(|a, b| a.time.total_cmp(&b.time));
+    }
+
+    /// Replaces the entire candidate list for a workload, discarding
+    /// whatever was stored before. An empty `schemes` removes the entry.
+    ///
+    /// This is the right tool when stale candidates must **not** survive —
+    /// the compiler uses it to purge schemes that failed target
+    /// verification, so they never resurface on the next compile.
+    pub fn replace(&mut self, target: &str, params: &Conv2dParams, schemes: Vec<RankedScheme>) {
+        let key = WorkloadKey { target: target.to_string(), params: *params };
+        if schemes.is_empty() {
+            self.entries.remove(&key);
+        } else {
+            self.entries.insert(key, schemes);
+        }
     }
 
     /// Fetches from the cache or computes-and-stores via `compute`.
@@ -364,6 +400,53 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].schedule, schemes[0].schedule);
         assert!((got[0].time - schemes[0].time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn put_merges_instead_of_replacing() {
+        // Regression: incremental tuning runs used to lose earlier results
+        // because `put` overwrote the whole candidate list.
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, vec![schemes[0]]);
+        db.put("host", &p, vec![schemes[1]]);
+        let got = db.get("host", &p).unwrap();
+        assert_eq!(got.len(), 2, "second put dropped the first run's scheme");
+        // Merged lists stay sorted by time.
+        assert!(got[0].time <= got[1].time);
+        assert_eq!(got[0].schedule, schemes[0].schedule);
+    }
+
+    #[test]
+    fn put_dedupes_by_schedule_keeping_better_time() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, vec![schemes[0]]);
+        // Same schedule re-measured slower: the better time wins.
+        let slower = RankedScheme { schedule: schemes[0].schedule, time: 9.0e-4 };
+        db.put("host", &p, vec![slower]);
+        let got = db.get("host", &p).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!((got[0].time - schemes[0].time).abs() < 1e-9);
+        // Re-measured faster: the new time wins.
+        let faster = RankedScheme { schedule: schemes[0].schedule, time: 1.0e-5 };
+        db.put("host", &p, vec![faster]);
+        let got = db.get("host", &p).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!((got[0].time - 1.0e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replace_discards_previous_candidates() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes.clone());
+        db.replace("host", &p, vec![schemes[0]]);
+        assert_eq!(db.get("host", &p).unwrap().len(), 1);
+        // Replacing with nothing removes the workload entirely.
+        db.replace("host", &p, Vec::new());
+        assert!(db.get("host", &p).is_none());
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -97,6 +97,60 @@ fn warm_run_with_performs_zero_allocations() {
 }
 
 #[test]
+fn warm_serve_cycle_performs_zero_allocations() {
+    use std::sync::Arc;
+    use neocpu::{ServeEngine, ServeOptions};
+
+    // The same tower compiled at batch 4 — the serving engine slices
+    // per-request rows out of the batched plan.
+    let mut b = GraphBuilder::new(5);
+    let x = b.input([4, 8, 16, 16]);
+    let c0 = b.conv2d(x, 8, 1, 1, 0);
+    let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+    let c2 = b.conv2d_opts(c1, 8, 3, 1, 1, false);
+    let a = b.add(c2, c0);
+    let r = b.relu(a);
+    let p = b.max_pool(r, 2, 2, 0);
+    let f = b.flatten(p);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    let g = b.finish(vec![s]);
+
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+    let engine =
+        ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() }).unwrap();
+
+    // Steady state: one pre-allocated slot, filled once, cycled forever.
+    let req = engine.make_request();
+    let img = Tensor::random([1, 8, 16, 16], Layout::Nchw, 9, 1.0).unwrap();
+    req.fill(&img).unwrap();
+    for _ in 0..3 {
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "warm serve cycle allocated {delta} time(s); the fill → submit → wait path \
+         must preserve the executor's zero-allocation contract"
+    );
+
+    req.with_outputs(|outs| {
+        assert_eq!(outs[0].shape().dims(), &[1, 10]);
+        assert!(outs[0].data().iter().all(|v| v.is_finite()));
+    })
+    .unwrap();
+    engine.shutdown();
+}
+
+#[test]
 fn pooled_run_allocates_only_the_returned_outputs() {
     let g = residual_net();
     let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);

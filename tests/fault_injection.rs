@@ -107,6 +107,61 @@ fn pool_worker_panic_is_contained_and_pool_stays_usable() {
 }
 
 #[test]
+fn serve_engine_contains_worker_fault_and_keeps_serving() {
+    use std::sync::Arc;
+
+    use neocpu::{ServeEngine, ServeOptions};
+
+    let _guard = serial();
+    // A batch-2 module on the custom threaded pool, so the pool-worker
+    // failpoint sits inside the serving path's execution.
+    let mut b = GraphBuilder::new(7);
+    let x = b.input([2, 8, 12, 12]);
+    let c = b.conv_bn_relu(x, 16, 3, 1, 1);
+    let g = b.finish(vec![c]);
+    let m = Arc::new(
+        compile(
+            &g,
+            &CpuTarget::host(),
+            &CompileOptions::level(OptLevel::O2).with_threads(2),
+        )
+        .unwrap(),
+    );
+    let engine =
+        ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() }).unwrap();
+    let img = Tensor::random([1, 8, 12, 12], Layout::Nchw, 1, 1.0).unwrap();
+    let req = engine.make_request();
+    req.fill(&img).unwrap();
+
+    // A clean cycle first, then the failpoint kills exactly the next
+    // in-flight request (first hit only).
+    engine.submit(&req).unwrap();
+    req.wait().unwrap();
+
+    arm(POOL_WORKER, Trigger::Nth(1), FaultMode::Panic);
+    engine.submit(&req).unwrap();
+    let err = req.wait().unwrap_err();
+    assert!(
+        matches!(&err, NeoError::Panicked { message, .. } if message.contains("injected panic")),
+        "faulted request should fail with the contained panic, got {err}"
+    );
+    disarm_all();
+
+    // The engine, its worker, and its context keep serving: the failure
+    // degraded one request, not the process or the pool.
+    for _ in 0..3 {
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+        req.with_outputs(|outs| assert!(outs[0].data().iter().all(|v| v.is_finite())))
+            .unwrap();
+    }
+    let r = engine.report();
+    assert_eq!(r.completed, 4, "clean cycles before/after the fault: {r}");
+    assert_eq!(r.failed, 1, "exactly the faulted request degrades: {r}");
+    engine.shutdown();
+}
+
+#[test]
 fn db_load_failpoint_blocks_both_loaders() {
     let _guard = serial();
     let dir = std::env::temp_dir().join("neocpu-fault-dbload");

@@ -164,6 +164,132 @@ proptest! {
     }
 }
 
+/// Plain scalar pooling reference: same window semantics as
+/// `neocpu_kernels::pool2d` (padding excluded from max and from the avg
+/// divisor; a window entirely in padding defensively yields `0.0`), with
+/// the loop order matched so results are bit-identical, not approximate.
+#[allow(clippy::too_many_arguments)]
+fn pool_reference(
+    src: &[f32],
+    n: usize,
+    c: usize,
+    ih: usize,
+    iw: usize,
+    p: &neocpu_kernels::pool2d::Pool2dParams,
+    kind: neocpu_kernels::pool2d::PoolKind,
+) -> Vec<f32> {
+    use neocpu_kernels::pool2d::PoolKind;
+    let (oh, ow) = (p.out_h(ih), p.out_w(iw));
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    for img in 0..n {
+        for ch in 0..c {
+            let plane = (img * c + ch) * ih * iw;
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for r in 0..p.kernel_h {
+                        let yy = (y * p.stride_h + r) as isize - p.pad_h as isize;
+                        if yy < 0 || yy as usize >= ih {
+                            continue;
+                        }
+                        for s in 0..p.kernel_w {
+                            let xx = (x * p.stride_w + s) as isize - p.pad_w as isize;
+                            if xx < 0 || xx as usize >= iw {
+                                continue;
+                            }
+                            let v = src[plane + yy as usize * iw + xx as usize];
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    out.push(if count == 0 {
+                        0.0
+                    } else {
+                        match kind {
+                            PoolKind::Max => acc,
+                            PoolKind::Avg => acc / count as f32,
+                        }
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Pooling agrees with the scalar reference for arbitrary window
+    /// geometry — ceil mode on and off, stride larger than the kernel,
+    /// asymmetric padding — no non-finite value escapes (the padding-only
+    /// ceil-mode window bug), the output dims obey the PyTorch/ONNX clamp
+    /// (every window starts inside `input + left padding`), and the
+    /// blocked `NCHW[x]c` path matches plain NCHW.
+    #[test]
+    fn pooling_matches_scalar_reference(
+        c in 1usize..9,
+        ih in 1usize..11,
+        iw in 1usize..11,
+        kh in 1usize..5,
+        kw in 1usize..5,
+        sh in 1usize..5,
+        sw in 1usize..5,
+        ph_sel in 0usize..4,
+        pw_sel in 0usize..4,
+        ceil in any::<bool>(),
+        max_pool in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        use neocpu_kernels::pool2d::{pool2d, Pool2dParams, PoolKind};
+
+        let p = Pool2dParams {
+            kernel_h: kh,
+            kernel_w: kw,
+            stride_h: sh,
+            stride_w: sw,
+            // Padding stays below the kernel (the pooling convention);
+            // pad_h and pad_w are drawn independently, so asymmetric
+            // configurations are covered.
+            pad_h: ph_sel % kh,
+            pad_w: pw_sel % kw,
+            ceil_mode: ceil,
+        };
+        let (oh, ow) = (p.out_h(ih), p.out_w(iw));
+        prop_assume!(oh > 0 && ow > 0);
+        // Convention clamp: every output window must start inside the
+        // input plus left padding (otherwise max pooling reduces over
+        // nothing and would emit -inf).
+        prop_assert!((oh - 1) * sh < ih + p.pad_h);
+        prop_assert!((ow - 1) * sw < iw + p.pad_w);
+
+        let kind = if max_pool { PoolKind::Max } else { PoolKind::Avg };
+        let input = Tensor::random([1, c, ih, iw], Layout::Nchw, seed, 1.0).unwrap();
+        let reference = pool_reference(input.data(), 1, c, ih, iw, &p, kind);
+
+        let mut out = Tensor::zeros([1, c, oh, ow], Layout::Nchw).unwrap();
+        pool2d(&input, &mut out, &p, kind, &Sequential).unwrap();
+        prop_assert!(out.data().iter().all(|v| v.is_finite()),
+            "non-finite pooling output for {p:?}");
+        prop_assert_eq!(out.data(), reference.as_slice());
+
+        // Blocked layout must agree with NCHW for any valid block factor.
+        let block = *factors(c).last().unwrap();
+        let bi = to_layout(&input, Layout::NchwC(block)).unwrap();
+        let mut bo = Tensor::zeros([1, c, oh, ow], Layout::NchwC(block)).unwrap();
+        pool2d(&bi, &mut bo, &p, kind, &Sequential).unwrap();
+        let back = to_layout(&bo, Layout::Nchw).unwrap();
+        prop_assert_eq!(back.data(), reference.as_slice());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 

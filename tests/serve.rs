@@ -1,0 +1,192 @@
+//! Integration tests for the batched serving engine: result fidelity
+//! against directly-run modules, batch coalescing under concurrent load,
+//! bounded-queue backpressure, and drain-on-shutdown semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use neocpu::{
+    compile, CompileOptions, CpuTarget, Module, NeoError, OptLevel, PoolChoice, ServeEngine,
+    ServeOptions,
+};
+use neocpu_graph::{Graph, GraphBuilder};
+use neocpu_models::{build, ModelKind, ModelScale};
+use neocpu_tensor::{Layout, Tensor};
+
+/// A small conv tower at batch `b` (same weights for every batch size:
+/// the builder seed fixes them).
+fn tower(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new(17);
+    let x = b.input([batch, 4, 12, 12]);
+    let c1 = b.conv_bn_relu(x, 8, 3, 1, 1);
+    let c2 = b.conv_bn_relu(c1, 8, 3, 2, 1);
+    let p = b.max_pool(c2, 2, 2, 0);
+    let f = b.flatten(p);
+    let d = b.dense(f, 6);
+    let s = b.softmax(d);
+    b.finish(vec![s])
+}
+
+fn module(g: &Graph) -> Arc<Module> {
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    Arc::new(compile(g, &CpuTarget::host(), &opts).unwrap())
+}
+
+/// Every served row must match the same image pushed through a batch-1
+/// compiled module — the batcher's row slicing must not mix requests up.
+#[test]
+fn served_rows_match_batch1_module() {
+    let serve_mod = module(&tower(4));
+    let direct_mod = module(&tower(1));
+    let engine = ServeEngine::new(
+        Arc::clone(&serve_mod),
+        &ServeOptions { workers: 2, ..Default::default() },
+    )
+    .unwrap();
+
+    for seed in 0..6u64 {
+        let img = Tensor::random([1, 4, 12, 12], Layout::Nchw, seed, 1.0).unwrap();
+        let served = engine.infer(&img).unwrap();
+        let direct = direct_mod.run(std::slice::from_ref(&img)).unwrap();
+        assert_eq!(served.len(), direct.len());
+        assert!(
+            served[0].approx_eq(&direct[0], 1e-5),
+            "seed {seed}: served row diverges from the batch-1 module by {}",
+            served[0].max_abs_diff(&direct[0])
+        );
+    }
+    engine.shutdown();
+}
+
+/// Concurrent clients must all complete, and the dynamic batcher must
+/// actually coalesce (multi-request batches form under load).
+#[test]
+fn concurrent_clients_complete_and_batches_coalesce() {
+    let m = module(&tower(4));
+    let engine =
+        ServeEngine::new(m, &ServeOptions { workers: 2, ..Default::default() }).unwrap();
+
+    let clients = 4usize;
+    let per_client = 25usize;
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (engine, ok) = (&engine, &ok);
+            s.spawn(move || {
+                let req = engine.make_request();
+                let img =
+                    Tensor::random([1, 4, 12, 12], Layout::Nchw, c as u64, 1.0).unwrap();
+                req.fill(&img).unwrap();
+                for _ in 0..per_client {
+                    engine.submit(&req).unwrap();
+                    if req.wait().is_ok() {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), (clients * per_client) as u64);
+
+    let r = engine.report();
+    assert_eq!(r.completed, (clients * per_client) as u64);
+    assert_eq!(r.failed, 0);
+    assert!(
+        r.multi_batches > 0,
+        "no multi-request batch formed under {clients} concurrent clients: {r}"
+    );
+    assert!(r.max_batch_formed <= engine.module_batch());
+    assert!(r.p50_ms > 0.0 && r.p99_ms >= r.p50_ms);
+    engine.shutdown();
+}
+
+/// A tiny bounded queue must apply backpressure (submit blocks instead of
+/// erroring or dropping) while every request still completes.
+#[test]
+fn bounded_queue_applies_backpressure_without_loss() {
+    let m = module(&tower(2));
+    let engine = ServeEngine::new(
+        m,
+        &ServeOptions { workers: 1, queue_cap: 2, ..Default::default() },
+    )
+    .unwrap();
+
+    let clients = 6usize;
+    let per_client = 10usize;
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (engine, ok) = (&engine, &ok);
+            s.spawn(move || {
+                let req = engine.make_request();
+                let img =
+                    Tensor::random([1, 4, 12, 12], Layout::Nchw, c as u64, 1.0).unwrap();
+                req.fill(&img).unwrap();
+                for _ in 0..per_client {
+                    engine.submit(&req).unwrap();
+                    req.wait().unwrap();
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), (clients * per_client) as u64);
+    let r = engine.report();
+    // The high-water mark proves the bound held: depth never exceeded cap.
+    assert!(
+        r.queue_depth_hwm <= 2,
+        "queue depth {} exceeded the configured cap 2",
+        r.queue_depth_hwm
+    );
+    assert_eq!(r.completed, (clients * per_client) as u64);
+    engine.shutdown();
+}
+
+/// Shutdown drains: requests queued before shutdown are answered, and a
+/// submit after shutdown fails with a typed serve error while leaving the
+/// slot reusable.
+#[test]
+fn shutdown_drains_queued_requests() {
+    let m = module(&tower(2));
+    let engine =
+        ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() }).unwrap();
+
+    let img = Tensor::random([1, 4, 12, 12], Layout::Nchw, 1, 1.0).unwrap();
+    let reqs: Vec<_> = (0..5)
+        .map(|_| {
+            let r = engine.make_request();
+            r.fill(&img).unwrap();
+            engine.submit(&r).unwrap();
+            r
+        })
+        .collect();
+    engine.shutdown();
+    for (i, r) in reqs.iter().enumerate() {
+        assert!(r.wait().is_ok(), "request {i} was dropped by shutdown instead of drained");
+    }
+
+    let late = engine.make_request();
+    late.fill(&img).unwrap();
+    match engine.submit(&late) {
+        Err(NeoError::Serve(_)) => {}
+        other => panic!("post-shutdown submit should fail with NeoError::Serve, got {other:?}"),
+    }
+}
+
+/// The engine serves real zoo models end to end (tiny scale, batch 3).
+#[test]
+fn serves_a_zoo_model() {
+    let kind = ModelKind::ResNet18;
+    let scale = ModelScale::tiny(kind).with_batch(3);
+    let g = build(kind, scale, 42);
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+    let engine =
+        ServeEngine::new(m, &ServeOptions { workers: 2, ..Default::default() }).unwrap();
+    let img =
+        Tensor::random([1, 3, scale.input, scale.input], Layout::Nchw, 3, 1.0).unwrap();
+    let outs = engine.infer(&img).unwrap();
+    assert_eq!(outs[0].shape().dims(), &[1, scale.classes]);
+    assert!(outs[0].data().iter().all(|v| v.is_finite()));
+    engine.shutdown();
+}
