@@ -690,7 +690,10 @@ fn drive_clients(
 /// asserting every request completes, batches actually coalesce, and the
 /// warm fill → submit → wait cycle performs zero heap allocations.
 fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
-    let kind = ModelKind::ResNet18;
+    // MobileNet by default: the smoke run then covers the depthwise
+    // template (blocked kernel, scratch padding, fused epilogue) end to
+    // end on the serving path.
+    let kind = cfg.models.first().copied().unwrap_or(ModelKind::MobileNet);
     let (module, scale) = compile_for_serving(kind, cfg);
     let engine = ServeEngine::new(
         Arc::clone(&module),
@@ -756,15 +759,12 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
 
 /// Throughput-vs-concurrency table (EXPERIMENTS.md E8): each model is
 /// compiled once at batch B and served by a fresh engine per client count;
-/// one memory plan backs every pooled context.
-///
-/// MobileNet (the paper's third serving-style model) needs depthwise
-/// convolutions the kernel library does not implement; VGG-16 stands in
-/// (documented in EXPERIMENTS.md).
+/// one memory plan backs every pooled context. MobileNet is the
+/// memory-bound depthwise workload of the trio.
 fn serve_table(cfg: &HarnessCfg) {
     use ModelKind::*;
     let models = if cfg.models.is_empty() {
-        vec![ResNet50, Vgg16, InceptionV3]
+        vec![ResNet50, MobileNet, InceptionV3]
     } else {
         cfg.models.clone()
     };

@@ -400,8 +400,15 @@ fn global_search(
 /// default register blocking capped by the output width.
 fn default_schedule(params: &Conv2dParams, target: &CpuTarget) -> ConvSchedule {
     let block = target.preferred_block();
-    let ic_bn = factors_descending(params.in_channels, block).first().copied().unwrap_or(1);
     let oc_bn = factors_descending(params.out_channels, block).first().copied().unwrap_or(1);
+    // Depthwise kernels convolve one channel block at a time, so the
+    // activation and filter blockings must agree (in == out channels makes
+    // `oc_bn` always a valid choice).
+    let ic_bn = if params.groups > 1 {
+        oc_bn
+    } else {
+        factors_descending(params.in_channels, block).first().copied().unwrap_or(1)
+    };
     let reg_n = default_reg_n(target).min(params.out_w().max(1)).clamp(1, 28);
     ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker: true }
 }
@@ -660,6 +667,33 @@ mod tests {
     }
 
     #[test]
+    fn depthwise_separable_net_agrees_across_levels() {
+        // A MobileNet-style separable block: dw 3x3 + pw 1x1, twice.
+        let mut b = GraphBuilder::new(31);
+        let x = b.input([1, 8, 12, 12]);
+        let d1 = b.dw_conv_bn_relu(x, 3, 1, 1);
+        let p1 = b.conv_bn_relu(d1, 16, 1, 1, 0);
+        let d2 = b.dw_conv_bn_relu(p1, 3, 2, 1);
+        let p2 = b.conv_bn_relu(d2, 16, 1, 1, 0);
+        let g = b.finish(vec![p2]);
+        let target = CpuTarget::host();
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 37, 1.0).unwrap();
+        let base = compile(&g, &target, &CompileOptions::level(OptLevel::O0))
+            .unwrap()
+            .run(std::slice::from_ref(&input))
+            .unwrap();
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let m = compile(&g, &target, &CompileOptions::level(level)).unwrap();
+            let out = m.run(std::slice::from_ref(&input)).unwrap();
+            assert!(
+                base[0].approx_eq(&out[0], 1e-4),
+                "{level:?} diverged on depthwise net: {}",
+                base[0].max_abs_diff(&out[0])
+            );
+        }
+    }
+
+    #[test]
     fn transform_counts_fall_along_the_ladder() {
         let g = small_net();
         let target = CpuTarget::host();
@@ -822,6 +856,13 @@ mod tests {
             for (ic, oc, size) in [(3, 64, 224), (8, 16, 12), (7, 13, 5), (1, 1, 1)] {
                 let p = Conv2dParams::square(ic, oc, size, 3, 1, 1);
                 let s = default_schedule(&p, &target);
+                verify_schedule_for_target(&p, &s, &target)
+                    .unwrap_or_else(|e| panic!("{target:?} {p:?}: {e}"));
+            }
+            for channels in [3, 7, 32, 144] {
+                let p = Conv2dParams::depthwise(channels, 14, 3, 1, 1);
+                let s = default_schedule(&p, &target);
+                assert_eq!(s.ic_bn, s.oc_bn, "{target:?} depthwise blocks diverge");
                 verify_schedule_for_target(&p, &s, &target)
                     .unwrap_or_else(|e| panic!("{target:?} {p:?}: {e}"));
             }

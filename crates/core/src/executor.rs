@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use neocpu_graph::{Graph, Op};
-use neocpu_kernels::conv::{conv2d_nchw_direct, conv2d_nchwc, Epilogue};
+use neocpu_kernels::conv::{conv2d_nchw_direct, conv2d_nchwc, depthwise_conv2d_nchwc, Epilogue};
 use neocpu_kernels::elementwise::{
     add, add_assign, batchnorm_fold, concat_channels, relu_inplace, scale_shift,
 };
@@ -461,17 +461,31 @@ impl Module {
                         // (planner invariant, verified at compile time).
                         let scratch = self.plan.scratch[id]
                             .map(|(off, len)| unsafe { arena.slice_mut(off, len) });
-                        conv2d_nchwc(
-                            x,
-                            &g.params[*weight],
-                            out,
-                            params,
-                            s,
-                            &epi,
-                            par,
-                            self.max_lanes,
-                            scratch,
-                        )?;
+                        if params.groups > 1 {
+                            depthwise_conv2d_nchwc(
+                                x,
+                                &g.params[*weight],
+                                out,
+                                params,
+                                s,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                scratch,
+                            )?;
+                        } else {
+                            conv2d_nchwc(
+                                x,
+                                &g.params[*weight],
+                                out,
+                                params,
+                                s,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                scratch,
+                            )?;
+                        }
                     }
                     None => {
                         conv2d_nchw_direct(x, &g.params[*weight], out, params, &epi, par)?;
@@ -676,6 +690,19 @@ impl Module {
                 let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
                 let mut out = self.alloc(id)?;
                 match schedule {
+                    Some(s) if params.groups > 1 => {
+                        depthwise_conv2d_nchwc(
+                            x,
+                            &g.params[*weight],
+                            &mut out,
+                            params,
+                            s,
+                            &epi,
+                            par,
+                            self.max_lanes,
+                            None,
+                        )?;
+                    }
                     Some(s) => {
                         conv2d_nchwc(
                             x,

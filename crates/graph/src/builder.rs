@@ -91,6 +91,7 @@ impl GraphBuilder {
             stride_w: stride,
             pad_h: pad,
             pad_w: pad,
+            groups: 1,
         };
         let fan_in = (d[1] * kernel * kernel) as f32;
         let scale = (3.0 / fan_in).sqrt();
@@ -142,6 +143,7 @@ impl GraphBuilder {
             stride_w: stride.1,
             pad_h: pad.0,
             pad_w: pad.1,
+            groups: 1,
         };
         let fan_in = (d[1] * kernel.0 * kernel.1) as f32;
         let scale = (3.0 / fan_in).sqrt();
@@ -163,6 +165,60 @@ impl GraphBuilder {
             vec![x],
             shape,
         )
+    }
+
+    /// Adds a depthwise convolution (`groups == channels`, one `kh×kw`
+    /// filter per channel), optionally without bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn depthwise_conv2d(
+        &mut self,
+        x: NodeId,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+    ) -> NodeId {
+        let d = self.shapes[x].dims().to_vec();
+        assert_eq!(d.len(), 4, "depthwise conv input must be rank 4");
+        let c = d[1];
+        let params = Conv2dParams::depthwise(c, d[2], kernel, stride, pad);
+        let params = Conv2dParams { in_w: d[3], ..params };
+        let fan_in = (kernel * kernel) as f32;
+        let scale = (3.0 / fan_in).sqrt();
+        let seed = self.next_seed();
+        let weight = self.graph.push_param(
+            Tensor::random([c, 1, kernel, kernel], Layout::Oihw, seed, scale)
+                .expect("depthwise weight shape is always valid"),
+        );
+        let bias = bias.then(|| {
+            let seed = self.next_seed();
+            self.graph.push_param(
+                Tensor::random([c], Layout::Flat, seed, 0.1)
+                    .expect("bias shape is always valid"),
+            )
+        });
+        let shape = Shape::from([d[0], c, params.out_h(), params.out_w()]);
+        self.push(
+            Op::Conv2d { params, weight, bias, schedule: None, relu: false, residual: false },
+            vec![x],
+            shape,
+        )
+    }
+
+    /// depthwise conv → BN → ReLU, the MobileNet separable-block half.
+    pub fn dw_conv_bn_relu(
+        &mut self,
+        x: NodeId,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
+        let c = self.depthwise_conv2d(x, kernel, stride, pad, false);
+        let b = self.batch_norm(c);
+        self.relu(b)
     }
 
     /// conv (rect) → BN → ReLU, the Inception building block.

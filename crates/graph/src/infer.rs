@@ -77,8 +77,21 @@ pub fn infer_shapes(g: &Graph) -> Result<Vec<Shape>> {
                         ),
                     ));
                 }
+                if p.groups == 0
+                    || !p.in_channels.is_multiple_of(p.groups)
+                    || !p.out_channels.is_multiple_of(p.groups)
+                {
+                    return Err(err(
+                        id,
+                        format!(
+                            "conv groups {} must divide channels {} -> {}",
+                            p.groups, p.in_channels, p.out_channels
+                        ),
+                    ));
+                }
                 let w = g.params[*weight].shape();
-                if w.dims() != [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w] {
+                if w.dims() != [p.out_channels, p.in_channels_per_group(), p.kernel_h, p.kernel_w]
+                {
                     return Err(err(id, format!("conv weight {w} does not match params")));
                 }
                 if let Some(b) = bias {

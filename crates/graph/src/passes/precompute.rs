@@ -21,9 +21,13 @@ use crate::Result;
 pub fn precompute_weights(g: &Graph) -> Result<Graph> {
     let mut g = g.clone();
     for id in g.conv_ids() {
-        let Op::Conv2d { weight, schedule, .. } = &g.nodes[id].op else { unreachable!() };
+        let Op::Conv2d { params, weight, schedule, .. } = &g.nodes[id].op else { unreachable!() };
         let Some(s) = *schedule else { continue };
-        let want = Layout::OihwIo { i: s.ic_bn, o: s.oc_bn };
+        // Depthwise filters carry a single input channel, so the inner
+        // blocking factor is pinned to 1 regardless of the schedule's
+        // activation blocking.
+        let i_bn = if params.groups > 1 { 1 } else { s.ic_bn };
+        let want = Layout::OihwIo { i: i_bn, o: s.oc_bn };
         let w = &g.params[*weight];
         if w.layout() == want {
             continue;
@@ -87,6 +91,23 @@ mod tests {
             pre.params[*weight].layout(),
             Layout::OihwIo { i: s.ic_bn, o: s.oc_bn }
         );
+    }
+
+    #[test]
+    fn depthwise_weights_block_with_unit_inner_factor() {
+        let mut b = GraphBuilder::new(9);
+        let x = b.input([1, 16, 8, 8]);
+        let c = b.depthwise_conv2d(x, 3, 1, 1, false);
+        let g = b.finish(vec![c]);
+        let planned =
+            plan_uniform(&g, &UniformPlanCfg { block: 8, reg_n: 4, unroll: false }).unwrap();
+        let pre = precompute_weights(&planned).unwrap();
+        let Op::Conv2d { weight, schedule, .. } = &pre.nodes[pre.conv_ids()[0]].op else {
+            panic!()
+        };
+        let s = schedule.unwrap();
+        // Depthwise filters have one input channel: i is pinned to 1.
+        assert_eq!(pre.params[*weight].layout(), Layout::OihwIo { i: 1, o: s.oc_bn });
     }
 
     #[test]

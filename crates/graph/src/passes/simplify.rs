@@ -79,7 +79,9 @@ fn fold_into_conv(g: &mut Graph, conv: usize, scale: &[f32], shift: &[f32]) {
     let p = *params;
     // Clone-on-fold keeps any hypothetical shared parameter intact.
     let mut w = g.params[*weight].clone();
-    let per_oc = p.in_channels * p.kernel_h * p.kernel_w;
+    // Per-group input channels, not `in_channels`: depthwise filters hold a
+    // single input channel per output channel.
+    let per_oc = p.in_channels_per_group() * p.kernel_h * p.kernel_w;
     for (oc, s) in scale.iter().enumerate() {
         for v in &mut w.data_mut()[oc * per_oc..(oc + 1) * per_oc] {
             *v *= s;
@@ -146,6 +148,30 @@ mod tests {
             })
             .unwrap();
         assert!(conv.is_some());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn batchnorm_after_depthwise_conv_folds_without_overrun() {
+        // Depthwise weights are [C, 1, kh, kw]; the fold must scale one
+        // input channel per output channel (a dense-shaped stride overran
+        // the weight buffer).
+        let mut b = GraphBuilder::new(8);
+        let x = b.input([1, 8, 8, 8]);
+        let d = b.dw_conv_bn_relu(x, 3, 1, 1);
+        let g = b.finish(vec![d]);
+        let s = simplify_inference(&g).unwrap();
+        assert!(s.nodes.iter().all(|n| !matches!(n.op, Op::BatchNorm { .. })));
+        let (w, bias) = s
+            .nodes
+            .iter()
+            .find_map(|n| match &n.op {
+                Op::Conv2d { weight, bias, .. } => Some((*weight, *bias)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(bias.is_some());
+        assert_eq!(s.params[w].shape().dims(), &[8, 1, 3, 3]);
         s.validate().unwrap();
     }
 

@@ -219,8 +219,9 @@ pub fn conv2d_nchwc(
 /// # Panics
 ///
 /// Panics if `dst.len()` differs from [`padded_input_len`] for the
-/// workload; callers (only [`conv2d_nchwc`]) validate first.
-fn pad_nchwc_into(
+/// workload; callers ([`conv2d_nchwc`] and the depthwise template)
+/// validate first.
+pub(super) fn pad_nchwc_into(
     input: &Tensor,
     p: &Conv2dParams,
     ic_bn: usize,

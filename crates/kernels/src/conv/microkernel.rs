@@ -333,3 +333,203 @@ unsafe fn strip_avx512<const RN: usize>(
         _mm512_storeu_ps(out.add(i * 16), acc[i]);
     }
 }
+
+/// Runs one *depthwise* output strip.
+///
+/// Depthwise convolution pairs each channel of the block with its own
+/// `kh×kw` filter, so instead of broadcasting an input scalar against a
+/// kernel vector (the dense Figure 1 scheme), the microkernel multiplies
+/// an input *vector* (the `c_bn` channels of one padded pixel) element-wise
+/// against the kernel vector for that tap. There is no input-channel
+/// reduction: `geo.ic_bn == geo.oc_bn` is the channel block `c_bn`, and
+/// `geo.ic_chunks` is unused (the caller iterates channel chunks).
+///
+/// `in_c` points at the padded input of the current (batch, channel-chunk)
+/// pair (`[ph, pw, c_bn]`), `w_c` at that chunk's filter block
+/// (`[kh, kw, c_bn]`), `out` at the strip (`rn * c_bn` contiguous floats).
+///
+/// # Safety
+///
+/// Same contract as [`run_strip`].
+pub(super) unsafe fn run_dw_strip(
+    isa: Isa,
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    match isa {
+        Isa::Scalar => dw_strip_scalar(geo, in_c, w_c, out, ih0, iw0, rn, unroll),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => match rn {
+            28 => dw_strip_avx2::<28>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            16 => dw_strip_avx2::<16>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            8 => dw_strip_avx2::<8>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            4 => dw_strip_avx2::<4>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            2 => dw_strip_avx2::<2>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            1 => dw_strip_avx2::<1>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            _ => dw_strip_scalar(geo, in_c, w_c, out, ih0, iw0, rn, unroll),
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => match rn {
+            28 => dw_strip_avx512::<28>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            16 => dw_strip_avx512::<16>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            8 => dw_strip_avx512::<8>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            4 => dw_strip_avx512::<4>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            2 => dw_strip_avx512::<2>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            1 => dw_strip_avx512::<1>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            _ => dw_strip_scalar(geo, in_c, w_c, out, ih0, iw0, rn, unroll),
+        },
+    }
+}
+
+/// Portable depthwise strip.
+///
+/// # Safety
+///
+/// See [`run_dw_strip`].
+unsafe fn dw_strip_scalar(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    let Geo { ic_bn: c_bn, pw, kh, kw, sw, .. } = *geo;
+    for i in 0..rn * c_bn {
+        // SAFETY: `out` is valid for `rn * c_bn` elements per contract.
+        unsafe { *out.add(i) = 0.0 };
+    }
+    let khw = kh * kw;
+    let tap = |e: usize| {
+        let (r, s) = (e / kw, e % kw);
+        let in_rs = unsafe { in_c.add(((ih0 + r) * pw + iw0 + s) * c_bn) };
+        let w_rs = unsafe { w_c.add(e * c_bn) };
+        for i in 0..rn {
+            let px = unsafe { in_rs.add(i * sw * c_bn) };
+            let o = unsafe { out.add(i * c_bn) };
+            for ci in 0..c_bn {
+                // SAFETY: pointer extents per the run_dw_strip contract.
+                unsafe { *o.add(ci) += *px.add(ci) * *w_rs.add(ci) };
+            }
+        }
+    };
+    // `unroll` mirrors the dense template's flattened kernel loop.
+    if unroll {
+        for e in 0..khw {
+            tap(e);
+        }
+    } else {
+        for r in 0..kh {
+            for s in 0..kw {
+                tap(r * kw + s);
+            }
+        }
+    }
+}
+
+/// AVX2 depthwise strip for `c_bn == 8`: `RN` YMM accumulators, one
+/// element-wise FMA per kernel tap per pixel.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and the pointer contract of
+/// [`run_dw_strip`]; `geo.oc_bn` must be 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dw_strip_avx2<const RN: usize>(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    unroll: bool,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 8);
+    let Geo { pw, kh, kw, sw, .. } = *geo;
+    let khw = kh * kw;
+    let mut acc = [_mm256_setzero_ps(); RN];
+    if unroll {
+        for e in 0..khw {
+            let (r, s) = (e / kw, e % kw);
+            let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * 8);
+            let wv = _mm256_loadu_ps(w_c.add(e * 8));
+            for i in 0..RN {
+                let xv = _mm256_loadu_ps(in_rs.add(i * sw * 8));
+                acc[i] = _mm256_fmadd_ps(xv, wv, acc[i]);
+            }
+        }
+    } else {
+        for r in 0..kh {
+            for s in 0..kw {
+                let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * 8);
+                let wv = _mm256_loadu_ps(w_c.add((r * kw + s) * 8));
+                for i in 0..RN {
+                    let xv = _mm256_loadu_ps(in_rs.add(i * sw * 8));
+                    acc[i] = _mm256_fmadd_ps(xv, wv, acc[i]);
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm256_storeu_ps(out.add(i * 8), acc[i]);
+    }
+}
+
+/// AVX-512 depthwise strip for `c_bn == 16`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the pointer contract of
+/// [`run_dw_strip`]; `geo.oc_bn` must be 16.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dw_strip_avx512<const RN: usize>(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    unroll: bool,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 16);
+    let Geo { pw, kh, kw, sw, .. } = *geo;
+    let khw = kh * kw;
+    let mut acc = [_mm512_setzero_ps(); RN];
+    if unroll {
+        for e in 0..khw {
+            let (r, s) = (e / kw, e % kw);
+            let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * 16);
+            let wv = _mm512_loadu_ps(w_c.add(e * 16));
+            for i in 0..RN {
+                let xv = _mm512_loadu_ps(in_rs.add(i * sw * 16));
+                acc[i] = _mm512_fmadd_ps(xv, wv, acc[i]);
+            }
+        }
+    } else {
+        for r in 0..kh {
+            for s in 0..kw {
+                let in_rs = in_c.add(((ih0 + r) * pw + iw0 + s) * 16);
+                let wv = _mm512_loadu_ps(w_c.add((r * kw + s) * 16));
+                for i in 0..RN {
+                    let xv = _mm512_loadu_ps(in_rs.add(i * sw * 16));
+                    acc[i] = _mm512_fmadd_ps(xv, wv, acc[i]);
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm512_storeu_ps(out.add(i * 16), acc[i]);
+    }
+}

@@ -2,10 +2,12 @@
 //! kernels, and the blocked `NCHW[x]c` template of Algorithm 1.
 
 mod blocked;
+mod depthwise;
 mod microkernel;
 mod reference;
 
 pub use blocked::{conv2d_nchwc, padded_input_len};
+pub use depthwise::depthwise_conv2d_nchwc;
 pub use reference::{conv2d_nchw_direct, conv2d_nhwc_direct};
 
 use neocpu_tensor::Tensor;
@@ -40,6 +42,11 @@ pub struct Conv2dParams {
     pub pad_h: usize,
     /// Horizontal zero padding (applied symmetrically).
     pub pad_w: usize,
+    /// Channel groups. `1` is a dense convolution; `groups ==
+    /// in_channels == out_channels` is a depthwise convolution, where each
+    /// channel is convolved with its own `1×kh×kw` filter. Weights carry
+    /// `in_channels / groups` input channels per filter.
+    pub groups: usize,
 }
 
 impl Conv2dParams {
@@ -63,7 +70,25 @@ impl Conv2dParams {
             stride_w: stride,
             pad_h: pad,
             pad_w: pad,
+            groups: 1,
         }
+    }
+
+    /// Convenience constructor for a square depthwise convolution
+    /// (`groups == in_channels == out_channels`).
+    pub fn depthwise(channels: usize, in_size: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Self { groups: channels, ..Self::square(channels, channels, in_size, kernel, stride, pad) }
+    }
+
+    /// Whether this workload is a depthwise convolution (one filter per
+    /// channel).
+    pub fn is_depthwise(&self) -> bool {
+        self.groups > 1 && self.groups == self.in_channels && self.groups == self.out_channels
+    }
+
+    /// Input channels read by each filter (`in_channels / groups`).
+    pub fn in_channels_per_group(&self) -> usize {
+        self.in_channels / self.groups.max(1)
     }
 
     /// Output feature-map height.
@@ -81,7 +106,7 @@ impl Conv2dParams {
         self.out_channels as u64
             * self.out_h() as u64
             * self.out_w() as u64
-            * self.in_channels as u64
+            * self.in_channels_per_group() as u64
             * self.kernel_h as u64
             * self.kernel_w as u64
     }
@@ -143,18 +168,43 @@ impl ConvSchedule {
                 self.reg_n
             )));
         }
+        if p.groups > 1 {
+            if !p.is_depthwise() {
+                return Err(KernelError::BadSchedule(format!(
+                    "grouped conv with groups {} != channels ({} -> {}) is only \
+                     supported in the direct reference path",
+                    p.groups, p.in_channels, p.out_channels
+                )));
+            }
+            if self.ic_bn != self.oc_bn {
+                return Err(KernelError::BadSchedule(format!(
+                    "depthwise conv requires ic_bn == oc_bn, got {} != {}",
+                    self.ic_bn, self.oc_bn
+                )));
+            }
+        }
         Ok(())
     }
 
     /// Enumerates the candidate schedule space of §3.3.1 for a workload:
     /// all channel factors for `ic_bn`/`oc_bn`, `reg_n` from the fixed
     /// candidate list capped by the output width, both unroll settings.
+    ///
+    /// Depthwise workloads constrain the space to `ic_bn == oc_bn` (the
+    /// channel block is convolved element-wise with its own filters, so
+    /// input and output blocking must agree). The result is never empty:
+    /// irregular shapes (prime channel counts, `out_w == 1`) still yield
+    /// the 1×1-blocked fallback.
     pub fn candidates(p: &Conv2dParams, max_block: usize) -> Vec<ConvSchedule> {
         let ic: Vec<usize> = factors_descending(p.in_channels, max_block);
         let oc: Vec<usize> = factors_descending(p.out_channels, max_block);
         let mut out = Vec::new();
         for &ic_bn in &ic {
             for &oc_bn in &oc {
+                if p.groups > 1 && ic_bn != oc_bn {
+                    continue;
+                }
+                let mut pushed = false;
                 for &reg_n in &[28usize, 16, 8, 4, 2] {
                     if reg_n > p.out_w().max(1) {
                         continue;
@@ -162,10 +212,30 @@ impl ConvSchedule {
                     for unroll_ker in [true, false] {
                         out.push(ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker });
                     }
+                    pushed = true;
+                }
+                if !pushed {
+                    // out_w too small for every listed reg_n (e.g. 1×1
+                    // spatial output): a single-register strip still works.
+                    for unroll_ker in [true, false] {
+                        out.push(ConvSchedule { ic_bn, oc_bn, reg_n: 1, unroll_ker });
+                    }
                 }
             }
         }
+        if out.is_empty() {
+            // `factors_descending` always contains 1, so this is
+            // unreachable in practice — but the compile pipeline must never
+            // see an empty candidate set.
+            out.push(ConvSchedule::fallback_for(p));
+        }
         out
+    }
+
+    /// A conservative schedule valid for the given workload (1×1 channel
+    /// blocking, depthwise-safe).
+    pub fn fallback_for(p: &Conv2dParams) -> Self {
+        Self { ic_bn: 1, oc_bn: 1, reg_n: p.out_w().clamp(1, 4), unroll_ker: false }
     }
 }
 
@@ -270,6 +340,50 @@ mod tests {
         for c in &cands {
             c.validate(&p).unwrap();
             assert!(c.reg_n <= 56);
+        }
+    }
+
+    #[test]
+    fn depthwise_params_and_macs() {
+        let p = Conv2dParams::depthwise(32, 56, 3, 1, 1);
+        assert!(p.is_depthwise());
+        assert_eq!(p.in_channels_per_group(), 1);
+        // One filter per channel: C * OH * OW * kh * kw.
+        assert_eq!(p.macs(), 32 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn depthwise_schedule_requires_equal_blocks() {
+        let p = Conv2dParams::depthwise(32, 28, 3, 1, 1);
+        assert!(ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false }
+            .validate(&p)
+            .is_ok());
+        assert!(ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: false }
+            .validate(&p)
+            .is_err());
+        for c in ConvSchedule::candidates(&p, 64) {
+            assert_eq!(c.ic_bn, c.oc_bn);
+            c.validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn candidates_never_empty_for_irregular_shapes() {
+        // Prime channel counts: only the 1×1 blocking divides.
+        let prime = Conv2dParams::square(7, 13, 28, 3, 1, 1);
+        let cands = ConvSchedule::candidates(&prime, 64);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            c.validate(&prime).unwrap();
+        }
+        // Degenerate spatial output: out_w == 1 is below every listed
+        // reg_n, which used to produce an empty candidate set.
+        let narrow = Conv2dParams::square(8, 8, 1, 1, 1, 0);
+        assert_eq!(narrow.out_w(), 1);
+        let cands = ConvSchedule::candidates(&narrow, 64);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            c.validate(&narrow).unwrap();
         }
     }
 

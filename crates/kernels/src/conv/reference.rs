@@ -36,13 +36,22 @@ fn check_layouts(
         }
     }
     p.check_spatial(input, "input")?;
+    if p.groups == 0
+        || !p.in_channels.is_multiple_of(p.groups.max(1))
+        || !p.out_channels.is_multiple_of(p.groups.max(1))
+    {
+        return Err(KernelError::BadOperand(format!(
+            "groups {} must divide in_channels {} and out_channels {}",
+            p.groups, p.in_channels, p.out_channels
+        )));
+    }
     let id = input.shape().dims();
     let od = output.shape().dims();
     let wd = weights.shape().dims();
     if id[1] != p.in_channels || id[2] != p.in_h || id[3] != p.in_w {
         return Err(KernelError::BadOperand("input shape mismatch".into()));
     }
-    if wd != [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w] {
+    if wd != [p.out_channels, p.in_channels_per_group(), p.kernel_h, p.kernel_w] {
         return Err(KernelError::BadOperand("weight shape mismatch".into()));
     }
     if od != [id[0], p.out_channels, p.out_h(), p.out_w()] {
@@ -55,6 +64,10 @@ fn check_layouts(
 ///
 /// Parallelized over `(batch, out_channel)` — the outermost disjoint chunks
 /// of the output, as in §3.1.2 — with an optional fused [`Epilogue`].
+/// Grouped convolution (including depthwise, `groups == channels`) is
+/// handled by restricting each output channel's reduction to its group's
+/// input channels; weights then carry `in_channels / groups` input planes
+/// per filter.
 ///
 /// # Errors
 ///
@@ -79,16 +92,19 @@ pub fn conv2d_nchw_direct(
     let res_data = epilogue.residual.map(Tensor::data);
     let out_ptr = SendPtr(output.data_mut().as_mut_ptr());
 
+    let cpg = p.in_channels_per_group();
+    let ocpg = cout / p.groups.max(1);
     par.run(n * cout, &|_, range| {
         let out_ptr = out_ptr;
         for job in range {
             let (b, oc) = (job / cout, job % cout);
+            let ic0 = (oc / ocpg.max(1)) * cpg;
             for y in 0..oh {
                 for x in 0..ow {
                     let mut acc = 0f32;
-                    for ic in 0..cin {
-                        let in_plane = (b * cin + ic) * ih * iw;
-                        let w_plane = (oc * cin + ic) * kh * kw;
+                    for icg in 0..cpg {
+                        let in_plane = (b * cin + ic0 + icg) * ih * iw;
+                        let w_plane = (oc * cpg + icg) * kh * kw;
                         for r in 0..kh {
                             let yy = (y * p.stride_h + r) as isize - p.pad_h as isize;
                             if yy < 0 || yy as usize >= ih {
@@ -154,6 +170,8 @@ pub fn conv2d_nhwc_direct(
 
     // Parallelize over (batch, out_row): channels-last keeps all of `C`
     // contiguous per pixel, so rows are the natural disjoint chunks.
+    let cpg = p.in_channels_per_group();
+    let ocpg = cout / p.groups.max(1);
     par.run(n * oh, &|_, range| {
         let out_ptr = out_ptr;
         for job in range {
@@ -161,6 +179,7 @@ pub fn conv2d_nhwc_direct(
             for x in 0..ow {
                 let out_px = ((b * oh + y) * ow + x) * cout;
                 for oc in 0..cout {
+                    let ic0 = (oc / ocpg.max(1)) * cpg;
                     let mut acc = 0f32;
                     for r in 0..kh {
                         let yy = (y * p.stride_h + r) as isize - p.pad_h as isize;
@@ -173,9 +192,9 @@ pub fn conv2d_nhwc_direct(
                                 continue;
                             }
                             let in_px = ((b * ih + yy as usize) * iw + xx as usize) * cin;
-                            let w_base = (oc * cin) * kh * kw + r * kw + s;
-                            for ic in 0..cin {
-                                acc += in_data[in_px + ic] * w_data[w_base + ic * kh * kw];
+                            let w_base = (oc * cpg) * kh * kw + r * kw + s;
+                            for icg in 0..cpg {
+                                acc += in_data[in_px + ic0 + icg] * w_data[w_base + icg * kh * kw];
                             }
                         }
                     }
@@ -274,6 +293,48 @@ mod tests {
 
         let input_nhwc = to_layout(&input, Layout::Nhwc).unwrap();
         let mut out_nhwc = Tensor::zeros([2, 5, p.out_h(), p.out_w()], Layout::Nhwc).unwrap();
+        conv2d_nhwc_direct(
+            &input_nhwc,
+            &weights,
+            &mut out_nhwc,
+            &p,
+            &Epilogue::none(),
+            &Sequential,
+        )
+        .unwrap();
+        assert!(out_nchw.approx_eq(&out_nhwc, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_reference_is_per_channel() {
+        // Depthwise with per-channel identity-vs-doubling 1x1 filters:
+        // channel 0 passes through, channel 1 doubles.
+        let p = Conv2dParams { groups: 2, ..Conv2dParams::square(2, 2, 2, 1, 1, 0) };
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            [1, 2, 2, 2],
+            Layout::Nchw,
+        )
+        .unwrap();
+        let weights = Tensor::from_vec(vec![1.0, 2.0], [2, 1, 1, 1], Layout::Oihw).unwrap();
+        let mut out = Tensor::zeros([1, 2, 2, 2], Layout::Nchw).unwrap();
+        conv2d_nchw_direct(&input, &weights, &mut out, &p, &Epilogue::none(), &Sequential)
+            .unwrap();
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0, 20.0, 40.0, 60.0, 80.0]);
+    }
+
+    #[test]
+    fn grouped_nhwc_matches_grouped_nchw() {
+        use neocpu_tensor::transform::to_layout;
+        // Two groups of 2→3 channels each.
+        let p = Conv2dParams { groups: 2, ..Conv2dParams::square(4, 6, 8, 3, 1, 1) };
+        let input = Tensor::random([2, 4, 8, 8], Layout::Nchw, 13, 1.0).unwrap();
+        let weights = Tensor::random([6, 2, 3, 3], Layout::Oihw, 14, 1.0).unwrap();
+        let mut out_nchw = Tensor::zeros([2, 6, 8, 8], Layout::Nchw).unwrap();
+        conv2d_nchw_direct(&input, &weights, &mut out_nchw, &p, &Epilogue::none(), &Sequential)
+            .unwrap();
+        let input_nhwc = to_layout(&input, Layout::Nhwc).unwrap();
+        let mut out_nhwc = Tensor::zeros([2, 6, 8, 8], Layout::Nhwc).unwrap();
         conv2d_nhwc_direct(
             &input_nhwc,
             &weights,

@@ -37,8 +37,8 @@ mod error;
 mod util;
 
 pub use conv::{
-    conv2d_nchw_direct, conv2d_nchwc, conv2d_nhwc_direct, padded_input_len, Conv2dParams,
-    ConvSchedule, Epilogue,
+    conv2d_nchw_direct, conv2d_nchwc, conv2d_nhwc_direct, depthwise_conv2d_nchwc,
+    padded_input_len, Conv2dParams, ConvSchedule, Epilogue,
 };
 pub use error::KernelError;
 

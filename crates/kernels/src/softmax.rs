@@ -30,6 +30,17 @@ pub fn softmax(input: &Tensor, output: &mut Tensor, par: &dyn Parallelism) -> Re
         for row in range {
             let xr = &x[row * c..(row + 1) * c];
             let max = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if max == f32::NEG_INFINITY {
+                // Every logit is -inf: `v - max` would be NaN. Degrade to
+                // the uniform distribution, mirroring the empty-pooling
+                // window fix — no NaN may escape the kernel library.
+                let u = 1.0 / c as f32;
+                for i in 0..c {
+                    // SAFETY: rows are disjoint.
+                    unsafe { *out_ptr.add(row * c + i) = u };
+                }
+                continue;
+            }
             let mut sum = 0f32;
             for (i, &v) in xr.iter().enumerate() {
                 let e = (v - max).exp();
@@ -37,10 +48,21 @@ pub fn softmax(input: &Tensor, output: &mut Tensor, par: &dyn Parallelism) -> Re
                 // SAFETY: rows are disjoint.
                 unsafe { *out_ptr.add(row * c + i) = e };
             }
+            // `sum >= exp(max - max) = 1` whenever `max` is finite, but
+            // guard the reciprocal anyway: a non-normal sum (underflow to
+            // 0, or inf from huge rows) would turn the scale into inf/NaN.
             let inv = 1.0 / sum;
-            for i in 0..c {
-                // SAFETY: rows are disjoint.
-                unsafe { *out_ptr.add(row * c + i) *= inv };
+            if inv.is_finite() && inv > 0.0 {
+                for i in 0..c {
+                    // SAFETY: rows are disjoint.
+                    unsafe { *out_ptr.add(row * c + i) *= inv };
+                }
+            } else {
+                let u = 1.0 / c as f32;
+                for i in 0..c {
+                    // SAFETY: rows are disjoint.
+                    unsafe { *out_ptr.add(row * c + i) = u };
+                }
             }
         }
     });
@@ -73,6 +95,43 @@ mod tests {
         softmax(&x, &mut out, &Sequential).unwrap();
         assert!((out.data()[0] - 0.5).abs() < 1e-6);
         assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn all_neg_inf_row_degrades_to_uniform() {
+        let x = Tensor::from_vec(
+            vec![f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY, 0.0, 1.0, 2.0],
+            [2, 3],
+            Layout::Nc,
+        )
+        .unwrap();
+        let mut out = Tensor::zeros([2, 3], Layout::Nc).unwrap();
+        softmax(&x, &mut out, &Sequential).unwrap();
+        // Degenerate row: uniform, not NaN.
+        for &v in &out.data()[..3] {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "got {v}");
+        }
+        // Healthy row in the same batch is unaffected.
+        let healthy: f32 = out.data()[3..].iter().sum();
+        assert!((healthy - 1.0).abs() < 1e-6);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extreme_negative_and_mixed_inf_logits_stay_finite() {
+        // One finite logit among -inf: all mass on the finite one.
+        let x = Tensor::from_vec(
+            vec![f32::NEG_INFINITY, -5.0, f32::NEG_INFINITY, -3.4e38, -3.4e38, -3.4e38],
+            [2, 3],
+            Layout::Nc,
+        )
+        .unwrap();
+        let mut out = Tensor::zeros([2, 3], Layout::Nc).unwrap();
+        softmax(&x, &mut out, &Sequential).unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!((out.data()[1] - 1.0).abs() < 1e-6);
+        let r1: f32 = out.data()[3..].iter().sum();
+        assert!((r1 - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! The 15 CNN models of the NeoCPU evaluation (§4), built on the graph IR.
+//! The CNN models of the NeoCPU evaluation (§4), built on the graph IR.
 //!
 //! ResNet-18/34/50/101/152, VGG-11/13/16/19, DenseNet-121/161/169/201,
 //! Inception-v3 and SSD-ResNet-50 — the exact model list of Table 2 —
-//! with the standard architectures (torchvision/Gluon model-zoo layer
+//! plus MobileNet v1 (the depthwise-separable serving workload), with the
+//! standard architectures (torchvision/Gluon model-zoo layer
 //! configurations) and deterministic pseudo-random weights.
 //!
 //! Every builder takes a [`ModelScale`]: [`ModelScale::full`] reproduces
@@ -16,6 +17,7 @@
 
 mod densenet;
 mod inception;
+mod mobilenet;
 mod resnet;
 mod ssd;
 mod vgg;
@@ -55,6 +57,8 @@ pub enum ModelKind {
     InceptionV3,
     /// SSD object detector with a ResNet-50 backbone (512×512 input).
     SsdResNet50,
+    /// MobileNet v1: depthwise-separable convolutions (224×224 input).
+    MobileNet,
 }
 
 impl ModelKind {
@@ -76,6 +80,7 @@ impl ModelKind {
             Self::DenseNet201 => "DenseNet-201",
             Self::InceptionV3 => "Inception-v3",
             Self::SsdResNet50 => "SSD-ResNet-50",
+            Self::MobileNet => "MobileNet",
         }
     }
 
@@ -90,12 +95,14 @@ impl ModelKind {
     }
 }
 
-/// All 15 evaluated models, in Table 2 order.
+/// All evaluated models: the 15 of Table 2, in table order, plus
+/// MobileNet v1.
 pub fn zoo() -> Vec<ModelKind> {
     use ModelKind::*;
     vec![
         ResNet18, ResNet34, ResNet50, ResNet101, ResNet152, Vgg11, Vgg13, Vgg16, Vgg19,
         DenseNet121, DenseNet161, DenseNet169, DenseNet201, InceptionV3, SsdResNet50,
+        MobileNet,
     ]
 }
 
@@ -163,6 +170,7 @@ pub fn build(kind: ModelKind, scale: ModelScale, seed: u64) -> Graph {
         DenseNet201 => densenet::densenet(&[6, 12, 48, 32], 32, 64, scale, seed),
         InceptionV3 => inception::inception_v3(scale, seed),
         SsdResNet50 => ssd::ssd_resnet50(scale, seed),
+        MobileNet => mobilenet::mobilenet(scale, seed),
     }
 }
 
@@ -172,8 +180,8 @@ mod tests {
     use neocpu_graph::{infer_layouts, infer_shapes};
 
     #[test]
-    fn zoo_has_fifteen_models() {
-        assert_eq!(zoo().len(), 15);
+    fn zoo_has_sixteen_models() {
+        assert_eq!(zoo().len(), 16);
     }
 
     #[test]
@@ -201,6 +209,7 @@ mod tests {
             (ModelKind::Vgg13, 10),
             (ModelKind::Vgg16, 13),
             (ModelKind::Vgg19, 16),
+            (ModelKind::MobileNet, 27), // stem + 13 × (depthwise + pointwise)
         ];
         for (kind, want) in expect {
             let g = build(kind, ModelScale::tiny(kind), 1);

@@ -1,0 +1,90 @@
+//! MobileNet v1 (Howard et al., 2017): depthwise-separable convolutions.
+//!
+//! The architecture alternates a 3×3 depthwise conv (one filter per
+//! channel) with a 1×1 pointwise conv that mixes channels — the workload
+//! whose trivial arithmetic intensity makes it the memory-bound stress
+//! case of the serving evaluation.
+
+use neocpu_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::ModelScale;
+
+/// `(pointwise output channels, depthwise stride)` for the 13 separable
+/// blocks of MobileNet v1 (width multiplier 1.0).
+const BLOCKS: [(usize, usize); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+/// Builds MobileNet v1: a 3×3/2 stem conv, 13 depthwise-separable blocks,
+/// global average pooling and a linear classifier. 27 convolutions total
+/// (stem + 13 × (depthwise + pointwise)).
+pub(crate) fn mobilenet(scale: ModelScale, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(seed);
+    let x = b.input([scale.batch.max(1), 3, scale.input, scale.input]);
+    let mut cur = b.conv_bn_relu(x, scale.c(32), 3, 2, 1);
+    for (width, stride) in BLOCKS {
+        cur = separable_block(&mut b, cur, scale.c(width), stride);
+    }
+    let gap = b.global_avg_pool(cur);
+    let flat = b.flatten(gap);
+    let fc = b.dense(flat, scale.classes);
+    let sm = b.softmax(fc);
+    b.finish(vec![sm])
+}
+
+/// 3×3 depthwise conv (BN, ReLU) followed by a 1×1 pointwise conv
+/// (BN, ReLU).
+fn separable_block(b: &mut GraphBuilder, x: NodeId, width: usize, stride: usize) -> NodeId {
+    let dw = b.dw_conv_bn_relu(x, 3, stride, 1);
+    b.conv_bn_relu(dw, width, 1, 1, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use neocpu_graph::{infer_shapes, Op};
+
+    #[test]
+    fn mobilenet_structure_and_shapes() {
+        let scale = ModelScale::full(ModelKind::MobileNet);
+        let g = mobilenet(scale, 1);
+        let shapes = infer_shapes(&g).unwrap();
+        // Stem + 13 × (dw + pw) = 27 convs, 13 of them depthwise.
+        let convs = g.conv_ids();
+        assert_eq!(convs.len(), 27);
+        let depthwise = convs
+            .iter()
+            .filter(|&&id| {
+                matches!(&g.nodes[id].op, Op::Conv2d { params, .. } if params.groups > 1)
+            })
+            .count();
+        assert_eq!(depthwise, 13);
+        // Final feature map at 224² input is 1024×7×7.
+        let last_conv = *convs.last().unwrap();
+        assert_eq!(shapes[last_conv].dims()[1..], [1024, 7, 7]);
+        let out = &shapes[*g.outputs.first().unwrap()];
+        assert_eq!(out.dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn mobilenet_macs_are_an_order_below_resnet50() {
+        // ~0.57 GMACs at full scale — the memory-bound end of Table 2.
+        let scale = ModelScale::full(ModelKind::MobileNet);
+        let g = mobilenet(scale, 1);
+        let gmacs = g.conv_macs() as f64 / 1e9;
+        assert!((0.4..0.8).contains(&gmacs), "MobileNet GMACs {gmacs}");
+    }
+}

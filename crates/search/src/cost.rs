@@ -9,7 +9,9 @@
 
 use std::time::Instant;
 
-use neocpu_kernels::conv::{conv2d_nchwc, Conv2dParams, ConvSchedule, Epilogue};
+use neocpu_kernels::conv::{
+    conv2d_nchwc, depthwise_conv2d_nchwc, Conv2dParams, ConvSchedule, Epilogue,
+};
 use neocpu_tensor::{Layout, Tensor};
 use neocpu_threadpool::Sequential;
 
@@ -97,7 +99,23 @@ impl AnalyticalModel {
 impl CostModel for AnalyticalModel {
     fn conv_time(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32 {
         let macs = params.macs() as f32;
-        macs / (self.macs_per_sec * self.efficiency(params, schedule))
+        let compute = macs / (self.macs_per_sec * self.efficiency(params, schedule));
+        if params.groups > 1 {
+            // Grouped/depthwise layers run at trivial arithmetic intensity
+            // (only `kh*kw` MACs per loaded input element instead of a full
+            // input-channel reduction), so the memory system rather than
+            // the FMA units usually bounds them — model the layer as the
+            // max of the compute and streaming-traffic terms.
+            let elems = params.in_channels * params.in_h * params.in_w
+                + params.out_channels * params.out_h() * params.out_w()
+                + params.out_channels * params.in_channels_per_group()
+                    * params.kernel_h
+                    * params.kernel_w;
+            let mem = (elems * 4) as f32 / self.mem_bytes_per_sec;
+            compute.max(mem)
+        } else {
+            compute
+        }
     }
 
     fn transform_time(&self, c: usize, h: usize, w: usize, from: usize, to: usize) -> f32 {
@@ -130,6 +148,7 @@ impl Default for TimedMeasurer {
 impl CostModel for TimedMeasurer {
     fn conv_time(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32 {
         let p = *params;
+        let depthwise = p.is_depthwise();
         let input = Tensor::random(
             [1, p.in_channels, p.in_h, p.in_w],
             Layout::NchwC(schedule.ic_bn),
@@ -138,8 +157,11 @@ impl CostModel for TimedMeasurer {
         )
         .expect("schedule validated against workload");
         let weights = Tensor::random(
-            [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w],
-            Layout::OihwIo { i: schedule.ic_bn, o: schedule.oc_bn },
+            [p.out_channels, p.in_channels_per_group(), p.kernel_h, p.kernel_w],
+            Layout::OihwIo {
+                i: if depthwise { 1 } else { schedule.ic_bn },
+                o: schedule.oc_bn,
+            },
             2,
             1.0,
         )
@@ -152,18 +174,33 @@ impl CostModel for TimedMeasurer {
         let mut best = f32::INFINITY;
         for i in 0..self.warmup + self.repeats {
             let t0 = Instant::now();
-            conv2d_nchwc(
-                &input,
-                &weights,
-                &mut out,
-                &p,
-                schedule,
-                &Epilogue::none(),
-                &Sequential,
-                self.max_lanes,
-                None,
-            )
-            .expect("workload/schedule validated");
+            if depthwise {
+                depthwise_conv2d_nchwc(
+                    &input,
+                    &weights,
+                    &mut out,
+                    &p,
+                    schedule,
+                    &Epilogue::none(),
+                    &Sequential,
+                    self.max_lanes,
+                    None,
+                )
+                .expect("workload/schedule validated");
+            } else {
+                conv2d_nchwc(
+                    &input,
+                    &weights,
+                    &mut out,
+                    &p,
+                    schedule,
+                    &Epilogue::none(),
+                    &Sequential,
+                    self.max_lanes,
+                    None,
+                )
+                .expect("workload/schedule validated");
+            }
             let dt = t0.elapsed().as_secs_f32();
             if i >= self.warmup {
                 best = best.min(dt);
@@ -216,6 +253,28 @@ mod tests {
         let small = m.transform_time(64, 28, 28, 16, 8);
         let big = m.transform_time(64, 56, 56, 16, 8);
         assert!(big > small && small > 0.0);
+    }
+
+    #[test]
+    fn analytical_depthwise_is_memory_bound_and_finite() {
+        let m = AnalyticalModel::default();
+        let dw = Conv2dParams::depthwise(64, 28, 3, 1, 1);
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true };
+        let t = m.conv_time(&dw, &s);
+        assert!(t > 0.0 && t.is_finite());
+        // A dense conv with the same channel counts does ~64x the MACs and
+        // must cost more under the model.
+        let dense = Conv2dParams::square(64, 64, 28, 3, 1, 1);
+        assert!(m.conv_time(&dense, &s) > t);
+    }
+
+    #[test]
+    fn timed_measurer_handles_depthwise() {
+        let m = TimedMeasurer { repeats: 1, warmup: 0, max_lanes: usize::MAX };
+        let p = Conv2dParams::depthwise(8, 8, 3, 1, 1);
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let t = m.conv_time(&p, &s);
+        assert!(t > 0.0 && t.is_finite());
     }
 
     #[test]

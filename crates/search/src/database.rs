@@ -329,8 +329,11 @@ fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
 }
 
 fn fmt_params(p: &Conv2dParams) -> String {
+    // The `g{groups}` suffix is omitted for dense convs, keeping the v1
+    // format byte-identical for every pre-depthwise database on disk.
+    let groups = if p.groups > 1 { format!("g{}", p.groups) } else { String::new() };
     format!(
-        "{}x{}x{}x{}k{}x{}s{}x{}p{}x{}",
+        "{}x{}x{}x{}k{}x{}s{}x{}p{}x{}{}",
         p.in_channels,
         p.out_channels,
         p.in_h,
@@ -340,15 +343,22 @@ fn fmt_params(p: &Conv2dParams) -> String {
         p.stride_h,
         p.stride_w,
         p.pad_h,
-        p.pad_w
+        p.pad_w,
+        groups
     )
 }
 
 fn parse_params(s: &str) -> Option<Conv2dParams> {
-    // Format: IC x OC x H x W k KH x KW s SH x SW p PH x PW.
+    // Format: IC x OC x H x W k KH x KW s SH x SW p PH x PW [g G].
+    // The groups suffix is optional (absent means 1), so old database
+    // files parse unchanged.
     let (chans, rest) = s.split_once('k')?;
     let (kern, rest) = rest.split_once('s')?;
-    let (stride, pad) = rest.split_once('p')?;
+    let (stride, rest) = rest.split_once('p')?;
+    let (pad, groups) = match rest.split_once('g') {
+        Some((pad, g)) => (pad, g.parse::<usize>().ok().filter(|&g| g > 0)?),
+        None => (rest, 1),
+    };
     let c: Vec<usize> = chans.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
     let k: Vec<usize> = kern.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
     let st: Vec<usize> = stride.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
@@ -367,6 +377,7 @@ fn parse_params(s: &str) -> Option<Conv2dParams> {
         stride_w: st[1],
         pad_h: pd[0],
         pad_w: pd[1],
+        groups,
     })
 }
 
@@ -400,6 +411,32 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].schedule, schemes[0].schedule);
         assert!((got[0].time - schemes[0].time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depthwise_workloads_round_trip_with_groups_suffix() {
+        let p = Conv2dParams::depthwise(64, 28, 3, 1, 1);
+        let schemes = vec![RankedScheme {
+            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+            time: 3.0e-5,
+        }];
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes.clone());
+        let text = db.to_text();
+        assert!(text.contains("g64"), "depthwise key missing groups suffix: {text}");
+        let back = SchemeDatabase::from_text(&text).unwrap();
+        let got = back.get("host", &p).unwrap();
+        assert_eq!(got[0].schedule, schemes[0].schedule);
+        // A depthwise workload and a dense workload with identical
+        // dimensions are distinct keys.
+        let dense = Conv2dParams::square(64, 64, 28, 3, 1, 1);
+        assert!(back.get("host", &dense).is_none());
+        // Dense keys keep the v1 format (no `g` suffix) so existing
+        // databases stay readable and re-serializable byte-for-byte.
+        let (pd, sd) = sample();
+        let mut db2 = SchemeDatabase::new();
+        db2.put("host", &pd, sd);
+        assert!(!db2.to_text().contains('g'));
     }
 
     #[test]

@@ -92,11 +92,19 @@ pub fn solve_dp(problem: &SearchProblem) -> Vec<usize> {
         .collect()
 }
 
+/// NaN-safe argmin: a NaN cost can never win — not even the one sitting at
+/// index 0, which the naive `v < xs[best]` scan silently kept (NaN costs
+/// can arrive from a hand-edited scheme database despite lenient load).
 fn argmin(xs: &[f32]) -> usize {
     let mut best = 0;
+    let mut have = false;
     for (i, &v) in xs.iter().enumerate() {
-        if v < xs[best] {
+        if v.is_nan() {
+            continue;
+        }
+        if !have || v < xs[best] {
             best = i;
+            have = true;
         }
     }
     best
@@ -170,6 +178,34 @@ mod tests {
             edges: vec![],
         };
         assert_eq!(solve_dp(&p), vec![1]);
+    }
+
+    #[test]
+    fn dp_survives_nan_costs() {
+        // A NaN cost at index 0 (the old argmin's silent winner) and in an
+        // edge matrix: DP must pick the finite candidate, not panic or
+        // propagate NaN into the assignment.
+        let nodes = vec![
+            mk_node(0, vec![f32::NAN, 1.0, 2.0]),
+            mk_node(1, vec![2.0, f32::NAN, 1.0]),
+        ];
+        let edges = vec![ProblemEdge {
+            a: 0,
+            b: 1,
+            matrix: vec![0.0, 1.0, f32::NAN, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0],
+        }];
+        let p = SearchProblem { nodes, edges };
+        let a = solve_dp(&p);
+        assert_eq!(a.len(), 2);
+        assert!(p.nodes[0].costs[a[0]].is_finite(), "picked NaN candidate {}", a[0]);
+        assert!(p.nodes[1].costs[a[1]].is_finite(), "picked NaN candidate {}", a[1]);
+        // All-NaN costs still return a valid index (degenerate but total).
+        let q = SearchProblem {
+            nodes: vec![mk_node(0, vec![f32::NAN, f32::NAN])],
+            edges: vec![],
+        };
+        let b = solve_dp(&q);
+        assert!(b[0] < 2);
     }
 
     #[test]

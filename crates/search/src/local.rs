@@ -46,10 +46,10 @@ pub fn local_search(
     let mut candidates = ConvSchedule::candidates(params, cfg.max_block);
     if let Some(n) = cfg.preselect {
         let pre = AnalyticalModel::default();
+        // `total_cmp` instead of `partial_cmp(..).expect(..)`: a panic here
+        // would sit between a cost model and a compile result.
         candidates.sort_by(|a, b| {
-            pre.conv_time(params, a)
-                .partial_cmp(&pre.conv_time(params, b))
-                .expect("analytical times are finite")
+            pre.conv_time(params, a).total_cmp(&pre.conv_time(params, b))
         });
         candidates.truncate(n);
     }
@@ -57,7 +57,22 @@ pub fn local_search(
         .into_iter()
         .map(|schedule| RankedScheme { schedule, time: model.conv_time(params, &schedule) })
         .collect();
-    ranked.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are finite"));
+    // Non-finite times (NaN from a degenerate measurement, inf from a
+    // cost-model overflow, hand-edited DB entries) must not reach the sort
+    // or the global search: drop them with a warning instead of panicking.
+    let before = ranked.len();
+    ranked.retain(|r| r.time.is_finite());
+    if ranked.len() < before {
+        eprintln!(
+            "warning: local search dropped {} candidate(s) with non-finite cost for \
+             {}x{} conv (kept {})",
+            before - ranked.len(),
+            params.in_channels,
+            params.out_channels,
+            ranked.len()
+        );
+    }
+    ranked.sort_by(|a, b| a.time.total_cmp(&b.time));
     ranked.truncate(cfg.keep.max(1));
     ranked
 }
@@ -101,6 +116,51 @@ mod tests {
         let r = local_search(&p, &model, &cfg);
         assert_eq!(model.0.get(), 10);
         assert!(r.len() <= 10);
+    }
+
+    #[test]
+    fn nan_cost_model_never_panics_and_drops_bad_candidates() {
+        // A model that returns NaN for every schedule with ic_bn > 1 and a
+        // finite time otherwise: the NaN candidates must be dropped, not
+        // sorted (the old comparator panicked on them).
+        struct Sometimes;
+        impl CostModel for Sometimes {
+            fn conv_time(&self, _: &Conv2dParams, s: &ConvSchedule) -> f32 {
+                if s.ic_bn > 1 {
+                    f32::NAN
+                } else {
+                    s.oc_bn as f32
+                }
+            }
+            fn transform_time(&self, _: usize, _: usize, _: usize, _: usize, _: usize) -> f32 {
+                0.0
+            }
+        }
+        let p = Conv2dParams::square(16, 16, 8, 3, 1, 1);
+        let r = local_search(&p, &Sometimes, &LocalSearchCfg::default());
+        assert!(!r.is_empty());
+        for s in &r {
+            assert!(s.time.is_finite());
+            assert_eq!(s.schedule.ic_bn, 1);
+        }
+
+        // All-NaN model: empty result, no panic — upstream synthesizes the
+        // fallback schedule.
+        struct AlwaysNan;
+        impl CostModel for AlwaysNan {
+            fn conv_time(&self, _: &Conv2dParams, _: &ConvSchedule) -> f32 {
+                f32::NAN
+            }
+            fn transform_time(&self, _: usize, _: usize, _: usize, _: usize, _: usize) -> f32 {
+                f32::NAN
+            }
+        }
+        let r = local_search(&p, &AlwaysNan, &LocalSearchCfg::default());
+        assert!(r.is_empty());
+        // Preselect path runs the analytical sort first; still no panic.
+        let cfg = LocalSearchCfg { preselect: Some(4), ..Default::default() };
+        let r = local_search(&p, &AlwaysNan, &cfg);
+        assert!(r.is_empty());
     }
 
     #[test]

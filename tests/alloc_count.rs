@@ -97,6 +97,44 @@ fn warm_run_with_performs_zero_allocations() {
 }
 
 #[test]
+fn warm_depthwise_run_performs_zero_allocations() {
+    // A MobileNet-style separable tower: the depthwise template must take
+    // its padded-input scratch from the planned arena, not the heap.
+    let mut b = GraphBuilder::new(23);
+    let x = b.input([1, 8, 16, 16]);
+    let d1 = b.dw_conv_bn_relu(x, 3, 1, 1);
+    let p1 = b.conv_bn_relu(d1, 16, 1, 1, 0);
+    let d2 = b.dw_conv_bn_relu(p1, 3, 2, 1);
+    let p2 = b.conv_bn_relu(d2, 16, 1, 1, 0);
+    let gap = b.global_avg_pool(p2);
+    let f = b.flatten(gap);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    let g = b.finish(vec![s]);
+
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = compile(&g, &CpuTarget::host(), &opts).unwrap();
+    assert!(m.memory_report().scratch_bytes > 0, "depthwise convs must reserve scratch");
+    let input = Tensor::random([1, 8, 16, 16], Layout::Nchw, 31, 1.0).unwrap();
+
+    let mut ctx = m.make_context();
+    for _ in 0..3 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "warm depthwise run allocated {delta} time(s); expected zero");
+
+    let out = ctx.output(0).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 10]);
+    assert!(out.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
 fn warm_serve_cycle_performs_zero_allocations() {
     use std::sync::Arc;
     use neocpu::{ServeEngine, ServeOptions};

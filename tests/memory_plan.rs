@@ -8,7 +8,7 @@
 //!    reference interpreter ([`neocpu::Module::run_reference`]). Same
 //!    kernels, same order — only the storage strategy differs, so any
 //!    difference is a planner bug.
-//! 2. **Plan quality** — over the whole 15-model zoo, the planned arena
+//! 2. **Plan quality** — over the whole model zoo, the planned arena
 //!    peak stays strictly below the naive sum of all intermediate outputs,
 //!    and liveness reuse actually fires.
 
@@ -66,6 +66,13 @@ fn inception_v3_arena_matches_reference_bit_exact() {
 #[test]
 fn densenet121_arena_matches_reference_bit_exact() {
     assert_bit_exact(ModelKind::DenseNet121, &[OptLevel::O2]);
+}
+
+/// MobileNet: depthwise convs whose padded-input scratch lives in the
+/// arena — the scratch region must stay disjoint from every live value.
+#[test]
+fn mobilenet_arena_matches_reference_bit_exact() {
+    assert_bit_exact(ModelKind::MobileNet, &[OptLevel::O0, OptLevel::O2, OptLevel::O3]);
 }
 
 /// Across the whole zoo the planner must beat the naive allocator: the

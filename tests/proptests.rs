@@ -1,7 +1,8 @@
 //! Cross-crate property-based tests on the stack's core invariants.
 
 use neocpu_kernels::conv::{
-    conv2d_nchw_direct, conv2d_nchwc, Conv2dParams, ConvSchedule, Epilogue,
+    conv2d_nchw_direct, conv2d_nchwc, depthwise_conv2d_nchwc, padded_input_len, Conv2dParams,
+    ConvSchedule, Epilogue,
 };
 use neocpu_tensor::{transform::to_layout, Layout, Tensor};
 use neocpu_threadpool::{split_even, Sequential};
@@ -101,6 +102,90 @@ proptest! {
             "diff {}",
             reference.max_abs_diff(&out)
         );
+    }
+
+    /// The depthwise template agrees with the grouped scalar reference for
+    /// arbitrary channel counts, strides, paddings and block factors — with
+    /// the padded-input scratch poisoned with NaN, so any tap outside the
+    /// written region shows up as a mismatch.
+    #[test]
+    fn depthwise_conv_matches_reference(
+        c_sel in 0usize..5,
+        size in 5usize..12,
+        kernel_sel in 0usize..2,
+        stride in 1usize..3,
+        bn_sel in 0usize..4,
+        reg_sel in 0usize..4,
+        unroll in any::<bool>(),
+        batch in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let c = [3, 6, 8, 16, 24][c_sel];
+        let kernel = [3, 5][kernel_sel];
+        let pad = kernel / 2;
+        let p = Conv2dParams::depthwise(c, size, kernel, stride, pad);
+        prop_assume!(p.out_h() > 0 && p.out_w() > 0);
+        let fs = factors(c);
+        let bn = fs[bn_sel % fs.len()];
+        let s = ConvSchedule {
+            ic_bn: bn,
+            oc_bn: bn,
+            reg_n: [1, 2, 4, 8][reg_sel],
+            unroll_ker: unroll,
+        };
+        let input = Tensor::random([batch, c, size, size], Layout::Nchw, seed, 1.0).unwrap();
+        let weights =
+            Tensor::random([c, 1, kernel, kernel], Layout::Oihw, seed + 1, 1.0).unwrap();
+
+        let mut reference =
+            Tensor::zeros([batch, c, p.out_h(), p.out_w()], Layout::Nchw).unwrap();
+        conv2d_nchw_direct(&input, &weights, &mut reference, &p, &Epilogue::none(), &Sequential)
+            .unwrap();
+
+        let bi = to_layout(&input, Layout::NchwC(bn)).unwrap();
+        let bw = to_layout(&weights, Layout::OihwIo { i: 1, o: bn }).unwrap();
+        let mut out =
+            Tensor::zeros([batch, c, p.out_h(), p.out_w()], Layout::NchwC(bn)).unwrap();
+        let mut scratch = vec![f32::NAN; padded_input_len(&p, bn, batch)];
+        let scratch_arg = (!scratch.is_empty()).then_some(scratch.as_mut_slice());
+        depthwise_conv2d_nchwc(
+            &bi, &bw, &mut out, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, scratch_arg,
+        )
+        .unwrap();
+        prop_assert!(
+            reference.approx_eq(&out, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(&out)
+        );
+    }
+
+    /// The candidate generator never returns an empty set, and everything
+    /// it returns validates — including prime and otherwise irregular
+    /// channel counts where the preferred block factors don't divide.
+    #[test]
+    fn conv_candidates_never_empty(
+        cin in 1usize..67,
+        cout in 1usize..67,
+        size in 1usize..15,
+        kernel_sel in 0usize..3,
+        stride in 1usize..3,
+        depthwise in any::<bool>(),
+        max_block_sel in 0usize..3,
+    ) {
+        let kernel = [1, 3, 5][kernel_sel];
+        let pad = kernel / 2;
+        let p = if depthwise {
+            Conv2dParams::depthwise(cin, size, kernel, stride, pad)
+        } else {
+            Conv2dParams::square(cin, cout, size, kernel, stride, pad)
+        };
+        prop_assume!(p.out_h() > 0 && p.out_w() > 0);
+        let max_block = [8, 16, 64][max_block_sel];
+        let cands = ConvSchedule::candidates(&p, max_block);
+        prop_assert!(!cands.is_empty(), "no candidates for {p:?}");
+        for s in &cands {
+            prop_assert!(s.validate(&p).is_ok(), "invalid candidate {s:?} for {p:?}");
+        }
     }
 
     /// An arbitrary *invalid* schedule must surface as `Err` from the
