@@ -1,9 +1,11 @@
 //! Serving-engine driver: throughput vs concurrency over pooled contexts
 //! (EXPERIMENTS.md E8), or `--smoke` for the CI assertions (every request
-//! completes, batches coalesce, warm serve cycles allocate nothing — a
-//! counting global allocator is installed here so the check is real).
+//! completes, batches coalesce, the health machine walks Ready → Stopped,
+//! warm serve cycles allocate nothing — a counting global allocator is
+//! installed here so the check is real).
 //! Flags: `--smoke`, `--workers N`, `--clients a,b`, `--requests N`,
-//! `--batch N`, `--models a,b`, `--full`.
+//! `--batch N`, `--models a,b`, `--full`, `--deadline-ms N` (engine-wide
+//! request deadline), `--shed newest|oldest` (full-queue policy).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

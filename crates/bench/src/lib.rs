@@ -22,11 +22,11 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use neocpu::{
-    compile, compile_with_pool, CompileOptions, CpuTarget, Module, OptLevel, PoolChoice,
-    SearchStrategy, ServeEngine, ServeOptions,
+    compile, compile_with_pool, CompileOptions, CpuTarget, EngineHealth, Module, OptLevel,
+    PoolChoice, SearchStrategy, ServeEngine, ServeOptions, ShedPolicy,
 };
 use neocpu_models::{build, ModelKind, ModelScale};
 use neocpu_search::SchemeDatabase;
@@ -57,6 +57,11 @@ pub struct HarnessCfg {
     /// `serve` only: batch size B the module is compiled at (the
     /// batcher's ceiling).
     pub batch: usize,
+    /// `serve` only: per-request deadline applied engine-wide (`None` =
+    /// no deadline; expired requests are shed before execution).
+    pub deadline_ms: Option<u64>,
+    /// `serve` only: admission policy when the bounded queue is full.
+    pub shed: ShedPolicy,
 }
 
 impl Default for HarnessCfg {
@@ -72,6 +77,8 @@ impl Default for HarnessCfg {
             clients: Vec::new(),
             requests: 32,
             batch: 4,
+            deadline_ms: None,
+            shed: ShedPolicy::RejectNewest,
         }
     }
 }
@@ -79,8 +86,8 @@ impl Default for HarnessCfg {
 impl HarnessCfg {
     /// Parses `--full`, `--reps N`, `--warmup N`, `--threads N`,
     /// `--models a,b`, and the `serve` flags `--smoke`, `--workers N`,
-    /// `--clients a,b`, `--requests N`, `--batch N` from
-    /// `std::env::args`.
+    /// `--clients a,b`, `--requests N`, `--batch N`, `--deadline-ms N`,
+    /// `--shed newest|oldest` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +135,21 @@ impl HarnessCfg {
                 }
                 "--batch" if i + 1 < args.len() => {
                     cfg.batch = args[i + 1].parse().unwrap_or(cfg.batch);
+                    i += 1;
+                }
+                "--deadline-ms" if i + 1 < args.len() => {
+                    cfg.deadline_ms = args[i + 1].parse().ok();
+                    i += 1;
+                }
+                "--shed" if i + 1 < args.len() => {
+                    cfg.shed = match args[i + 1].as_str() {
+                        "oldest" => ShedPolicy::ShedOldest,
+                        "newest" => ShedPolicy::RejectNewest,
+                        other => {
+                            eprintln!("ignoring unknown --shed policy {other}");
+                            cfg.shed
+                        }
+                    };
                     i += 1;
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
@@ -650,6 +672,17 @@ fn compile_for_serving(kind: ModelKind, cfg: &HarnessCfg) -> (Arc<Module>, Model
     (module, scale)
 }
 
+/// Serving-engine options derived from the harness flags: `workers`
+/// (floored at `min_workers`), `--deadline-ms`, and `--shed`.
+fn serve_options(cfg: &HarnessCfg, min_workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers: cfg.workers.max(min_workers),
+        default_deadline: cfg.deadline_ms.map(Duration::from_millis),
+        shed_policy: cfg.shed,
+        ..Default::default()
+    }
+}
+
 /// Drives `clients` concurrent client threads against `engine`, each
 /// looping `per_client` requests on its own pre-allocated slot. Returns
 /// (completed, failed) as counted by the clients themselves.
@@ -695,11 +728,8 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
     // end on the serving path.
     let kind = cfg.models.first().copied().unwrap_or(ModelKind::MobileNet);
     let (module, scale) = compile_for_serving(kind, cfg);
-    let engine = ServeEngine::new(
-        Arc::clone(&module),
-        &ServeOptions { workers: cfg.workers.max(2), ..Default::default() },
-    )
-    .expect("engine starts");
+    let engine = ServeEngine::new(Arc::clone(&module), &serve_options(cfg, 2))
+        .expect("engine starts");
     println!(
         "serve --smoke: {} batch {} | {:?}",
         kind.name(),
@@ -708,6 +738,10 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
     );
 
     let mut pass = true;
+    if engine.health() != EngineHealth::Ready {
+        println!("FAIL: engine not Ready after construction ({})", engine.health());
+        pass = false;
+    }
     let clients = 4usize;
     let per_client = cfg.requests.clamp(8, 64);
     let want = (clients * per_client) as u64;
@@ -753,6 +787,10 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
         println!("allocs over {reps} warm serve cycles: - (no counting allocator)");
     }
     engine.shutdown();
+    if engine.health() != EngineHealth::Stopped {
+        println!("FAIL: engine not Stopped after shutdown ({})", engine.health());
+        pass = false;
+    }
     println!("serve --smoke: {}", if pass { "PASS" } else { "FAIL" });
     pass
 }
@@ -787,11 +825,8 @@ fn serve_table(cfg: &HarnessCfg) {
     for kind in models {
         let (module, scale) = compile_for_serving(kind, cfg);
         for &n in &client_counts {
-            let engine = ServeEngine::new(
-                Arc::clone(&module),
-                &ServeOptions { workers: cfg.workers.max(1), ..Default::default() },
-            )
-            .expect("engine starts");
+            let engine = ServeEngine::new(Arc::clone(&module), &serve_options(cfg, 1))
+                .expect("engine starts");
             let (ok, failed) = drive_clients(&engine, n, cfg.requests.max(1), scale.input);
             let r = engine.report();
             engine.shutdown();

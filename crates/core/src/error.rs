@@ -63,11 +63,37 @@ pub enum NeoError {
         /// Name of the failpoint that fired.
         failpoint: &'static str,
     },
-    /// A serving-engine protocol violation: submitting to a stopped
-    /// engine, re-submitting an in-flight request, reading outputs of a
-    /// request that never completed, or building an engine over a module
-    /// the batcher cannot serve.
+    /// A serving-engine protocol violation: re-submitting an in-flight
+    /// request, reading outputs of a request that never completed, or
+    /// building an engine over a module the batcher cannot serve.
     Serve(String),
+    /// A component was configured with invalid options (e.g. a serve
+    /// engine with zero workers or a zero-capacity queue). Returned at
+    /// construction time, before anything could hang or panic downstream.
+    Config(String),
+    /// Admission control rejected (or shed) a request because the bounded
+    /// submission queue was full. Backpressure as an answer instead of a
+    /// stall: callers can retry, degrade, or surface a protocol-level
+    /// "busy" response.
+    Busy {
+        /// Queue depth observed at the rejection.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before it completed. Expired requests
+    /// are skipped by the batcher — they never execute.
+    DeadlineExceeded,
+    /// The engine is draining or stopped; the request was not (or will not
+    /// be) served.
+    Shutdown,
+    /// The serve worker holding this request died (a panic escaped the
+    /// per-batch boundary) or exceeded its stall budget; the watchdog
+    /// failed the in-flight slots and respawned the worker.
+    WorkerLost {
+        /// Index of the lost worker.
+        worker: usize,
+        /// Why the worker was retired (panic message or stall report).
+        reason: String,
+    },
 }
 
 impl NeoError {
@@ -102,6 +128,15 @@ impl fmt::Display for NeoError {
                 write!(f, "injected fault at failpoint '{failpoint}'")
             }
             Self::Serve(m) => write!(f, "serving error: {m}"),
+            Self::Config(m) => write!(f, "invalid configuration: {m}"),
+            Self::Busy { queue_depth } => {
+                write!(f, "engine busy: submission queue full at depth {queue_depth}")
+            }
+            Self::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
+            Self::Shutdown => write!(f, "engine is shut down"),
+            Self::WorkerLost { worker, reason } => {
+                write!(f, "serve worker {worker} lost: {reason}")
+            }
         }
     }
 }
@@ -144,6 +179,19 @@ mod tests {
         };
         assert_eq!(wrapped.root_cause(), &inner);
         assert_eq!(inner.root_cause(), &inner);
+    }
+
+    #[test]
+    fn lifecycle_errors_render_and_compare() {
+        assert_eq!(
+            NeoError::Busy { queue_depth: 7 }.to_string(),
+            "engine busy: submission queue full at depth 7"
+        );
+        assert_eq!(NeoError::DeadlineExceeded, NeoError::DeadlineExceeded);
+        assert!(NeoError::Shutdown.to_string().contains("shut down"));
+        let lost = NeoError::WorkerLost { worker: 2, reason: "stalled".into() };
+        assert!(lost.to_string().contains("worker 2"));
+        assert!(NeoError::Config("workers == 0".into()).to_string().contains("workers == 0"));
     }
 
     #[test]

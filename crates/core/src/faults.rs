@@ -28,6 +28,21 @@ pub const DB_LOAD: &str = "db-load";
 /// panic regardless of [`FaultMode`] (a worker body cannot return an
 /// error), exercising the pool's unwind containment.
 pub const POOL_WORKER: &str = "pool-worker";
+/// Failpoint at every serve-engine batcher wake-up, fired after a batch is
+/// formed but before it executes. `Error` mode fails the batch with a
+/// typed fault (contained; the worker keeps serving); `Panic` mode escapes
+/// the per-batch boundary, so the worker fails its in-flight slots,
+/// retires, and the watchdog must respawn it.
+pub const BATCHER_WAKEUP: &str = "batcher-wakeup";
+/// Failpoint at serve-worker thread startup (before the worker's pooled
+/// context is built). Always manifests as a panic, killing the nascent
+/// worker — the watchdog's respawn loop must converge once it stops
+/// firing.
+pub const WORKER_SPAWN: &str = "worker-spawn";
+/// Failpoint at the serve batcher's deadline check. When it fires (any
+/// mode), a deadline-carrying request is treated as already expired —
+/// simulating clock skew between the submitting and the serving thread.
+pub const DEADLINE_SKEW: &str = "deadline-clock-skew";
 
 #[cfg(feature = "fault-injection")]
 mod imp {
@@ -50,6 +65,19 @@ mod imp {
         Always,
         /// Fire exactly once, on the n-th hit (1-based), then stay silent.
         Nth(u64),
+        /// Fire on every n-th hit (the n-th, 2n-th, …); `EveryNth(1)` is
+        /// `Always`. `EveryNth(0)` never fires.
+        EveryNth(u64),
+        /// Fire each hit independently with probability `permille`/1000,
+        /// drawn from a dedicated xorshift64* stream seeded with `seed` —
+        /// the same seed always yields the same firing schedule, so a
+        /// chaos drill that fails is reproducible from its printed seed.
+        Probability {
+            /// Firing probability in thousandths (0 = never, 1000 = always).
+            permille: u32,
+            /// Seed of the failpoint's private random stream.
+            seed: u64,
+        },
     }
 
     #[derive(Debug)]
@@ -57,6 +85,8 @@ mod imp {
         trigger: Trigger,
         mode: FaultMode,
         hits: u64,
+        /// xorshift64* state for [`Trigger::Probability`]; unused otherwise.
+        rng: u64,
     }
 
     fn registry() -> &'static Mutex<HashMap<&'static str, Failpoint>> {
@@ -73,9 +103,21 @@ mod imp {
 
     /// Arms `point` (one of the `faults::*` constants) with a trigger and
     /// failure mode, replacing any previous arming and resetting its hit
-    /// counter.
+    /// counter (and, for [`Trigger::Probability`], its random stream).
     pub fn arm(point: &'static str, trigger: Trigger, mode: FaultMode) {
-        lock().insert(point, Failpoint { trigger, mode, hits: 0 });
+        let rng = match trigger {
+            // xorshift64* needs a non-zero state; fold seed 0 to a fixed
+            // odd constant so arming stays deterministic.
+            Trigger::Probability { seed, .. } => {
+                if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                }
+            }
+            _ => 0,
+        };
+        lock().insert(point, Failpoint { trigger, mode, hits: 0, rng });
     }
 
     /// Disarms `point`; subsequent hits pass through.
@@ -102,6 +144,15 @@ mod imp {
         let fire = match fp.trigger {
             Trigger::Always => true,
             Trigger::Nth(n) => fp.hits == n,
+            Trigger::EveryNth(n) => n > 0 && fp.hits % n == 0,
+            Trigger::Probability { permille, .. } => {
+                // xorshift64* step (Vigna); high bits feed the draw.
+                fp.rng ^= fp.rng >> 12;
+                fp.rng ^= fp.rng << 25;
+                fp.rng ^= fp.rng >> 27;
+                let draw = fp.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32;
+                (draw % 1000) < u64::from(permille)
+            }
         };
         fire.then_some(fp.mode)
     }
@@ -118,6 +169,13 @@ mod imp {
         if check(point).is_some() {
             panic!("injected panic at failpoint '{point}'");
         }
+    }
+
+    /// Behavioral failpoint: reports whether `point` fired without
+    /// erroring or panicking (the caller perturbs its own logic instead —
+    /// e.g. [`super::DEADLINE_SKEW`] forces a deadline check to expire).
+    pub(crate) fn fire_bool(point: &'static str) -> bool {
+        check(point).is_some()
     }
 
     /// [`Parallelism`](neocpu_threadpool::Parallelism) adapter the executor
@@ -147,13 +205,25 @@ mod imp {
 pub use imp::{arm, disarm, disarm_all, hits, FaultMode, Trigger};
 
 #[cfg(feature = "fault-injection")]
-pub(crate) use imp::{fire, WorkerFaultPar};
+pub(crate) use imp::{fire, fire_bool, fire_in_worker, WorkerFaultPar};
 
 /// No-op hook compiled when fault injection is disabled.
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
 pub(crate) fn fire(_point: &'static str) -> crate::Result<()> {
     Ok(())
+}
+
+/// No-op panic hook compiled when fault injection is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire_in_worker(_point: &'static str) {}
+
+/// No-op behavioral hook compiled when fault injection is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire_bool(_point: &'static str) -> bool {
+    false
 }
 
 #[cfg(all(test, feature = "fault-injection"))]
@@ -170,5 +240,57 @@ mod tests {
         assert_eq!(hits(TENSOR_ALLOC), 3);
         disarm(TENSOR_ALLOC);
         assert!(fire(TENSOR_ALLOC).is_ok());
+    }
+
+    #[test]
+    fn every_nth_trigger_fires_periodically() {
+        arm(BATCHER_WAKEUP, Trigger::EveryNth(3), FaultMode::Error);
+        let fired: Vec<bool> = (0..9).map(|_| fire(BATCHER_WAKEUP).is_err()).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        // EveryNth(0) never fires.
+        arm(BATCHER_WAKEUP, Trigger::EveryNth(0), FaultMode::Error);
+        assert!((0..5).all(|_| fire(BATCHER_WAKEUP).is_ok()));
+        disarm(BATCHER_WAKEUP);
+    }
+
+    #[test]
+    fn probability_trigger_is_seed_deterministic() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            arm(
+                DEADLINE_SKEW,
+                Trigger::Probability { permille: 300, seed },
+                FaultMode::Error,
+            );
+            let v = (0..64).map(|_| fire(DEADLINE_SKEW).is_err()).collect();
+            disarm(DEADLINE_SKEW);
+            v
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        assert_eq!(a, b, "same seed must replay the same firing schedule");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            fired > 0 && fired < 64,
+            "permille 300 over 64 draws should fire sometimes, not never/always \
+             (fired {fired})"
+        );
+        // Seed 0 is legal (folded to a fixed non-zero state).
+        let c = schedule(0);
+        let d = schedule(0);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn fire_bool_reports_without_failing() {
+        // Distinct point from the other tests: the registry is global and
+        // unit tests run concurrently.
+        arm(WORKER_SPAWN, Trigger::EveryNth(2), FaultMode::Error);
+        assert!(!super::fire_bool(WORKER_SPAWN));
+        assert!(super::fire_bool(WORKER_SPAWN));
+        disarm(WORKER_SPAWN);
+        assert!(!super::fire_bool(WORKER_SPAWN));
     }
 }

@@ -53,7 +53,7 @@ pub use compile::{
 pub use error::NeoError;
 pub use executor::{Module, OpProfile, RunContext};
 pub use memory::MemoryReport;
-pub use serve::{Request, ServeEngine, ServeOptions, ServeReport};
+pub use serve::{EngineHealth, Request, ServeEngine, ServeOptions, ServeReport, ShedPolicy};
 pub use target::{CpuTarget, IsaKind};
 
 /// Crate-wide result alias.

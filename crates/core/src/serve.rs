@@ -1,5 +1,6 @@
 //! Throughput-serving engine: concurrent, batched inference over pooled
-//! [`RunContext`]s.
+//! [`RunContext`]s, with a full request-lifecycle layer — deadlines, load
+//! shedding, a worker watchdog, and budgeted graceful drain.
 //!
 //! [`Module::run`] serves one request at a time; nothing in the stack
 //! drives the zero-allocation context machinery concurrently or at
@@ -9,7 +10,8 @@
 //! ```text
 //!  clients ──submit──▶ bounded queue ──▶ dynamic batcher ──▶ workers
 //!  (N threads)         (Mutex+Condvar,    (coalesce up to     (1 RunContext
-//!                       backpressure)      B or timeout)       each, affine)
+//!   try_submit sheds    backpressure)      B or timeout,       each, affine,
+//!   instead of block)                      skips expired)      watchdog-kept)
 //! ```
 //!
 //! * Every worker owns a pre-built [`RunContext`] plus a staging input
@@ -24,10 +26,29 @@
 //!   [`ServeOptions::batch_timeout`] for more, up to the module's batch
 //!   size. Under load batches fill instantly; at low load the timeout
 //!   bounds added latency.
-//! * **Fault containment** comes from the executor's per-node panic
-//!   boundary: a kernel panic or error fails the requests of that batch
-//!   with a typed [`NeoError`] — the worker, its context, and the engine
-//!   keep serving.
+//! * **Deadlines**: a request filled via [`Request::fill_with_deadline`]
+//!   (or an engine-wide [`ServeOptions::default_deadline`]) expires at
+//!   submit time + budget. The batcher never executes an expired request —
+//!   it resolves it with [`NeoError::DeadlineExceeded`] — and
+//!   [`Request::wait`] cancels a request that expires while still queued.
+//! * **Load shedding**: [`ServeEngine::try_submit`] never blocks. On a
+//!   full queue it either rejects the new request with a typed
+//!   [`NeoError::Busy`] ([`ShedPolicy::RejectNewest`]) or sheds the oldest
+//!   queued request to make room ([`ShedPolicy::ShedOldest`]) —
+//!   backpressure becomes an answer instead of a stall.
+//! * **Fault containment** comes in two rings. The executor's per-node
+//!   panic boundary turns kernel failures into a typed [`NeoError`] that
+//!   fails only that batch. Above it, a **watchdog** thread supervises the
+//!   workers themselves: a worker that dies (a panic escaping the
+//!   per-batch boundary) or stalls past [`ServeOptions::stall_budget`] has
+//!   its in-flight slots failed with [`NeoError::WorkerLost`] and is
+//!   respawned with a fresh pooled context; respawn/stall counts surface
+//!   in [`ServeReport`].
+//! * **Lifecycle**: the engine walks `Starting → Ready → Draining →
+//!   Stopped` (see [`EngineHealth`], queryable via
+//!   [`ServeEngine::health`]). [`ServeEngine::shutdown_within`] stops
+//!   admissions, drains what fits the budget, and fails the remainder with
+//!   [`NeoError::Shutdown`]; [`ServeEngine::shutdown`] drains everything.
 //! * Workers bind to distinct cores via `neocpu-threadpool`'s affinity
 //!   helper (best effort; see [`ServeOptions::bind_workers`]).
 //!
@@ -38,7 +59,9 @@
 //! which optimizes the *latency* of one inference instead).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,7 +71,72 @@ use neocpu_threadpool::affinity;
 use crate::executor::{Module, RunContext};
 use crate::{NeoError, Result};
 
+/// What [`ServeEngine::try_submit`] does when the submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the incoming request with [`NeoError::Busy`]; queued
+    /// requests keep their place (FIFO fairness for admitted work).
+    #[default]
+    RejectNewest,
+    /// Shed the *oldest* queued request (it resolves with
+    /// [`NeoError::Busy`]) and admit the incoming one — prefers fresh
+    /// work when queued requests are likely to miss their deadlines
+    /// anyway.
+    ShedOldest,
+}
+
+/// Engine lifecycle state (see [`ServeEngine::health`]).
+///
+/// ```text
+/// Starting ──▶ Ready ──▶ Draining ──▶ Stopped
+/// ```
+///
+/// `Starting` exists only inside [`ServeEngine::new`]; a handle you can
+/// call is already `Ready`. `Draining` means admissions are closed but
+/// queued work may still complete. The future TCP frontend's readiness
+/// endpoint maps directly onto this state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EngineHealth {
+    /// Constructing workers; not yet admitting requests.
+    Starting = 0,
+    /// Serving: admissions open, dead workers respawned.
+    Ready = 1,
+    /// Shutting down: admissions closed, draining within the budget.
+    Draining = 2,
+    /// Fully stopped: workers joined, remaining work failed with
+    /// [`NeoError::Shutdown`].
+    Stopped = 3,
+}
+
+impl EngineHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Starting,
+            1 => Self::Ready,
+            2 => Self::Draining,
+            _ => Self::Stopped,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Starting => "starting",
+            Self::Ready => "ready",
+            Self::Draining => "draining",
+            Self::Stopped => "stopped",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Configuration of a [`ServeEngine`].
+///
+/// Validated by [`ServeEngine::new`]: zero `workers`, `queue_cap`,
+/// `latency_capacity`, or `watchdog_interval` (and zero `stall_budget` /
+/// `default_deadline` when set) are rejected with [`NeoError::Config`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Worker threads, each owning one [`RunContext`] (≥ 1).
@@ -60,13 +148,29 @@ pub struct ServeOptions {
     /// before running it anyway.
     pub batch_timeout: Duration,
     /// Bounded submission-queue capacity; a full queue blocks `submit`
-    /// (backpressure) until a worker drains it.
+    /// (backpressure) until a worker drains it, and makes `try_submit`
+    /// shed per [`ServeOptions::shed_policy`].
     pub queue_cap: usize,
     /// Pin worker `w` to core `w % cores` (best effort, Linux only).
     pub bind_workers: bool,
     /// Latency samples retained for percentile reporting; older samples
     /// are overwritten ring-style so the warm path never reallocates.
     pub latency_capacity: usize,
+    /// Deadline budget applied to every request that did not set its own
+    /// via [`Request::fill_with_deadline`]. `None` (default) means
+    /// requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// What [`ServeEngine::try_submit`] does when the queue is full.
+    pub shed_policy: ShedPolicy,
+    /// If a worker stays busy on one batch longer than this, the watchdog
+    /// declares it hung: its in-flight slots fail with
+    /// [`NeoError::WorkerLost`], the thread is abandoned, and a fresh
+    /// worker takes its place. `None` (default) disables stall detection —
+    /// only worker *death* is then supervised.
+    pub stall_budget: Option<Duration>,
+    /// How often the watchdog scans the worker table. Each scan is a few
+    /// flag reads per worker; the default (10 ms) adds no measurable load.
+    pub watchdog_interval: Duration,
 }
 
 impl Default for ServeOptions {
@@ -78,6 +182,10 @@ impl Default for ServeOptions {
             queue_cap: 256,
             bind_workers: true,
             latency_capacity: 65_536,
+            default_deadline: None,
+            shed_policy: ShedPolicy::RejectNewest,
+            stall_budget: None,
+            watchdog_interval: Duration::from_millis(10),
         }
     }
 }
@@ -90,19 +198,31 @@ enum SlotState {
     Queued,
     /// Completed; outputs are valid.
     Done,
-    /// The batch this request rode in failed with this error.
+    /// Resolved with this error (batch failure, deadline, shed, worker
+    /// loss, or shutdown).
     Failed(NeoError),
 }
 
 /// Everything a request owns, under one lock.
 struct SlotInner {
     state: SlotState,
+    /// Submission generation: bumped on every (try_)submit. Resolvers
+    /// (worker, watchdog, deadline cancel, drain) only touch the slot if
+    /// their captured seq still matches, so a slot re-submitted after a
+    /// failure can never be stomped by a stale resolver, and no request
+    /// is ever double-resolved.
+    seq: u64,
     /// Caller-filled single-image input (leading dim 1).
     input: Tensor,
     /// One single-image buffer per module output, filled on completion.
     outputs: Vec<Tensor>,
     /// Submission timestamp, for queue-to-completion latency.
     submitted: Instant,
+    /// Per-request deadline budget set by [`Request::fill_with_deadline`].
+    budget: Option<Duration>,
+    /// Absolute deadline, fixed at submit time (budget or the engine
+    /// default, added to the submission instant).
+    deadline: Option<Instant>,
 }
 
 /// A reusable request slot: one in-flight inference.
@@ -114,8 +234,16 @@ struct SlotInner {
 ///
 /// A slot may be reused (fill again after `wait` returns) but not aliased:
 /// submitting a slot that is already in flight is an error.
+///
+/// Every submitted request resolves to exactly one outcome: `Ok` from
+/// [`Request::wait`], or one typed error — execution failure,
+/// [`NeoError::DeadlineExceeded`], [`NeoError::Busy`] (shed),
+/// [`NeoError::WorkerLost`], or [`NeoError::Shutdown`].
 pub struct Request {
     module_uid: u64,
+    /// Back-reference for deadline cancellation from `wait` (weak: a
+    /// request must not keep a dropped engine's threads alive).
+    shared: Weak<Shared>,
     inner: Mutex<SlotInner>,
     done: Condvar,
 }
@@ -124,14 +252,58 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Best-effort panic payload extraction for [`NeoError::WorkerLost`].
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Moves a queued slot to `Failed(err)` iff it is still the `seq`-th
+/// submission; returns whether this call resolved it. The seq guard makes
+/// resolution exactly-once across racing resolvers.
+fn resolve_failure(req: &Request, seq: u64, err: &NeoError) -> bool {
+    let mut inner = lock(&req.inner);
+    if !matches!(inner.state, SlotState::Queued) || inner.seq != seq {
+        return false;
+    }
+    inner.state = SlotState::Failed(err.clone());
+    drop(inner);
+    req.done.notify_all();
+    true
+}
+
 impl Request {
     /// Copies `data` into the slot's input buffer, resetting the slot for
-    /// (re-)submission.
+    /// (re-)submission with no per-request deadline (the engine's
+    /// [`ServeOptions::default_deadline`] still applies, if set).
     ///
     /// # Errors
     ///
     /// Rejects an in-flight slot and shape/layout mismatches.
     pub fn fill(&self, data: &Tensor) -> Result<()> {
+        self.fill_impl(data, None)
+    }
+
+    /// Like [`Request::fill`], but arms a deadline: the request expires
+    /// `budget` after the moment it is submitted. An expired request is
+    /// never executed — the batcher resolves it with
+    /// [`NeoError::DeadlineExceeded`] — and [`Request::wait`] returns the
+    /// same error as soon as the deadline passes while the request is
+    /// still queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::fill`].
+    pub fn fill_with_deadline(&self, data: &Tensor, budget: Duration) -> Result<()> {
+        self.fill_impl(data, Some(budget))
+    }
+
+    fn fill_impl(&self, data: &Tensor, budget: Option<Duration>) -> Result<()> {
         let mut inner = lock(&self.inner);
         if matches!(inner.state, SlotState::Queued) {
             return Err(NeoError::Serve("cannot fill a request that is in flight".into()));
@@ -149,19 +321,58 @@ impl Request {
         }
         inner.input.data_mut().copy_from_slice(data.data());
         inner.state = SlotState::Idle;
+        inner.budget = budget;
         Ok(())
     }
 
-    /// Blocks until the request completes (or fails).
+    /// Blocks until the request resolves. Honors the request's deadline:
+    /// if it passes while the request is still waiting in the queue, the
+    /// request is pulled out, resolved with
+    /// [`NeoError::DeadlineExceeded`], and never executed. A request
+    /// already inside a worker's batch is past cancellation — `wait` then
+    /// blocks for the batch outcome (bounded by the batch itself).
     ///
     /// # Errors
     ///
-    /// Returns the typed execution error when the request's batch failed,
-    /// or a protocol error for a slot that was never submitted.
+    /// Returns the typed resolution error when the request failed, or a
+    /// protocol error for a slot that was never submitted.
     pub fn wait(&self) -> Result<()> {
         let mut inner = lock(&self.inner);
-        while matches!(inner.state, SlotState::Queued) {
-            inner = self.done.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !matches!(inner.state, SlotState::Queued) {
+                break;
+            }
+            match inner.deadline {
+                None => {
+                    inner = self.done.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now < d {
+                        let (guard, _) = self
+                            .done
+                            .wait_timeout(inner, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        inner = guard;
+                    } else {
+                        // Expired while queued: try to cancel. This needs
+                        // the queue lock, so release the slot first (lock
+                        // order is queue → slot).
+                        let seq = inner.seq;
+                        drop(inner);
+                        if self.cancel_expired(seq) {
+                            return Err(NeoError::DeadlineExceeded);
+                        }
+                        inner = lock(&self.inner);
+                        if matches!(inner.state, SlotState::Queued) {
+                            // In a worker's batch: resolution is imminent;
+                            // wait for the batch outcome.
+                            inner =
+                                self.done.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                }
+            }
         }
         match &inner.state {
             SlotState::Done => Ok(()),
@@ -169,6 +380,32 @@ impl Request {
             SlotState::Idle | SlotState::Queued => {
                 Err(NeoError::Serve("request was not submitted".into()))
             }
+        }
+    }
+
+    /// Removes this request from the engine's queue (if still there) and
+    /// resolves it as expired. Returns whether this call resolved it.
+    fn cancel_expired(&self, seq: u64) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            // Engine gone; resolve locally so the waiter cannot hang.
+            return resolve_failure(self, seq, &NeoError::DeadlineExceeded);
+        };
+        let mut q = lock(&shared.queue);
+        let pos = q
+            .items
+            .iter()
+            .position(|(r, s)| std::ptr::eq(Arc::as_ptr(r), self as *const Request) && *s == seq);
+        let Some(pos) = pos else {
+            return false;
+        };
+        q.items.remove(pos);
+        drop(q);
+        shared.not_full.notify_one();
+        if resolve_failure(self, seq, &NeoError::DeadlineExceeded) {
+            lock(&shared.stats).deadline_exceeded += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -203,7 +440,7 @@ impl Request {
 
 /// The bounded submission queue plus its synchronization.
 struct QueueInner {
-    items: VecDeque<Arc<Request>>,
+    items: VecDeque<(Arc<Request>, u64)>,
     stopping: bool,
     depth_hwm: usize,
 }
@@ -216,19 +453,65 @@ struct ServeStats {
     ring_next: usize,
     completed: u64,
     failed: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    cancelled: u64,
+    respawns: u64,
+    stalls: u64,
     batches: u64,
     batched_requests: u64,
     multi_batches: u64,
     max_batch_formed: usize,
 }
 
-/// State shared between the engine handle and its workers.
+/// One worker's supervision record in the watchdog's table.
+struct WorkerEntry {
+    /// The thread handle; `None` after the worker was joined or abandoned
+    /// (a hung thread is detached, never joined).
+    handle: Option<JoinHandle<()>>,
+    /// Bumped on every respawn/abandonment. A worker whose generation no
+    /// longer matches its entry has been replaced: it must not touch the
+    /// entry or any slot (the seq guard enforces the latter).
+    generation: u64,
+    /// Cleared by the worker's exit guard (even on unwind) and by the
+    /// watchdog when it abandons a stalled thread.
+    alive: bool,
+    /// When the current batch started executing; `None` while idle.
+    busy_since: Option<Instant>,
+    /// The slots of the batch currently executing, for failure resolution
+    /// if the worker is lost mid-batch. Pre-reserved at `max_batch`.
+    in_flight: Vec<(Arc<Request>, u64)>,
+}
+
+/// State shared between the engine handle, its workers, and the watchdog.
 struct Shared {
     queue: Mutex<QueueInner>,
     not_empty: Condvar,
     not_full: Condvar,
     queue_cap: usize,
     stats: Mutex<ServeStats>,
+    /// Worker supervision table, indexed by worker slot.
+    ///
+    /// Lock order (no cycles): queue → workers → request slot → stats.
+    workers: Mutex<Vec<WorkerEntry>>,
+    /// Signaled (with `workers` held or just released) whenever a worker's
+    /// `alive` flag clears; shutdown waits on it.
+    worker_exited: Condvar,
+    /// [`EngineHealth`] as its `u8` repr.
+    health: AtomicU8,
+    /// Watchdog parking: `true` tells the watchdog to exit.
+    watchdog_stop: Mutex<bool>,
+    watchdog_cv: Condvar,
+}
+
+impl Shared {
+    fn health(&self) -> EngineHealth {
+        EngineHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, h: EngineHealth) {
+        self.health.store(h as u8, Ordering::Release);
+    }
 }
 
 /// Point-in-time serving statistics (see [`ServeEngine::report`]).
@@ -236,8 +519,23 @@ struct Shared {
 pub struct ServeReport {
     /// Requests completed successfully.
     pub completed: u64,
-    /// Requests failed (their batch's execution errored or panicked).
+    /// Requests failed by their batch (execution error or worker loss).
     pub failed: u64,
+    /// Requests resolved as expired ([`NeoError::DeadlineExceeded`])
+    /// without ever executing.
+    pub deadline_exceeded: u64,
+    /// Requests shed by admission control ([`NeoError::Busy`] under
+    /// [`ShedPolicy::ShedOldest`]; rejected-newest requests were never
+    /// admitted and are not counted here).
+    pub shed: u64,
+    /// Requests failed with [`NeoError::Shutdown`] because the drain
+    /// budget ran out before they could execute.
+    pub cancelled: u64,
+    /// Workers respawned by the watchdog after death or a stall.
+    pub respawns: u64,
+    /// Stalled workers abandoned by the watchdog (a subset of the events
+    /// behind `respawns`).
+    pub stalls: u64,
     /// Batched runs executed.
     pub batches: u64,
     /// Batches that coalesced more than one request.
@@ -248,11 +546,19 @@ pub struct ServeReport {
     pub max_batch_formed: usize,
     /// Submission-queue depth high-water mark.
     pub queue_depth_hwm: usize,
-    /// Median queue-to-completion latency, ms (over retained samples).
+    /// Latency samples currently retained (≤
+    /// [`ServeOptions::latency_capacity`]); percentiles below are computed
+    /// over exactly these samples.
+    pub latency_samples: usize,
+    /// Median queue-to-completion latency, ms. Percentiles use the
+    /// nearest-rank method (`ceil(p/100 · n)`-th smallest sample): exact
+    /// for any non-empty sample set — on tiny sets high percentiles
+    /// collapse to the observed maximum instead of extrapolating — and
+    /// `NaN` when no samples exist (no data is not "0 ms").
     pub p50_ms: f64,
-    /// 95th-percentile latency, ms.
+    /// 95th-percentile latency, ms (see `p50_ms` for the method).
     pub p95_ms: f64,
-    /// 99th-percentile latency, ms.
+    /// 99th-percentile latency, ms (see `p50_ms` for the method).
     pub p99_ms: f64,
     /// Worker threads serving the engine.
     pub workers: usize,
@@ -262,6 +568,8 @@ pub struct ServeReport {
     pub arena_bytes_per_context: usize,
     /// Wall time since the engine started, seconds.
     pub elapsed_s: f64,
+    /// Engine lifecycle state at snapshot time.
+    pub health: EngineHealth,
 }
 
 impl ServeReport {
@@ -280,7 +588,9 @@ impl std::fmt::Display for ServeReport {
         write!(
             f,
             "{} ok / {} failed in {:.2}s ({:.1} img/s) | {} batches (mean {:.2}, max {}, >1: {}) \
-             | queue hwm {} | p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms | {} workers × {} KiB arena",
+             | queue hwm {} | p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms ({} samples) \
+             | {} workers × {} KiB arena | {} expired, {} shed, {} cancelled \
+             | {} respawns ({} stalls) | {}",
             self.completed,
             self.failed,
             self.elapsed_s,
@@ -293,26 +603,62 @@ impl std::fmt::Display for ServeReport {
             self.p50_ms,
             self.p95_ms,
             self.p99_ms,
+            self.latency_samples,
             self.workers,
             self.arena_bytes_per_context / 1024,
+            self.deadline_exceeded,
+            self.shed,
+            self.cancelled,
+            self.respawns,
+            self.stalls,
+            self.health,
         )
     }
 }
 
-/// The serving engine: owns the queue, the batcher, and the worker pool.
+/// The serving engine: owns the queue, the batcher, the worker pool, and
+/// the watchdog supervising it.
 ///
 /// Dropping the engine shuts it down: the queue is drained, workers join.
 pub struct ServeEngine {
     module: Arc<Module>,
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
     worker_count: usize,
     batch: usize,
     image_shape: Shape,
     input_layout: Layout,
     out_row_shapes: Vec<Shape>,
     out_layouts: Vec<Layout>,
+    default_deadline: Option<Duration>,
+    shed_policy: ShedPolicy,
     started: Instant,
+}
+
+fn validate(opts: &ServeOptions) -> Result<()> {
+    if opts.workers == 0 {
+        return Err(NeoError::Config("ServeOptions::workers must be at least 1".into()));
+    }
+    if opts.queue_cap == 0 {
+        return Err(NeoError::Config("ServeOptions::queue_cap must be at least 1".into()));
+    }
+    if opts.latency_capacity == 0 {
+        return Err(NeoError::Config("ServeOptions::latency_capacity must be at least 1".into()));
+    }
+    if opts.watchdog_interval.is_zero() {
+        return Err(NeoError::Config("ServeOptions::watchdog_interval must be non-zero".into()));
+    }
+    if opts.stall_budget.is_some_and(|d| d.is_zero()) {
+        return Err(NeoError::Config(
+            "ServeOptions::stall_budget must be non-zero when set".into(),
+        ));
+    }
+    if opts.default_deadline.is_some_and(|d| d.is_zero()) {
+        return Err(NeoError::Config(
+            "ServeOptions::default_deadline must be non-zero when set".into(),
+        ));
+    }
+    Ok(())
 }
 
 impl ServeEngine {
@@ -324,12 +670,11 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`NeoError::Serve`] when the module's signature cannot be
-    /// served (multi-input, non-batched outputs) or `opts.workers == 0`.
+    /// Returns [`NeoError::Config`] for invalid options (see
+    /// [`ServeOptions`]) and [`NeoError::Serve`] when the module's
+    /// signature cannot be served (multi-input, non-batched outputs).
     pub fn new(module: Arc<Module>, opts: &ServeOptions) -> Result<Self> {
-        if opts.workers == 0 {
-            return Err(NeoError::Serve("engine needs at least one worker".into()));
-        }
+        validate(opts)?;
         let input_shapes = module.input_shapes();
         let [input_shape] = input_shapes.as_slice() else {
             return Err(NeoError::Serve(format!(
@@ -364,55 +709,102 @@ impl ServeEngine {
         let max_batch = if opts.max_batch == 0 { batch } else { opts.max_batch.min(batch) };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner {
-                items: VecDeque::with_capacity(opts.queue_cap.max(1)),
+                items: VecDeque::with_capacity(opts.queue_cap),
                 stopping: false,
                 depth_hwm: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            queue_cap: opts.queue_cap.max(1),
+            queue_cap: opts.queue_cap,
             stats: Mutex::new(ServeStats {
                 latencies_us: Vec::with_capacity(opts.latency_capacity),
                 ring_next: 0,
                 completed: 0,
                 failed: 0,
+                deadline_exceeded: 0,
+                shed: 0,
+                cancelled: 0,
+                respawns: 0,
+                stalls: 0,
                 batches: 0,
                 batched_requests: 0,
                 multi_batches: 0,
                 max_batch_formed: 0,
             }),
+            workers: Mutex::new(Vec::with_capacity(opts.workers)),
+            worker_exited: Condvar::new(),
+            health: AtomicU8::new(EngineHealth::Starting as u8),
+            watchdog_stop: Mutex::new(false),
+            watchdog_cv: Condvar::new(),
         });
 
-        let mut handles = Vec::with_capacity(opts.workers);
-        for w in 0..opts.workers {
-            let cfg = WorkerCfg {
-                module: Arc::clone(&module),
-                shared: Arc::clone(&shared),
-                index: w,
-                max_batch,
-                batch_timeout: opts.batch_timeout,
-                bind: opts.bind_workers,
-                input_shape: input_shape.clone(),
-                input_layout,
-            };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("neocpu-serve-{w}"))
-                    .spawn(move || worker_loop(cfg))
-                    .map_err(|e| NeoError::Serve(format!("failed to spawn worker: {e}")))?,
-            );
+        let template = WorkerTemplate {
+            module: Arc::clone(&module),
+            shared: Arc::clone(&shared),
+            max_batch,
+            batch_timeout: opts.batch_timeout,
+            bind: opts.bind_workers,
+            input_shape: input_shape.clone(),
+            input_layout,
+        };
+
+        {
+            let mut workers = lock(&shared.workers);
+            for _ in 0..opts.workers {
+                workers.push(WorkerEntry {
+                    handle: None,
+                    generation: 0,
+                    alive: false,
+                    busy_since: None,
+                    in_flight: Vec::with_capacity(max_batch),
+                });
+            }
+            for w in 0..opts.workers {
+                match spawn_worker(&template, w, 0) {
+                    Ok(h) => {
+                        let entry = &mut workers[w];
+                        entry.handle = Some(h);
+                        entry.alive = true;
+                    }
+                    Err(e) => {
+                        drop(workers);
+                        abort_startup(&shared);
+                        return Err(NeoError::Serve(format!("failed to spawn worker: {e}")));
+                    }
+                }
+            }
         }
 
+        let watchdog_cfg = WatchdogCfg {
+            shared: Arc::clone(&shared),
+            template,
+            interval: opts.watchdog_interval,
+            stall_budget: opts.stall_budget,
+        };
+        let watchdog = match std::thread::Builder::new()
+            .name("neocpu-serve-watchdog".into())
+            .spawn(move || watchdog_loop(&watchdog_cfg))
+        {
+            Ok(h) => h,
+            Err(e) => {
+                abort_startup(&shared);
+                return Err(NeoError::Serve(format!("failed to spawn watchdog: {e}")));
+            }
+        };
+
+        shared.set_health(EngineHealth::Ready);
         Ok(Self {
             module,
             shared,
-            workers: Mutex::new(handles),
+            watchdog: Mutex::new(Some(watchdog)),
             worker_count: opts.workers,
             batch,
             image_shape,
             input_layout,
             out_row_shapes,
             out_layouts,
+            default_deadline: opts.default_deadline,
+            shed_policy: opts.shed_policy,
             started: Instant::now(),
         })
     }
@@ -420,6 +812,18 @@ impl ServeEngine {
     /// The module's compiled batch size B (the batcher's ceiling).
     pub fn module_batch(&self) -> usize {
         self.batch
+    }
+
+    /// Current engine lifecycle state (cheap: one atomic load). The future
+    /// networked frontend's readiness endpoint reads this.
+    pub fn health(&self) -> EngineHealth {
+        self.shared.health()
+    }
+
+    /// Current submission-queue depth (requests admitted, not yet picked
+    /// up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).items.len()
     }
 
     /// Creates a request slot with pre-allocated input/output buffers.
@@ -440,46 +844,115 @@ impl ServeEngine {
             .collect();
         Arc::new(Request {
             module_uid: self.module.uid(),
+            shared: Arc::downgrade(&self.shared),
             inner: Mutex::new(SlotInner {
                 state: SlotState::Idle,
+                seq: 0,
                 input,
                 outputs,
                 submitted: Instant::now(),
+                budget: None,
+                deadline: None,
             }),
             done: Condvar::new(),
         })
     }
 
     /// Enqueues a filled request slot; blocks while the queue is full
-    /// (backpressure). Returns as soon as the request is queued — pair
-    /// with [`Request::wait`].
+    /// (backpressure) — but never past the request's deadline. Returns as
+    /// soon as the request is queued — pair with [`Request::wait`].
     ///
     /// # Errors
     ///
-    /// Rejects requests made by another engine's module, slots already in
-    /// flight, and submissions to a stopped engine.
+    /// Rejects requests made by another engine's module and slots already
+    /// in flight; returns [`NeoError::Shutdown`] once the engine is
+    /// draining or stopped, and [`NeoError::DeadlineExceeded`] when the
+    /// deadline passes while blocked on a full queue.
     pub fn submit(&self, req: &Arc<Request>) -> Result<()> {
+        self.admit(req, true)
+    }
+
+    /// Non-blocking admission. On a full queue, applies
+    /// [`ServeOptions::shed_policy`]: either rejects this request with
+    /// [`NeoError::Busy`] (reject-newest, the default) or sheds the
+    /// oldest queued request — which then resolves with
+    /// [`NeoError::Busy`] — and admits this one (shed-oldest).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`], plus [`NeoError::Busy`] under
+    /// reject-newest.
+    pub fn try_submit(&self, req: &Arc<Request>) -> Result<()> {
+        self.admit(req, false)
+    }
+
+    fn admit(&self, req: &Arc<Request>, blocking: bool) -> Result<()> {
         if req.module_uid != self.module.uid() {
             return Err(NeoError::Serve("request belongs to a different engine".into()));
         }
-        {
+        let (seq, deadline) = {
             let mut inner = lock(&req.inner);
             if matches!(inner.state, SlotState::Queued) {
                 return Err(NeoError::Serve("request is already in flight".into()));
             }
+            let now = Instant::now();
+            inner.seq = inner.seq.wrapping_add(1);
             inner.state = SlotState::Queued;
-            inner.submitted = Instant::now();
-        }
+            inner.submitted = now;
+            inner.deadline =
+                inner.budget.or(self.default_deadline).and_then(|b| now.checked_add(b));
+            (inner.seq, inner.deadline)
+        };
         let mut q = lock(&self.shared.queue);
-        while !q.stopping && q.items.len() >= self.shared.queue_cap {
-            q = self.shared.not_full.wait(q).unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if q.stopping {
+                drop(q);
+                lock(&req.inner).state = SlotState::Idle;
+                return Err(NeoError::Shutdown);
+            }
+            if q.items.len() < self.shared.queue_cap {
+                break;
+            }
+            if !blocking {
+                let queue_depth = q.items.len();
+                match self.shed_policy {
+                    ShedPolicy::RejectNewest => {
+                        drop(q);
+                        lock(&req.inner).state = SlotState::Idle;
+                        return Err(NeoError::Busy { queue_depth });
+                    }
+                    ShedPolicy::ShedOldest => {
+                        if let Some((victim, vseq)) = q.items.pop_front() {
+                            if resolve_failure(&victim, vseq, &NeoError::Busy { queue_depth }) {
+                                lock(&self.shared.stats).shed += 1;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            match deadline {
+                None => {
+                    q = self.shared.not_full.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(q);
+                        lock(&req.inner).state = SlotState::Idle;
+                        lock(&self.shared.stats).deadline_exceeded += 1;
+                        return Err(NeoError::DeadlineExceeded);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(q, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            }
         }
-        if q.stopping {
-            drop(q);
-            lock(&req.inner).state = SlotState::Idle;
-            return Err(NeoError::Serve("engine is shut down".into()));
-        }
-        q.items.push_back(Arc::clone(req));
+        q.items.push_back((Arc::clone(req), seq));
         if q.items.len() > q.depth_hwm {
             q.depth_hwm = q.items.len();
         }
@@ -505,41 +978,54 @@ impl ServeEngine {
 
     /// Snapshot of the engine's serving statistics.
     pub fn report(&self) -> ServeReport {
-        let (depth_hwm, st) = {
-            let q = lock(&self.shared.queue);
-            let hwm = q.depth_hwm;
-            drop(q);
+        let depth_hwm = lock(&self.shared.queue).depth_hwm;
+        let st = {
             let st = lock(&self.shared.stats);
             (
-                hwm,
-                (
-                    st.latencies_us.clone(),
+                st.latencies_us.clone(),
+                [
                     st.completed,
                     st.failed,
+                    st.deadline_exceeded,
+                    st.shed,
+                    st.cancelled,
+                    st.respawns,
+                    st.stalls,
                     st.batches,
                     st.batched_requests,
                     st.multi_batches,
-                    st.max_batch_formed,
-                ),
+                ],
+                st.max_batch_formed,
             )
         };
-        let (mut lat, completed, failed, batches, batched_requests, multi, max_formed) = st;
+        let (mut lat, counters, max_formed) = st;
+        let [completed, failed, deadline_exceeded, shed, cancelled, respawns, stalls, batches, batched_requests, multi] =
+            counters;
         lat.sort_by(f64::total_cmp);
+        // Nearest-rank percentile: the ceil(p/100 · n)-th smallest sample.
+        // Exact for any non-empty set (p50 of one sample is that sample;
+        // tiny sets collapse high percentiles to the max); NaN when empty.
         let pct = |p: f64| -> f64 {
             if lat.is_empty() {
-                return 0.0;
+                return f64::NAN;
             }
-            let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
-            lat[idx.min(lat.len() - 1)] / 1e3
+            let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+            lat[rank.clamp(1, lat.len()) - 1] / 1e3
         };
         ServeReport {
             completed,
             failed,
+            deadline_exceeded,
+            shed,
+            cancelled,
+            respawns,
+            stalls,
             batches,
             multi_batches: multi,
             mean_batch: if batches > 0 { batched_requests as f64 / batches as f64 } else { 0.0 },
             max_batch_formed: max_formed,
             queue_depth_hwm: depth_hwm,
+            latency_samples: lat.len(),
             p50_ms: pct(50.0),
             p95_ms: pct(95.0),
             p99_ms: pct(99.0),
@@ -547,22 +1033,126 @@ impl ServeEngine {
             module_batch: self.batch,
             arena_bytes_per_context: self.module.memory_report().planned_peak_bytes,
             elapsed_s: self.started.elapsed().as_secs_f64(),
+            health: self.shared.health(),
         }
     }
 
-    /// Stops the engine: in-queue requests are drained and answered, then
-    /// workers exit and are joined. Idempotent; also runs on drop.
+    /// Stops the engine gracefully, drain bounded by `budget`: admissions
+    /// close immediately (health moves to [`EngineHealth::Draining`]),
+    /// queued requests keep executing while the budget lasts, and
+    /// everything still queued when it runs out is failed with
+    /// [`NeoError::Shutdown`] (counted as `cancelled` in the report).
+    /// Workers then exit and are joined; health ends at
+    /// [`EngineHealth::Stopped`]. Idempotent and safe to race.
+    pub fn shutdown_within(&self, budget: Duration) {
+        self.drain_shutdown(Instant::now().checked_add(budget));
+    }
+
+    /// Stops the engine: in-queue requests are drained and answered
+    /// (unbounded drain), then workers exit and are joined. Idempotent;
+    /// also runs on drop.
     pub fn shutdown(&self) {
+        self.drain_shutdown(None);
+    }
+
+    fn drain_shutdown(&self, deadline: Option<Instant>) {
+        let _ = self.shared.health.compare_exchange(
+            EngineHealth::Ready as u8,
+            EngineHealth::Draining as u8,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
         {
             let mut q = lock(&self.shared.queue);
             q.stopping = true;
+            // Wake everything: blocked submitters (→ Shutdown), idle
+            // workers (→ drain mode).
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+            // Drain-or-budget: wait for workers to empty the queue, in
+            // slices so a vanished workforce or an expired budget is
+            // noticed promptly.
+            loop {
+                if q.items.is_empty() {
+                    break;
+                }
+                let any_alive = lock(&self.shared.workers).iter().any(|e| e.alive);
+                if !any_alive {
+                    // Draining blocks respawns; nobody will ever pop.
+                    break;
+                }
+                let now = Instant::now();
+                let slice = match deadline {
+                    Some(d) if now >= d => break,
+                    Some(d) => (d - now).min(Duration::from_millis(25)),
+                    None => Duration::from_millis(25),
+                };
+                let (guard, _) = self
+                    .shared
+                    .not_full
+                    .wait_timeout(q, slice)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+            // Whatever is left missed the budget.
+            let mut cancelled = 0u64;
+            while let Some((req, seq)) = q.items.pop_front() {
+                if resolve_failure(&req, seq, &NeoError::Shutdown) {
+                    cancelled += 1;
+                }
+            }
+            if cancelled > 0 {
+                lock(&self.shared.stats).cancelled += cancelled;
+            }
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        let handles = std::mem::take(&mut *lock(&self.workers));
+
+        // Wait for every worker to exit (in-flight batches complete; hung
+        // workers are abandoned by the watchdog if a stall budget is set),
+        // then join outside the lock — a worker's exit guard takes the
+        // workers lock.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = lock(&self.shared.workers);
+            loop {
+                if workers.iter().all(|e| !e.alive) {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .worker_exited
+                    .wait_timeout(workers, Duration::from_millis(25))
+                    .unwrap_or_else(PoisonError::into_inner);
+                workers = guard;
+                self.shared.not_empty.notify_all();
+            }
+            workers.iter_mut().filter_map(|e| e.handle.take()).collect()
+        };
         for h in handles {
             let _ = h.join();
         }
+
+        {
+            let mut stop = lock(&self.shared.watchdog_stop);
+            *stop = true;
+            self.shared.watchdog_cv.notify_all();
+        }
+        if let Some(h) = lock(&self.watchdog).take() {
+            let _ = h.join();
+        }
+        self.shared.set_health(EngineHealth::Stopped);
+    }
+}
+
+/// Construction-failure teardown: stop and join whatever was spawned.
+fn abort_startup(shared: &Arc<Shared>) {
+    lock(&shared.queue).stopping = true;
+    shared.set_health(EngineHealth::Stopped);
+    shared.not_empty.notify_all();
+    let handles: Vec<JoinHandle<()>> =
+        lock(&shared.workers).iter_mut().filter_map(|e| e.handle.take()).collect();
+    for h in handles {
+        let _ = h.join();
     }
 }
 
@@ -578,15 +1168,16 @@ impl std::fmt::Debug for ServeEngine {
             .field("workers", &self.worker_count)
             .field("module_batch", &self.batch)
             .field("queue_cap", &self.shared.queue_cap)
+            .field("health", &self.shared.health())
             .finish()
     }
 }
 
-/// Everything one worker thread needs, moved into its closure.
-struct WorkerCfg {
+/// Everything needed to (re)spawn a worker; the watchdog keeps a copy.
+#[derive(Clone)]
+struct WorkerTemplate {
     module: Arc<Module>,
     shared: Arc<Shared>,
-    index: usize,
     max_batch: usize,
     batch_timeout: Duration,
     bind: bool,
@@ -594,75 +1185,246 @@ struct WorkerCfg {
     input_layout: Layout,
 }
 
-/// The worker: pop → coalesce → stage → run → distribute, forever.
-fn worker_loop(cfg: WorkerCfg) {
-    if cfg.bind {
+/// One worker thread's identity: the shared template plus its slot in the
+/// supervision table and the generation it was spawned as.
+struct WorkerCfg {
+    template: WorkerTemplate,
+    index: usize,
+    generation: u64,
+}
+
+fn spawn_worker(
+    template: &WorkerTemplate,
+    index: usize,
+    generation: u64,
+) -> std::io::Result<JoinHandle<()>> {
+    let cfg = WorkerCfg { template: template.clone(), index, generation };
+    std::thread::Builder::new()
+        .name(format!("neocpu-serve-{index}"))
+        .spawn(move || worker_main(&cfg))
+}
+
+/// Exit sentinel: clears the worker's `alive` flag (even on unwind) so the
+/// watchdog and shutdown observe the death, unless the watchdog already
+/// abandoned this generation.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+    index: usize,
+    generation: u64,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let mut workers = lock(&self.shared.workers);
+        let entry = &mut workers[self.index];
+        if entry.generation != self.generation {
+            // Abandoned: the entry belongs to a replacement worker now.
+            return;
+        }
+        // Failsafe: slots registered but never resolved (a panic escaped
+        // between registration and the outcome handler) must still fail
+        // rather than hang their waiters.
+        let leftovers: Vec<(Arc<Request>, u64)> = entry.in_flight.drain(..).collect();
+        entry.busy_since = None;
+        entry.alive = false;
+        drop(workers);
+        if !leftovers.is_empty() {
+            let err = NeoError::WorkerLost {
+                worker: self.index,
+                reason: "worker exited with unresolved in-flight slots".into(),
+            };
+            fail_batch(&self.shared, &leftovers, &err);
+        }
+        self.shared.worker_exited.notify_all();
+    }
+}
+
+/// The worker: pop live requests → coalesce → stage → run → distribute,
+/// until the engine stops or this thread is retired by a fault.
+fn worker_main(cfg: &WorkerCfg) {
+    let shared = Arc::clone(&cfg.template.shared);
+    let _guard =
+        WorkerGuard { shared: Arc::clone(&shared), index: cfg.index, generation: cfg.generation };
+    // Drill point: a panic here kills the nascent worker before it serves
+    // anything; the watchdog's respawn loop must converge past it.
+    crate::faults::fire_in_worker(crate::faults::WORKER_SPAWN);
+    if cfg.template.bind {
         let cores = affinity::available_cores().max(1);
         // Best effort — serving must work on hosts without affinity APIs.
         let _ = affinity::bind_current_thread(cfg.index % cores);
     }
-    let mut ctx: RunContext = cfg.module.make_context();
-    let mut staging = Tensor::zeros(cfg.input_shape.clone(), cfg.input_layout)
+    let mut ctx: RunContext = cfg.template.module.make_context();
+    let mut staging = Tensor::zeros(cfg.template.input_shape.clone(), cfg.template.input_layout)
         .expect("module input shape is constructible");
-    // Reused per round: holds at most `max_batch` Arc clones, so warm
-    // rounds never grow it.
-    let mut batch: Vec<Arc<Request>> = Vec::with_capacity(cfg.max_batch.max(1));
+    // Reused per round: holds at most `max_batch` items, so warm rounds
+    // never grow it.
+    let mut batch: Vec<(Arc<Request>, u64)> = Vec::with_capacity(cfg.template.max_batch.max(1));
 
     loop {
         batch.clear();
-        {
-            let mut q = lock(&cfg.shared.queue);
-            // Block for the first request (or drain-and-exit on shutdown).
-            loop {
-                if let Some(r) = q.items.pop_front() {
-                    batch.push(r);
-                    cfg.shared.not_full.notify_one();
-                    break;
-                }
-                if q.stopping {
-                    return;
-                }
-                q = cfg.shared.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
-            }
-            // Dynamic batcher: coalesce up to `max_batch`, waiting at most
-            // `batch_timeout` past the first request.
-            if cfg.max_batch > 1 {
-                let deadline = Instant::now() + cfg.batch_timeout;
-                while batch.len() < cfg.max_batch {
-                    if let Some(r) = q.items.pop_front() {
-                        batch.push(r);
-                        cfg.shared.not_full.notify_one();
-                        continue;
-                    }
-                    if q.stopping {
-                        break;
-                    }
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    let (guard, timeout) = cfg
-                        .shared
-                        .not_empty
-                        .wait_timeout(q, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
-                    if timeout.timed_out() && q.items.is_empty() {
-                        break;
-                    }
-                }
+        match panic::catch_unwind(AssertUnwindSafe(|| form_batch(cfg, &mut batch))) {
+            Ok(true) => {}
+            Ok(false) => return, // stopping and the queue is drained
+            Err(payload) => {
+                // Requests already popped must not vanish with the thread.
+                let err =
+                    NeoError::WorkerLost { worker: cfg.index, reason: panic_reason(&*payload) };
+                fail_batch(&shared, &batch, &err);
+                return; // retire; the watchdog respawns a replacement
             }
         }
+        if batch.is_empty() {
+            continue;
+        }
+        if !register_batch(cfg, &batch) {
+            // Abandoned while idle (stall misfire); resolve and retire.
+            let err = NeoError::WorkerLost { worker: cfg.index, reason: "worker abandoned".into() };
+            fail_batch(&shared, &batch, &err);
+            return;
+        }
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+            crate::faults::fire(crate::faults::BATCHER_WAKEUP)?;
+            run_batch(cfg, &mut ctx, &mut staging, &batch);
+            Ok(())
+        }));
+        let abandoned = clear_batch(cfg);
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => fail_batch(&shared, &batch, &e), // contained: keep serving
+            Err(payload) => {
+                let err =
+                    NeoError::WorkerLost { worker: cfg.index, reason: panic_reason(&*payload) };
+                fail_batch(&shared, &batch, &err);
+                return; // context may be mid-write; respawn gets a fresh one
+            }
+        }
+        if abandoned {
+            return;
+        }
+    }
+}
 
-        run_batch(&cfg, &mut ctx, &mut staging, &batch);
+/// Pops queue items, resolving expired requests (deadline passed, or the
+/// deadline-skew drill fired) without executing them, until a live one is
+/// found. Caller holds the queue lock.
+fn pop_live(shared: &Shared, q: &mut QueueInner) -> Option<(Arc<Request>, u64)> {
+    while let Some((req, seq)) = q.items.pop_front() {
+        shared.not_full.notify_one();
+        let deadline = lock(&req.inner).deadline;
+        if let Some(d) = deadline {
+            let skewed = crate::faults::fire_bool(crate::faults::DEADLINE_SKEW);
+            if skewed || Instant::now() >= d {
+                if resolve_failure(&req, seq, &NeoError::DeadlineExceeded) {
+                    lock(&shared.stats).deadline_exceeded += 1;
+                }
+                continue;
+            }
+        }
+        return Some((req, seq));
+    }
+    None
+}
+
+/// Blocks for the first live request, then coalesces up to `max_batch`
+/// within `batch_timeout`. Returns `false` when the engine is stopping and
+/// the queue is drained (the worker should exit).
+fn form_batch(cfg: &WorkerCfg, batch: &mut Vec<(Arc<Request>, u64)>) -> bool {
+    let tpl = &cfg.template;
+    let mut q = lock(&tpl.shared.queue);
+    loop {
+        if let Some(item) = pop_live(&tpl.shared, &mut q) {
+            batch.push(item);
+            break;
+        }
+        if q.stopping {
+            return false;
+        }
+        q = tpl.shared.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+    }
+    if tpl.max_batch > 1 {
+        let deadline = Instant::now() + tpl.batch_timeout;
+        while batch.len() < tpl.max_batch {
+            if let Some(item) = pop_live(&tpl.shared, &mut q) {
+                batch.push(item);
+                continue;
+            }
+            if q.stopping {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = tpl
+                .shared
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+            if timeout.timed_out() && q.items.is_empty() {
+                break;
+            }
+        }
+    }
+    true
+}
+
+/// Publishes the formed batch in this worker's supervision entry so the
+/// watchdog can fail it if the worker is lost mid-run. Returns `false` if
+/// the watchdog already abandoned this worker generation.
+fn register_batch(cfg: &WorkerCfg, batch: &[(Arc<Request>, u64)]) -> bool {
+    let mut workers = lock(&cfg.template.shared.workers);
+    let entry = &mut workers[cfg.index];
+    if entry.generation != cfg.generation {
+        return false;
+    }
+    entry.busy_since = Some(Instant::now());
+    entry.in_flight.clear();
+    for (req, seq) in batch {
+        entry.in_flight.push((Arc::clone(req), *seq));
+    }
+    true
+}
+
+/// Clears this worker's in-flight registration after the batch outcome is
+/// known. Returns `true` when the watchdog abandoned this generation
+/// meanwhile (the entry belongs to a replacement; this thread must exit).
+fn clear_batch(cfg: &WorkerCfg) -> bool {
+    let mut workers = lock(&cfg.template.shared.workers);
+    let entry = &mut workers[cfg.index];
+    if entry.generation != cfg.generation {
+        return true;
+    }
+    entry.in_flight.clear();
+    entry.busy_since = None;
+    false
+}
+
+/// Resolves every still-pending request of `batch` with `err` (seq-guarded:
+/// requests already resolved elsewhere are untouched).
+fn fail_batch(shared: &Shared, batch: &[(Arc<Request>, u64)], err: &NeoError) {
+    let mut failed = 0u64;
+    for (req, seq) in batch {
+        if resolve_failure(req, *seq, err) {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        lock(&shared.stats).failed += failed;
     }
 }
 
 /// Executes one formed batch on the worker's context and distributes
-/// results (or the shared failure) to every request in it.
-fn run_batch(cfg: &WorkerCfg, ctx: &mut RunContext, staging: &mut Tensor, batch: &[Arc<Request>]) {
+/// results to every request still owned by this run.
+fn run_batch(
+    cfg: &WorkerCfg,
+    ctx: &mut RunContext,
+    staging: &mut Tensor,
+    batch: &[(Arc<Request>, u64)],
+) {
+    let shared = &cfg.template.shared;
     {
-        let mut st = lock(&cfg.shared.stats);
+        let mut st = lock(&shared.stats);
         st.batches += 1;
         st.batched_requests += batch.len() as u64;
         if batch.len() > 1 {
@@ -676,16 +1438,22 @@ fn run_batch(cfg: &WorkerCfg, ctx: &mut RunContext, staging: &mut Tensor, batch:
     // Stage request rows into the batched input. Rows past `batch.len()`
     // keep stale (deterministically initialized) data; their results are
     // computed and discarded — the price of a fixed-batch plan.
-    for (row, req) in batch.iter().enumerate() {
+    for (row, (req, _)) in batch.iter().enumerate() {
         let inner = lock(&req.inner);
         let row_len = inner.input.data().len();
         staging.data_mut()[row * row_len..(row + 1) * row_len].copy_from_slice(inner.input.data());
     }
 
-    match cfg.module.run_with(ctx, std::slice::from_ref(staging)) {
+    match cfg.template.module.run_with(ctx, std::slice::from_ref(staging)) {
         Ok(()) => {
-            for (row, req) in batch.iter().enumerate() {
+            for (row, (req, seq)) in batch.iter().enumerate() {
                 let mut inner = lock(&req.inner);
+                // Seq guard: if a racing resolver (watchdog abandonment,
+                // drain) already answered this request, its buffers belong
+                // to the client again — leave them alone.
+                if !matches!(inner.state, SlotState::Queued) || inner.seq != *seq {
+                    continue;
+                }
                 for o in 0..inner.outputs.len() {
                     let src = ctx.output(o).expect("output count validated at engine start");
                     let row_len = inner.outputs[o].data().len();
@@ -695,7 +1463,7 @@ fn run_batch(cfg: &WorkerCfg, ctx: &mut RunContext, staging: &mut Tensor, batch:
                 let latency = inner.submitted.elapsed();
                 // Record before waking the waiter, so a client that reads
                 // `report()` right after `wait()` sees its own completion.
-                record_completion(&cfg.shared, latency);
+                record_completion(shared, latency);
                 inner.state = SlotState::Done;
                 drop(inner);
                 req.done.notify_all();
@@ -704,13 +1472,7 @@ fn run_batch(cfg: &WorkerCfg, ctx: &mut RunContext, staging: &mut Tensor, batch:
         Err(e) => {
             // The panic boundary already contained the failure; every
             // request of this batch degrades, the engine keeps serving.
-            lock(&cfg.shared.stats).failed += batch.len() as u64;
-            for req in batch {
-                let mut inner = lock(&req.inner);
-                inner.state = SlotState::Failed(e.clone());
-                drop(inner);
-                req.done.notify_all();
-            }
+            fail_batch(shared, batch, &e);
         }
     }
 }
@@ -727,6 +1489,93 @@ fn record_completion(shared: &Shared, latency: Duration) {
         let i = st.ring_next % st.latencies_us.len();
         st.latencies_us[i] = us;
         st.ring_next = st.ring_next.wrapping_add(1);
+    }
+}
+
+/// Watchdog configuration (owned by the supervisor thread).
+struct WatchdogCfg {
+    shared: Arc<Shared>,
+    template: WorkerTemplate,
+    interval: Duration,
+    stall_budget: Option<Duration>,
+}
+
+/// The supervisor: every tick, abandon stalled workers and respawn dead
+/// ones (unless the engine is draining). The tick is allocation-free when
+/// nothing is wrong, so it can run while the zero-allocation warm path is
+/// being measured.
+fn watchdog_loop(cfg: &WatchdogCfg) {
+    loop {
+        {
+            let stop = lock(&cfg.shared.watchdog_stop);
+            if *stop {
+                return;
+            }
+            let (stop, _) = cfg
+                .shared
+                .watchdog_cv
+                .wait_timeout(stop, cfg.interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            if *stop {
+                return;
+            }
+        }
+        let respawn_allowed = cfg.shared.health() == EngineHealth::Ready;
+        let mut workers = lock(&cfg.shared.workers);
+        for (index, entry) in workers.iter_mut().enumerate() {
+            // Stall: the batch has exceeded its budget. Abandon the thread
+            // (it is past joining — it may never return), fail its slots,
+            // and let the respawn below replace it.
+            let stalled = entry.alive
+                && cfg
+                    .stall_budget
+                    .is_some_and(|b| entry.busy_since.is_some_and(|t0| t0.elapsed() >= b));
+            if stalled {
+                let slots: Vec<(Arc<Request>, u64)> = entry.in_flight.drain(..).collect();
+                entry.busy_since = None;
+                entry.alive = false;
+                entry.generation = entry.generation.wrapping_add(1);
+                drop(entry.handle.take()); // detach: never join a hung thread
+                let err = NeoError::WorkerLost {
+                    worker: index,
+                    reason: "batch exceeded the stall budget".into(),
+                };
+                fail_batch(&cfg.shared, &slots, &err);
+                lock(&cfg.shared.stats).stalls += 1;
+                cfg.shared.worker_exited.notify_all();
+            }
+            // Death: the exit guard cleared `alive` (the thread is gone or
+            // exiting). Join the finished thread, sweep anything the guard
+            // could not resolve, and respawn a fresh generation.
+            if !entry.alive {
+                if let Some(h) = entry.handle.take() {
+                    // The guard ran before `alive` cleared, so the thread
+                    // is past its last lock acquisition; this join cannot
+                    // deadlock and returns promptly.
+                    let _ = h.join();
+                }
+                if !entry.in_flight.is_empty() {
+                    let slots: Vec<(Arc<Request>, u64)> = entry.in_flight.drain(..).collect();
+                    let err = NeoError::WorkerLost {
+                        worker: index,
+                        reason: "worker died with unresolved in-flight slots".into(),
+                    };
+                    fail_batch(&cfg.shared, &slots, &err);
+                }
+                if respawn_allowed {
+                    entry.generation = entry.generation.wrapping_add(1);
+                    // A spawn failure (thread exhaustion, or the
+                    // worker-spawn drill) leaves the entry dead; the next
+                    // tick retries.
+                    if let Ok(h) = spawn_worker(&cfg.template, index, entry.generation) {
+                        entry.handle = Some(h);
+                        entry.alive = true;
+                        entry.busy_since = None;
+                        lock(&cfg.shared.stats).respawns += 1;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -776,8 +1625,8 @@ mod tests {
     #[test]
     fn slot_reuse_cycle_works() {
         let m = batched_module(2);
-        let engine = ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() })
-            .unwrap();
+        let engine =
+            ServeEngine::new(m, &ServeOptions { workers: 1, ..Default::default() }).unwrap();
         let req = engine.make_request();
         for seed in 0..4 {
             let img = Tensor::random([1, 4, 8, 8], Layout::Nchw, seed, 1.0).unwrap();
@@ -819,14 +1668,74 @@ mod tests {
     }
 
     #[test]
+    fn invalid_options_are_rejected_with_config_errors() {
+        let m = batched_module(2);
+        for opts in [
+            ServeOptions { workers: 0, ..Default::default() },
+            ServeOptions { queue_cap: 0, ..Default::default() },
+            ServeOptions { latency_capacity: 0, ..Default::default() },
+            ServeOptions { watchdog_interval: Duration::ZERO, ..Default::default() },
+            ServeOptions { stall_budget: Some(Duration::ZERO), ..Default::default() },
+            ServeOptions { default_deadline: Some(Duration::ZERO), ..Default::default() },
+        ] {
+            let err = ServeEngine::new(Arc::clone(&m), &opts).unwrap_err();
+            assert!(matches!(err, NeoError::Config(_)), "expected Config error, got {err}");
+        }
+    }
+
+    #[test]
     fn shutdown_rejects_new_submissions() {
-        let engine =
-            ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        let engine = ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
         let req = engine.make_request();
+        assert_eq!(engine.health(), EngineHealth::Ready);
         engine.shutdown();
+        assert_eq!(engine.health(), EngineHealth::Stopped);
         let err = engine.submit(&req).unwrap_err();
-        assert!(matches!(err, NeoError::Serve(_)), "unexpected: {err}");
+        assert!(matches!(err, NeoError::Shutdown), "unexpected: {err}");
+        let err = engine.try_submit(&req).unwrap_err();
+        assert!(matches!(err, NeoError::Shutdown), "unexpected: {err}");
         // The failed submit left the slot reusable (not stuck in flight).
         assert!(req.fill(&Tensor::zeros([1, 4, 8, 8], Layout::Nchw).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn report_percentiles_are_well_defined_on_tiny_and_empty_samples() {
+        let engine = ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        // No samples: percentiles are NaN, not a bogus 0 ms.
+        let empty = engine.report();
+        assert_eq!(empty.latency_samples, 0);
+        assert!(empty.p50_ms.is_nan() && empty.p95_ms.is_nan() && empty.p99_ms.is_nan());
+
+        // One sample: every percentile is that sample.
+        let img = Tensor::random([1, 4, 8, 8], Layout::Nchw, 3, 1.0).unwrap();
+        engine.infer(&img).unwrap();
+        let one = engine.report();
+        assert_eq!(one.latency_samples, 1);
+        assert!(one.p50_ms > 0.0);
+        assert_eq!(one.p50_ms, one.p95_ms);
+        assert_eq!(one.p95_ms, one.p99_ms);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_request_is_never_executed() {
+        let engine = ServeEngine::new(batched_module(2), &ServeOptions::default()).unwrap();
+        let req = engine.make_request();
+        let img = Tensor::random([1, 4, 8, 8], Layout::Nchw, 5, 1.0).unwrap();
+        // A 1 ns budget has always expired by the time a worker pops the
+        // request: the batcher must resolve, not run it.
+        req.fill_with_deadline(&img, Duration::from_nanos(1)).unwrap();
+        engine.submit(&req).unwrap();
+        let err = req.wait().unwrap_err();
+        assert!(matches!(err, NeoError::DeadlineExceeded), "unexpected: {err}");
+        let r = engine.report();
+        assert_eq!(r.completed, 0, "an expired request must never execute: {r}");
+        assert_eq!(r.deadline_exceeded, 1);
+
+        // The slot is reusable, and a fresh fill clears the deadline.
+        req.fill(&img).unwrap();
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+        engine.shutdown();
     }
 }

@@ -11,7 +11,7 @@
 
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -46,6 +46,8 @@ struct Shared {
     panicked: AtomicBool,
     /// Message of the first panicking chunk of the active region.
     panic_msg: Mutex<Option<String>>,
+    /// Panics contained at chunk boundaries over the pool's lifetime.
+    panics: AtomicU64,
 }
 
 /// Mutex/condvar-based pool mimicking an OpenMP `parallel for` runtime.
@@ -77,6 +79,7 @@ impl OmpLikePool {
             region_done: Condvar::new(),
             panicked: AtomicBool::new(false),
             panic_msg: Mutex::new(None),
+            panics: AtomicU64::new(0),
         });
         let joins = (1..threads)
             .map(|w| {
@@ -89,11 +92,18 @@ impl OmpLikePool {
             .collect();
         Self { shared, threads, joins, scheduler: Mutex::new(()) }
     }
+
+    /// Panics contained at chunk boundaries so far (diagnostics); mirrors
+    /// [`crate::ThreadPool::panics_contained`].
+    pub fn panics_contained(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
 }
 
 fn run_chunk(shared: &Shared, body: &Body<'_>, worker: usize, range: Range<usize>) {
     let result = panic::catch_unwind(AssertUnwindSafe(|| body(worker, range)));
     if let Err(payload) = result {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
         let mut slot = shared.panic_msg.lock();
         if slot.is_none() {
             *slot = Some(panic_message(payload.as_ref()));
@@ -257,11 +267,13 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+        assert_eq!(pool.panics_contained(), 1, "the contained panic must be counted");
         let total = AtomicUsize::new(0);
         pool.run(8, &|_, range| {
             total.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.panics_contained(), 1, "clean regions must not move the counter");
     }
 
     #[test]

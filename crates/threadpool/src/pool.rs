@@ -11,6 +11,7 @@
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle, Thread};
 
 use crossbeam::utils::CachePadded;
@@ -96,6 +97,9 @@ pub struct ThreadPool {
     scheduler: Mutex<Vec<WorkerHandle>>,
     threads: usize,
     regions: AtomicU64,
+    /// Panics caught at the pool's unwind boundaries (worker bodies and
+    /// the scheduler's own range). Shared with workers.
+    panics: Arc<AtomicU64>,
 }
 
 impl ThreadPool {
@@ -118,13 +122,15 @@ impl ThreadPool {
     pub fn with_binding(threads: usize, bind: bool) -> Self {
         assert!(threads > 0, "a pool needs at least one executor");
         let cores = affinity::available_cores();
+        let panics = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(threads.saturating_sub(1));
         for w in 1..threads {
             let (tx, rx) = spsc::channel::<Msg>(QUEUE_CAP);
             let core = bind.then_some(w % cores);
+            let worker_panics = Arc::clone(&panics);
             let join = thread::Builder::new()
                 .name(format!("neocpu-worker-{w}"))
-                .spawn(move || worker_loop(rx, core))
+                .spawn(move || worker_loop(rx, core, &worker_panics))
                 .expect("failed to spawn pool worker");
             handles.push(WorkerHandle { queue: tx, thread: join.thread().clone(), join: Some(join) });
         }
@@ -132,12 +138,21 @@ impl ThreadPool {
             scheduler: Mutex::new(handles),
             threads,
             regions: AtomicU64::new(0),
+            panics,
         }
     }
 
     /// Number of parallel regions executed so far (diagnostics).
     pub fn regions_run(&self) -> u64 {
         self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Panics contained at the pool's unwind boundaries so far
+    /// (diagnostics): each one was caught, re-raised as a region failure,
+    /// and left the workers reusable. A serving-grade health check can
+    /// watch this climb instead of discovering dead threads the hard way.
+    pub fn panics_contained(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 }
 
@@ -207,6 +222,7 @@ impl Parallelism for ThreadPool {
         drop(workers);
 
         if let Err(payload) = local {
+            self.panics.fetch_add(1, Ordering::Relaxed);
             panic::resume_unwind(payload);
         }
         if status.panicked.load(Ordering::Relaxed) {
@@ -244,7 +260,7 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(mut rx: Consumer<Msg>, core: Option<usize>) {
+fn worker_loop(mut rx: Consumer<Msg>, core: Option<usize>, panics: &AtomicU64) {
     if let Some(core) = core {
         // Best effort; an unbound worker is still correct.
         let _ = affinity::bind_current_thread(core);
@@ -261,6 +277,7 @@ fn worker_loop(mut rx: Consumer<Msg>, core: Option<usize>) {
                 let result =
                     panic::catch_unwind(AssertUnwindSafe(|| body(item.worker, item.range.clone())));
                 if let Err(payload) = result {
+                    panics.fetch_add(1, Ordering::Relaxed);
                     let mut slot = status.panic_msg.lock();
                     if slot.is_none() {
                         *slot = Some(panic_message(payload.as_ref()));
@@ -360,12 +377,14 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+        assert_eq!(pool.panics_contained(), 1, "the contained panic must be counted");
         // The pool must still be usable afterwards.
         let count = AtomicUsize::new(0);
         pool.run(10, &|_, range| {
             count.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(pool.panics_contained(), 1, "clean regions must not move the counter");
     }
 
     #[test]

@@ -180,6 +180,22 @@ fn warm_serve_cycle_performs_zero_allocations() {
          must preserve the executor's zero-allocation contract"
     );
 
+    // The lifecycle-hardened path must be just as clean: arming a deadline
+    // and admitting through `try_submit` adds bookkeeping (deadline compute,
+    // admission check, watchdog scan in the background) but no heap traffic.
+    let before = allocation_count();
+    for _ in 0..10 {
+        req.fill_with_deadline(&img, std::time::Duration::from_secs(60)).unwrap();
+        engine.try_submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "warm deadline/try_submit cycle allocated {delta} time(s); the hardened \
+         request lifecycle must preserve the zero-allocation contract"
+    );
+
     req.with_outputs(|outs| {
         assert_eq!(outs[0].shape().dims(), &[1, 10]);
         assert!(outs[0].data().iter().all(|v| v.is_finite()));
