@@ -2,7 +2,8 @@
 //! the model zoo, plus measured heap allocations per warm inference (a
 //! counting global allocator is installed in this binary, so the
 //! allocation columns are real numbers, not estimates). `--full` for
-//! paper-size workloads; `--models`, `--reps`, `--threads` to narrow.
+//! paper-size workloads; `--models`, `--reps`, `--threads` to narrow;
+//! `--json` appends a single-line machine-readable summary.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -3,9 +3,12 @@
 //! completes, batches coalesce, the health machine walks Ready → Stopped,
 //! warm serve cycles allocate nothing — a counting global allocator is
 //! installed here so the check is real).
-//! Flags: `--smoke`, `--workers N`, `--clients a,b`, `--requests N`,
+//! Flags: `--smoke`, `--int8` (serve a quantized module through the same
+//! engine — batching, deadlines and the zero-alloc warm path must hold on
+//! the int8 plan), `--workers N`, `--clients a,b`, `--requests N`,
 //! `--batch N`, `--models a,b`, `--full`, `--deadline-ms N` (engine-wide
-//! request deadline), `--shed newest|oldest` (full-queue policy).
+//! request deadline), `--shed newest|oldest` (full-queue policy),
+//! `--json` (single-line machine-readable summary).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -25,12 +25,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use neocpu::{
-    compile, compile_with_pool, CompileOptions, CpuTarget, EngineHealth, Module, OptLevel,
-    PoolChoice, SearchStrategy, ServeEngine, ServeOptions, ShedPolicy,
+    compile, compile_quantized, compile_with_pool, CompileOptions, CpuTarget, EngineHealth,
+    Module, OptLevel, PoolChoice, QuantizeOptions, SearchStrategy, ServeEngine, ServeOptions,
+    ShedPolicy,
 };
+use neocpu_kernels::conv::{conv2d_nchwc, conv2d_nchwc_u8, Conv2dParams, ConvQuant, Epilogue};
+use neocpu_kernels::quantize::quantize_dense_weights;
 use neocpu_models::{build, ModelKind, ModelScale};
-use neocpu_search::SchemeDatabase;
-use neocpu_tensor::{Layout, Tensor};
+use neocpu_search::{AnalyticalModel, CostModel, SchemeDatabase};
+use neocpu_tensor::{DType, Layout, Tensor};
 use neocpu_threadpool::{OmpLikePool, Parallelism, Sequential, ThreadPool};
 
 /// Common harness configuration parsed from CLI flags.
@@ -62,6 +65,12 @@ pub struct HarnessCfg {
     pub deadline_ms: Option<u64>,
     /// `serve` only: admission policy when the bounded queue is full.
     pub shed: ShedPolicy,
+    /// Emit a machine-readable single-line JSON summary as the last line
+    /// of stdout (consumed by the `bench` orchestrator).
+    pub json: bool,
+    /// `serve` only: compile the served model through the int8 quantized
+    /// pipeline (`compile_quantized`) instead of plain f32.
+    pub int8: bool,
 }
 
 impl Default for HarnessCfg {
@@ -79,15 +88,17 @@ impl Default for HarnessCfg {
             batch: 4,
             deadline_ms: None,
             shed: ShedPolicy::RejectNewest,
+            json: false,
+            int8: false,
         }
     }
 }
 
 impl HarnessCfg {
     /// Parses `--full`, `--reps N`, `--warmup N`, `--threads N`,
-    /// `--models a,b`, and the `serve` flags `--smoke`, `--workers N`,
-    /// `--clients a,b`, `--requests N`, `--batch N`, `--deadline-ms N`,
-    /// `--shed newest|oldest` from `std::env::args`.
+    /// `--models a,b`, `--json`, and the `serve` flags `--smoke`, `--int8`,
+    /// `--workers N`, `--clients a,b`, `--requests N`, `--batch N`,
+    /// `--deadline-ms N`, `--shed newest|oldest` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -120,6 +131,8 @@ impl HarnessCfg {
                     i += 1;
                 }
                 "--smoke" => cfg.smoke = true,
+                "--json" => cfg.json = true,
+                "--int8" => cfg.int8 = true,
                 "--workers" if i + 1 < args.len() => {
                     cfg.workers = args[i + 1].parse().unwrap_or(cfg.workers);
                     i += 1;
@@ -178,6 +191,10 @@ pub struct Stats {
     pub mean_ms: f64,
     /// Standard error of the mean (ms).
     pub std_err_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
 }
 
 impl std::fmt::Display for Stats {
@@ -200,7 +217,32 @@ pub fn measure(module: &Module, input: &Tensor, warmup: usize, reps: usize) -> S
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
         / samples.len().max(2).saturating_sub(1) as f64;
-    Stats { mean_ms: mean, std_err_ms: (var / samples.len() as f64).sqrt() }
+    let mut sorted = samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    Stats {
+        mean_ms: mean,
+        std_err_ms: (var / samples.len() as f64).sqrt(),
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Formats an f64 for JSON: finite values as-is, everything else `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// The three software stacks Table 2 compares, mapped onto this
@@ -283,6 +325,175 @@ pub fn bench_stack(
     measure(&module, &input, cfg.warmup, cfg.reps)
 }
 
+/// One workload row of the int8-vs-f32 conv microbenchmark.
+#[derive(Debug, Clone)]
+pub struct Int8MicroRow {
+    /// Workload label.
+    pub name: String,
+    /// Best-of f32 template time (µs) at the AVX2 lane cap.
+    pub f32_us: f64,
+    /// Best-of int8 template time (µs) at the AVX2 lane cap.
+    pub int8_us: f64,
+    /// Throughput ratio `f32_us / int8_us`.
+    pub speedup: f64,
+}
+
+/// SIMD-lane cap pinning the microbenchmark to the AVX2 paths (8-lane f32
+/// FMA strips; the int8 kernel's 32-byte `maddubs` strips) even on hosts
+/// with AVX-512.
+pub const INT8_MICRO_MAX_LANES: usize = 8;
+
+/// AVX2-shaped candidates (`oc_bn == 8`, quad-packable `ic_bn`) for `p`,
+/// preselected to the analytically best `keep` under `cost` — the search
+/// crate's preselect-then-measure idiom.
+fn avx2_candidates(
+    p: &Conv2dParams,
+    cost: impl Fn(&Conv2dParams, &neocpu_kernels::ConvSchedule) -> f32,
+    keep: usize,
+) -> Vec<neocpu_kernels::ConvSchedule> {
+    let mut cands: Vec<neocpu_kernels::ConvSchedule> =
+        neocpu_kernels::ConvSchedule::candidates(p, 64)
+            .into_iter()
+            .filter(|s| s.oc_bn == 8 && s.ic_bn.is_multiple_of(4))
+            .collect();
+    if cands.is_empty() {
+        cands.push(neocpu_kernels::ConvSchedule::fallback_for(p));
+    }
+    cands.sort_by(|a, b| cost(p, a).total_cmp(&cost(p, b)));
+    cands.truncate(keep.max(1));
+    cands
+}
+
+/// Best-of-`reps` time (µs) of one f32 blocked conv at the AVX2 lane cap.
+fn time_f32_conv(
+    p: &Conv2dParams,
+    s: &neocpu_kernels::ConvSchedule,
+    warmup: usize,
+    reps: usize,
+) -> f64 {
+    let input = Tensor::random([1, p.in_channels, p.in_h, p.in_w], Layout::NchwC(s.ic_bn), 1, 1.0)
+        .expect("valid microbenchmark input");
+    let weights = Tensor::random(
+        [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w],
+        Layout::OihwIo { i: s.ic_bn, o: s.oc_bn },
+        2,
+        1.0,
+    )
+    .expect("valid microbenchmark weights");
+    let mut out = Tensor::zeros([1, p.out_channels, p.out_h(), p.out_w()], Layout::NchwC(s.oc_bn))
+        .expect("valid microbenchmark output");
+    let mut best = f64::INFINITY;
+    for i in 0..warmup + reps {
+        let t0 = Instant::now();
+        conv2d_nchwc(
+            &input,
+            &weights,
+            &mut out,
+            p,
+            s,
+            &Epilogue::none(),
+            &Sequential,
+            INT8_MICRO_MAX_LANES,
+            None,
+        )
+        .expect("schedule validated for workload");
+        if i >= warmup {
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    best
+}
+
+/// Best-of-`reps` time (µs) of the same workload through the quad-packed
+/// `u8×i8` int8 template at the AVX2 lane cap.
+fn time_int8_conv(
+    p: &Conv2dParams,
+    s: &neocpu_kernels::ConvSchedule,
+    warmup: usize,
+    reps: usize,
+) -> f64 {
+    let mut input =
+        Tensor::zeros_dtyped([1, p.in_channels, p.in_h, p.in_w], Layout::NchwC(s.ic_bn), DType::U8)
+            .expect("valid microbenchmark input");
+    let mut state = 0x243f_6a88u32;
+    for b in input.data_u8_mut() {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *b = (state >> 24) as u8;
+    }
+    let wsrc = Tensor::random(
+        [p.out_channels, p.in_channels, p.kernel_h, p.kernel_w],
+        Layout::Oihw,
+        2,
+        1.0,
+    )
+    .expect("valid microbenchmark weights");
+    let qw = quantize_dense_weights(&wsrc, s.ic_bn, s.oc_bn).expect("quad-packable workload");
+    let mult: Vec<f32> = qw.scales.iter().map(|sw| sw / 127.0).collect();
+    let mut out = Tensor::zeros([1, p.out_channels, p.out_h(), p.out_w()], Layout::NchwC(s.oc_bn))
+        .expect("valid microbenchmark output");
+    let mut best = f64::INFINITY;
+    for i in 0..warmup + reps {
+        let t0 = Instant::now();
+        conv2d_nchwc_u8(
+            &input,
+            &qw.tensor,
+            &mut out,
+            p,
+            s,
+            &ConvQuant { mult: &mult, zero_point: 128 },
+            &Epilogue::none(),
+            &Sequential,
+            INT8_MICRO_MAX_LANES,
+            None,
+        )
+        .expect("schedule validated for workload");
+        if i >= warmup {
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    best
+}
+
+/// The int8-vs-f32 conv-layer microbenchmark backing the dtype-selection
+/// claim: representative ResNet-50 dense conv layers timed through the f32
+/// and quad-packed int8 `NCHW[x]c` templates under the *same* AVX2 lane
+/// cap, each dtype using its analytically best AVX2-shaped schedule.
+pub fn int8_micro(cfg: &HarnessCfg) -> Vec<Int8MicroRow> {
+    let d = if cfg.full { 1 } else { 4 };
+    let workloads = [
+        (format!("3x3 C{}->{} @56x56", 64 / d, 64 / d), Conv2dParams::square(64 / d, 64 / d, 56, 3, 1, 1)),
+        (format!("3x3 C{}->{} @28x28", 128 / d, 128 / d), Conv2dParams::square(128 / d, 128 / d, 28, 3, 1, 1)),
+        (format!("3x3 C{}->{} @14x14", 256 / d, 256 / d), Conv2dParams::square(256 / d, 256 / d, 14, 3, 1, 1)),
+        (format!("1x1 C{}->{} @56x56", 64 / d, 256 / d), Conv2dParams::square(64 / d, 256 / d, 56, 1, 1, 0)),
+        (format!("1x1 C{}->{} @14x14", 512 / d, 512 / d), Conv2dParams::square(512 / d, 512 / d, 14, 1, 1, 0)),
+    ];
+    let model = AnalyticalModel { vec_lanes: INT8_MICRO_MAX_LANES, ..Default::default() };
+    let (warmup, reps) = (cfg.warmup.max(1), cfg.reps.clamp(3, 50));
+    let keep = 6;
+    workloads
+        .into_iter()
+        .map(|(name, p)| {
+            let f32_us = avx2_candidates(&p, |p, s| model.conv_time(p, s), keep)
+                .iter()
+                .map(|s| time_f32_conv(&p, s, warmup, reps))
+                .fold(f64::INFINITY, f64::min);
+            let int8_us = avx2_candidates(&p, |p, s| model.conv_time_i8(p, s), keep)
+                .iter()
+                .map(|s| time_int8_conv(&p, s, warmup, reps))
+                .fold(f64::INFINITY, f64::min);
+            Int8MicroRow { name, f32_us, int8_us, speedup: f32_us / int8_us }
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup of a microbenchmark run.
+pub fn int8_geomean(rows: &[Int8MicroRow]) -> f64 {
+    if rows.is_empty() {
+        return f64::NAN;
+    }
+    (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp()
+}
+
 /// Table 2: overall latency of every model under the three stacks.
 pub fn run_table2(cfg: &HarnessCfg) {
     let models = if cfg.models.is_empty() { neocpu_models::zoo() } else { cfg.models.clone() };
@@ -302,6 +513,7 @@ pub fn run_table2(cfg: &HarnessCfg) {
     );
     let mut neo_wins = 0usize;
     let mut total = 0usize;
+    let mut json_rows = Vec::new();
     for kind in models {
         let lib = bench_stack(kind, Stack::LibraryStyle, cfg, &mut db);
         let tf = bench_stack(kind, Stack::TfLike, cfg, &mut db);
@@ -322,8 +534,57 @@ pub fn run_table2(cfg: &HarnessCfg) {
             tf.to_string(),
             neo.to_string()
         );
+        json_rows.push(format!(
+            "{{\"model\":\"{}\",\"library_ms\":{},\"tf_ms\":{},\"neo_ms\":{},\"neo_p50_ms\":{},\"neo_p95_ms\":{},\"best\":\"{best}\"}}",
+            kind.name(),
+            jnum(lib.mean_ms),
+            jnum(tf.mean_ms),
+            jnum(neo.mean_ms),
+            jnum(neo.p50_ms),
+            jnum(neo.p95_ms),
+        ));
     }
     println!("\nNeoCPU best on {neo_wins}/{total} models (paper: 13/15 Intel, 14/15 AMD, 15/15 ARM)");
+
+    // Int8-vs-f32 conv-layer microbenchmark under the AVX2 lane cap — the
+    // dtype dimension the global search trades off per layer.
+    let micro = int8_micro(cfg);
+    println!(
+        "\nInt8 vs f32 conv layers (same workload, best AVX2 schedule per dtype, max_lanes={INT8_MICRO_MAX_LANES}):"
+    );
+    println!("{:<24} {:>12} {:>12} {:>9}", "workload", "f32 (µs)", "int8 (µs)", "speedup");
+    for r in &micro {
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>8.2}x",
+            r.name, r.f32_us, r.int8_us, r.speedup
+        );
+    }
+    let geomean = int8_geomean(&micro);
+    println!("geomean int8 speedup: {geomean:.2}x (acceptance floor: 1.50x)");
+
+    if cfg.json {
+        let micro_rows: Vec<String> = micro
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"workload\":\"{}\",\"f32_us\":{},\"int8_us\":{},\"speedup\":{}}}",
+                    r.name,
+                    jnum(r.f32_us),
+                    jnum(r.int8_us),
+                    jnum(r.speedup),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"table2\",\"scale\":\"{}\",\"reps\":{},\"threads\":{},\"neo_wins\":{neo_wins},\"total\":{total},\"models\":[{}],\"int8_micro\":{{\"max_lanes\":{INT8_MICRO_MAX_LANES},\"rows\":[{}],\"geomean_speedup\":{}}}}}",
+            if cfg.full { "full" } else { "reduced" },
+            cfg.reps,
+            cfg.threads,
+            json_rows.join(","),
+            micro_rows.join(","),
+            jnum(geomean),
+        );
+    }
 }
 
 /// Table 3: ablation — speedup over the NCHW baseline as each optimization
@@ -606,6 +867,7 @@ pub fn run_memplan(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) {
         "allocs/run"
     );
     let mb = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    let mut json_rows = Vec::new();
     for kind in models {
         let scale = cfg.scale(kind);
         let graph = build(kind, scale, 42);
@@ -652,24 +914,61 @@ pub fn run_memplan(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) {
             fmt_allocs(ctx_allocs),
             fmt_allocs(run_allocs),
         );
+        json_rows.push(format!(
+            "{{\"model\":\"{}\",\"nodes\":{},\"naive_mb\":{},\"arena_mb\":{},\"saved_pct\":{},\"reuse\":{},\"scratch_kb\":{},\"allocs_ctx\":{},\"allocs_run\":{}}}",
+            kind.name(),
+            module.graph().len(),
+            jnum(mb(mem.naive_bytes)),
+            jnum(mb(mem.planned_peak_bytes)),
+            jnum(100.0 * (1.0 - mem.planned_peak_bytes as f64 / mem.naive_bytes.max(1) as f64)),
+            mem.reused,
+            jnum(mem.scratch_bytes as f64 / 1024.0),
+            if counting { jnum(ctx_allocs) } else { "null".to_string() },
+            if counting { jnum(run_allocs) } else { "null".to_string() },
+        ));
     }
     println!(
         "\n(allocs/ctx: heap allocations per warm inference on a caller-owned RunContext — \
          the executor's contract is 0;\n allocs/run: per pooled Module::run, which clones \
          only the output tensors out of the arena)"
     );
+    if cfg.json {
+        println!(
+            "{{\"bench\":\"memplan\",\"scale\":\"{}\",\"threads\":{},\"rows\":[{}]}}",
+            if cfg.full { "full" } else { "reduced" },
+            cfg.threads,
+            json_rows.join(","),
+        );
+    }
 }
 
 /// Compiles `kind` at batch `cfg.batch` for the serving engine: O2 with a
 /// sequential in-module pool — the engine's workers are the parallelism,
 /// one inference per core (module §-level rationale in `neocpu::serve`).
-fn compile_for_serving(kind: ModelKind, cfg: &HarnessCfg) -> (Arc<Module>, ModelScale) {
+///
+/// With `--int8` the module goes through the quantized pipeline instead:
+/// auto-calibrated per-layer int8 with the f32 accuracy gate. Returns the
+/// number of convs that took the int8 path (0 without `--int8`).
+fn compile_for_serving(kind: ModelKind, cfg: &HarnessCfg) -> (Arc<Module>, ModelScale, usize) {
     let scale = cfg.scale(kind).with_batch(cfg.batch.max(1));
     let graph = build(kind, scale, 42);
     let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
-    let module =
-        Arc::new(compile(&graph, &CpuTarget::host(), &opts).expect("compilation succeeds"));
-    (module, scale)
+    if cfg.int8 {
+        let (module, report) =
+            compile_quantized(&graph, &CpuTarget::host(), &opts, &QuantizeOptions::default())
+                .expect("quantized compilation succeeds");
+        assert!(
+            !report.fell_back,
+            "{}: int8 accuracy gate rejected the quantized module (err {})",
+            kind.name(),
+            report.max_abs_error
+        );
+        (Arc::new(module), scale, report.quantized)
+    } else {
+        let module =
+            Arc::new(compile(&graph, &CpuTarget::host(), &opts).expect("compilation succeeds"));
+        (module, scale, 0)
+    }
 }
 
 /// Serving-engine options derived from the harness flags: `workers`
@@ -727,13 +1026,19 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
     // template (blocked kernel, scratch padding, fused epilogue) end to
     // end on the serving path.
     let kind = cfg.models.first().copied().unwrap_or(ModelKind::MobileNet);
-    let (module, scale) = compile_for_serving(kind, cfg);
+    let (module, scale, quantized) = compile_for_serving(kind, cfg);
+    if cfg.int8 {
+        // The smoke must genuinely exercise the int8 kernels, not silently
+        // degrade to an all-f32 plan.
+        assert!(quantized >= 1, "{}: --int8 smoke quantized no convs", kind.name());
+    }
     let engine = ServeEngine::new(Arc::clone(&module), &serve_options(cfg, 2))
         .expect("engine starts");
     println!(
-        "serve --smoke: {} batch {} | {:?}",
+        "serve --smoke: {} batch {}{} | {:?}",
         kind.name(),
         engine.module_batch(),
+        if cfg.int8 { format!(" ({quantized} int8 convs)") } else { String::new() },
         engine
     );
 
@@ -792,6 +1097,13 @@ fn serve_smoke(cfg: &HarnessCfg, alloc_count: &dyn Fn() -> u64) -> bool {
         pass = false;
     }
     println!("serve --smoke: {}", if pass { "PASS" } else { "FAIL" });
+    if cfg.json {
+        println!(
+            "{{\"bench\":\"serve_smoke\",\"model\":\"{}\",\"int8\":{},\"quantized_convs\":{quantized},\"pass\":{pass}}}",
+            kind.name(),
+            cfg.int8,
+        );
+    }
     pass
 }
 
@@ -811,19 +1123,21 @@ fn serve_table(cfg: &HarnessCfg) {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "E8 — serving throughput vs concurrency ({} scale, batch {}, {} workers, \
-         {} reqs/client, {} hardware threads)",
+         {} reqs/client, {} hardware threads{})",
         if cfg.full { "FULL" } else { "reduced" },
         cfg.batch.max(1),
         cfg.workers.max(1),
         cfg.requests.max(1),
         host_cores,
+        if cfg.int8 { ", int8 modules" } else { "" },
     );
     println!(
         "{:<16} {:>8} {:>6} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
         "model", "clients", "ok", "fail", "img/s", "mean B", "p50 (ms)", "p95 (ms)", "p99 (ms)", "queue hwm"
     );
+    let mut json_rows = Vec::new();
     for kind in models {
-        let (module, scale) = compile_for_serving(kind, cfg);
+        let (module, scale, quantized) = compile_for_serving(kind, cfg);
         for &n in &client_counts {
             let engine = ServeEngine::new(Arc::clone(&module), &serve_options(cfg, 1))
                 .expect("engine starts");
@@ -843,12 +1157,33 @@ fn serve_table(cfg: &HarnessCfg) {
                 r.p99_ms,
                 r.queue_depth_hwm,
             );
+            json_rows.push(format!(
+                "{{\"model\":\"{}\",\"clients\":{n},\"ok\":{ok},\"failed\":{failed},\"img_per_s\":{},\"mean_batch\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"queue_hwm\":{},\"quantized_convs\":{quantized}}}",
+                kind.name(),
+                jnum(r.images_per_sec()),
+                jnum(r.mean_batch),
+                jnum(r.p50_ms),
+                jnum(r.p95_ms),
+                jnum(r.p99_ms),
+                r.queue_depth_hwm,
+            ));
         }
     }
     println!(
         "\n(one compile + one memory plan per model, shared by every worker's context; \
          mean B > 1 shows the dynamic batcher coalescing under load)"
     );
+    if cfg.json {
+        println!(
+            "{{\"bench\":\"serve\",\"scale\":\"{}\",\"int8\":{},\"batch\":{},\"workers\":{},\"requests\":{},\"rows\":[{}]}}",
+            if cfg.full { "full" } else { "reduced" },
+            cfg.int8,
+            cfg.batch.max(1),
+            cfg.workers.max(1),
+            cfg.requests.max(1),
+            json_rows.join(","),
+        );
+    }
 }
 
 /// Serving-engine harness (`bin/serve`): `--smoke` runs the CI assertions

@@ -30,7 +30,7 @@ use neocpu_search::{
     extract_problem, local_search, solve, CostModel, GlobalCfg, LocalSearchCfg, RankedScheme,
     SchemeDatabase, TimedMeasurer,
 };
-use neocpu_tensor::{Layout, Shape};
+use neocpu_tensor::{DType, Layout, Shape};
 use neocpu_threadpool::{OmpLikePool, Parallelism, Sequential, ThreadPool};
 
 use crate::executor::Module;
@@ -218,6 +218,24 @@ pub fn compile_with_report(
     db: &mut SchemeDatabase,
 ) -> Result<(Module, CompileReport)> {
     let mut report = CompileReport::default();
+    let planned = plan_stage(graph, target, opts, db, &mut report, false)?;
+    let module = finish_module(&planned, target, opts, &mut report)?;
+    Ok((module, report))
+}
+
+/// Runs the front half of the pipeline — simplify, fuse, schedule search,
+/// layout planning — and returns the planned graph with weights still in
+/// their plain `OIHW` form. With `int8` set, each conv's candidate list is
+/// additionally searched under the int8 cost model (see
+/// [`global_search`]); the quantization pass consumes the result.
+pub(crate) fn plan_stage(
+    graph: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    db: &mut SchemeDatabase,
+    report: &mut CompileReport,
+    int8: bool,
+) -> Result<Graph> {
     let simplified = simplify_inference(graph)?;
     let fused = if opts.fuse { fuse_ops(&simplified)? } else { simplified };
 
@@ -231,7 +249,7 @@ pub fn compile_with_report(
         OptLevel::O1 => wrap_convs_with_transforms(&fused, &cfg)?,
         OptLevel::O2 => plan_uniform(&fused, &cfg)?,
         OptLevel::O3 => {
-            let mut schedules = global_search(&fused, target, opts, db, &mut report)?;
+            let mut schedules = global_search(&fused, target, opts, db, report, int8)?;
             // Backstop: nothing unverified may reach layout planning, even
             // if the solver hands back a schedule outside the candidate set.
             for (&id, s) in schedules.iter_mut() {
@@ -250,14 +268,26 @@ pub fn compile_with_report(
             plan_assigned(&fused, &schedules, &cfg)?
         }
     };
-    let pre = precompute_weights(&planned)?;
+    Ok(planned)
+}
+
+/// Runs the back half of the pipeline on a planned graph: weight
+/// pre-transformation, shape/layout/dtype inference, module verification,
+/// and executable module construction.
+pub(crate) fn finish_module(
+    planned: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    report: &mut CompileReport,
+) -> Result<Module> {
+    let pre = precompute_weights(planned)?;
     let shapes = infer_shapes(&pre)?;
     let layouts = infer_layouts(&pre, &shapes)?;
     verify_module(&pre, &shapes, &layouts, target)?;
     let pool = make_pool(opts);
     let module = Module::new(pre, shapes, layouts, pool, target.max_lanes())?;
     report.memory = *module.memory_report();
-    Ok((module, report))
+    Ok(module)
 }
 
 /// Compiles `graph` with a caller-supplied thread pool (used by the
@@ -305,6 +335,21 @@ pub fn load_scheme_db_lenient(path: &Path) -> Result<(SchemeDatabase, Vec<String
     Ok((db, problems.iter().map(ToString::to_string).collect()))
 }
 
+/// Prices candidate schedules with the int8 kernel cost — the dtype axis
+/// of the search. Same candidate space, same transform costs; only the
+/// conv time changes. Wrapping (rather than a second trait method on the
+/// search side) lets [`local_search`] stay dtype-agnostic.
+struct Int8Cost<'a, M: CostModel>(&'a M);
+
+impl<M: CostModel> CostModel for Int8Cost<'_, M> {
+    fn conv_time(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32 {
+        self.0.conv_time_i8(params, schedule)
+    }
+    fn transform_time(&self, c: usize, h: usize, w: usize, from: usize, to: usize) -> f32 {
+        self.0.transform_time(c, h, w, from, to)
+    }
+}
+
 /// Runs the two-stage search and returns per-conv schedules.
 ///
 /// Cached database entries are verified for the current target first;
@@ -314,12 +359,22 @@ pub fn load_scheme_db_lenient(path: &Path) -> Result<(SchemeDatabase, Vec<String
 /// pruning target-infeasible points of the generic candidate space is part
 /// of the search, not a fault. A workload left without any viable scheme
 /// degrades to a synthesized conservative default.
+///
+/// With `int8` set, every conv workload is *additionally* searched under
+/// the int8 cost model (always analytical — [`TimedMeasurer`] only runs
+/// the f32 kernel and its [`CostModel::conv_time_i8`] default reports no
+/// speedup). Int8 candidate lists are cached in `db` under the `d`-suffixed
+/// dtype key, and when a workload's best int8 candidate beats its best f32
+/// candidate, the int8 list is what enters the global solve — the chosen
+/// schedule is then the one the quantization pass will run, not the one
+/// the f32 kernel would prefer.
 fn global_search(
     g: &Graph,
     target: &CpuTarget,
     opts: &CompileOptions,
     db: &mut SchemeDatabase,
     report: &mut CompileReport,
+    int8: bool,
 ) -> Result<HashMap<NodeId, ConvSchedule>> {
     let analytical = target.analytical_model();
     let local_cfg = match opts.search {
@@ -388,6 +443,39 @@ fn global_search(
         // `replace` (not the merging `put`) is load-bearing here: merging
         // would resurrect the very entries verification just rejected.
         db.replace(&tname, params, kept.clone());
+        if int8 {
+            let kept8: Vec<RankedScheme> = match db.get_dtyped(&tname, params, DType::U8) {
+                Some(cached) => cached
+                    .iter()
+                    .cloned()
+                    .filter(|r| match verify_ranked_for_target(params, r, target) {
+                        Ok(()) => true,
+                        Err(reason) => {
+                            report.dropped_schemes.push(DroppedScheme {
+                                node,
+                                params: *params,
+                                schedule: r.schedule,
+                                reason,
+                            });
+                            false
+                        }
+                    })
+                    .collect(),
+                None => local_search(params, &Int8Cost(&analytical), &local_cfg)
+                    .into_iter()
+                    .filter(|r| verify_ranked_for_target(params, r, target).is_ok())
+                    .collect(),
+            };
+            db.replace_dtyped(&tname, params, DType::U8, kept8.clone());
+            // No fallback synthesis on the int8 side: a workload with no
+            // finite int8 candidate (e.g. a 3-channel stem that cannot
+            // quad-pack) simply stays on its f32 list.
+            if let (Some(b8), Some(bf)) = (kept8.first(), kept.first()) {
+                if b8.time < bf.time {
+                    return kept8;
+                }
+            }
+        }
         kept
     };
     let problem = extract_problem(g, &mut ranked, &analytical)?;

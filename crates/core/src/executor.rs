@@ -30,15 +30,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use neocpu_graph::{Graph, Op};
-use neocpu_kernels::conv::{conv2d_nchw_direct, conv2d_nchwc, depthwise_conv2d_nchwc, Epilogue};
+use neocpu_kernels::conv::{
+    conv2d_nchw_direct, conv2d_nchwc, conv2d_nchwc_u8, depthwise_conv2d_nchwc,
+    depthwise_conv2d_nchwc_u8, ConvQuant, Epilogue,
+};
 use neocpu_kernels::elementwise::{
     add, add_assign, batchnorm_fold, concat_channels, relu_inplace, scale_shift,
 };
 use neocpu_kernels::pool2d::{global_avg_pool, pool2d};
+use neocpu_kernels::quantize::{dequantize_slice, f32_slice_as_u8_mut, quantize_slice};
 use neocpu_kernels::{dense, softmax};
 use neocpu_tensor::{
     transform::{to_layout, to_layout_into},
-    Arena, Layout, Shape, Tensor,
+    Arena, DType, Layout, Shape, Tensor,
 };
 use neocpu_threadpool::Parallelism;
 
@@ -124,6 +128,7 @@ pub struct Module {
     graph: Graph,
     shapes: Vec<Shape>,
     layouts: Vec<Layout>,
+    dtypes: Vec<DType>,
     pool: Arc<dyn Parallelism>,
     max_lanes: usize,
     plan: MemoryPlan,
@@ -141,11 +146,13 @@ impl Module {
         pool: Arc<dyn Parallelism>,
         max_lanes: usize,
     ) -> Result<Self> {
-        let plan = plan_memory(&graph, &shapes, &layouts)?;
+        let dtypes = neocpu_graph::infer_dtypes(&graph)?;
+        let plan = plan_memory(&graph, &shapes, &layouts, &dtypes)?;
         Ok(Self {
             graph,
             shapes,
             layouts,
+            dtypes,
             pool,
             max_lanes,
             plan,
@@ -236,11 +243,12 @@ impl Module {
                 // accessed simultaneously occupy disjoint arena ranges
                 // (verified at plan time); in-bounds is re-checked here.
                 unsafe {
-                    Tensor::arena_view(
+                    Tensor::arena_view_dtyped(
                         arena.clone(),
                         self.plan.offsets[id],
                         self.shapes[id].clone(),
                         self.layouts[id],
+                        self.dtypes[id],
                     )
                 }
                 .expect("planned arena view was validated at compile time")
@@ -415,6 +423,8 @@ impl Module {
                 | Op::Concat
                 | Op::Dense { .. }
                 | Op::Softmax
+                | Op::Quantize { .. }
+                | Op::Dequantize { .. }
         ) {
             crate::faults::fire(crate::faults::TENSOR_ALLOC)?;
         }
@@ -449,13 +459,59 @@ impl Module {
                 }
                 out.data_mut().copy_from_slice(t.data());
             }
-            Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
+            Op::Conv2d { params, weight, bias, schedule, relu, residual, quant } => {
                 let x = &before[node.inputs[0]];
                 let res = residual.then(|| &before[node.inputs[1]]);
                 let bias_data = bias.map(|b| g.params[b].data());
                 let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
-                match schedule {
-                    Some(s) => {
+                match (schedule, quant) {
+                    (Some(s), Some(q)) => {
+                        // SAFETY: as below; the planner reserved the region
+                        // in u8 elements for a quantized conv's input, so
+                        // reinterpret the f32 slots and trim to exact size.
+                        let scratch = self.plan.scratch[id].map(|(off, len)| {
+                            let slots = DType::U8.slots(len);
+                            let raw = unsafe { arena.slice_mut(off, slots) };
+                            &mut f32_slice_as_u8_mut(raw)[..len]
+                        });
+                        let cq = ConvQuant {
+                            mult: g.params[q.mult].data(),
+                            zero_point: q.in_zp,
+                        };
+                        if params.groups > 1 {
+                            depthwise_conv2d_nchwc_u8(
+                                x,
+                                &g.params[*weight],
+                                out,
+                                params,
+                                s,
+                                &cq,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                scratch,
+                            )?;
+                        } else {
+                            conv2d_nchwc_u8(
+                                x,
+                                &g.params[*weight],
+                                out,
+                                params,
+                                s,
+                                &cq,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                scratch,
+                            )?;
+                        }
+                    }
+                    (None, Some(_)) => {
+                        return Err(NeoError::Internal(
+                            "quantized conv without a schedule".into(),
+                        ));
+                    }
+                    (Some(s), None) => {
                         // SAFETY: the scratch region is live only at this
                         // node, so it overlaps no value view accessed here
                         // (planner invariant, verified at compile time).
@@ -487,10 +543,18 @@ impl Module {
                             )?;
                         }
                     }
-                    None => {
+                    (None, None) => {
                         conv2d_nchw_direct(x, &g.params[*weight], out, params, &epi, par)?;
                     }
                 }
+            }
+            Op::Quantize { scale, zero_point } => {
+                let x = &before[node.inputs[0]];
+                quantize_slice(x.data(), out.data_u8_mut(), *scale, *zero_point);
+            }
+            Op::Dequantize { scale, zero_point } => {
+                let x = &before[node.inputs[0]];
+                dequantize_slice(x.data_u8(), out.data_mut(), *scale, *zero_point);
             }
             Op::ScaleShift { scale, shift } => {
                 let x = &before[node.inputs[0]];
@@ -587,6 +651,23 @@ impl Module {
     ///
     /// As [`Module::run`].
     pub fn run_reference(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.run_reference_probe(inputs, &mut |_, _| {})
+    }
+
+    /// [`Module::run_reference`] with a per-node observation hook: `probe`
+    /// is called with each node's id and freshly computed value, in
+    /// execution order. This is how int8 calibration sees every conv input
+    /// without the interpreter retaining the whole value table for the
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// As [`Module::run_reference`].
+    pub fn run_reference_probe(
+        &self,
+        inputs: &[Tensor],
+        probe: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Vec<Tensor>> {
         let g = &self.graph;
         let mut values: Vec<Option<Tensor>> = vec![None; g.len()];
         let mut next_input = 0usize;
@@ -613,6 +694,7 @@ impl Module {
                     })
                 }
             };
+            probe(id, &out);
             values[id] = Some(out);
         }
 
@@ -637,7 +719,7 @@ impl Module {
     /// uninitialized, because every kernel writes its output in full.
     fn alloc(&self, id: usize) -> Result<Tensor> {
         crate::faults::fire(crate::faults::TENSOR_ALLOC)?;
-        Ok(Tensor::uninit(self.shapes[id].clone(), self.layouts[id])?)
+        Ok(Tensor::uninit_dtyped(self.shapes[id].clone(), self.layouts[id], self.dtypes[id])?)
     }
 
     /// Executes one node of the reference interpreter.
@@ -683,14 +765,52 @@ impl Module {
                 }
                 t.clone()
             }
-            Op::Conv2d { params, weight, bias, schedule, relu, residual } => {
+            Op::Conv2d { params, weight, bias, schedule, relu, residual, quant } => {
                 let x = value(node.inputs[0])?;
                 let res = if *residual { Some(value(node.inputs[1])?) } else { None };
                 let bias_data = bias.map(|b| g.params[b].data());
                 let epi = Epilogue { bias: bias_data, relu: *relu, residual: res };
                 let mut out = self.alloc(id)?;
-                match schedule {
-                    Some(s) if params.groups > 1 => {
+                match (schedule, quant) {
+                    (Some(s), Some(q)) => {
+                        let cq = ConvQuant {
+                            mult: g.params[q.mult].data(),
+                            zero_point: q.in_zp,
+                        };
+                        if params.groups > 1 {
+                            depthwise_conv2d_nchwc_u8(
+                                x,
+                                &g.params[*weight],
+                                &mut out,
+                                params,
+                                s,
+                                &cq,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                None,
+                            )?;
+                        } else {
+                            conv2d_nchwc_u8(
+                                x,
+                                &g.params[*weight],
+                                &mut out,
+                                params,
+                                s,
+                                &cq,
+                                &epi,
+                                par,
+                                self.max_lanes,
+                                None,
+                            )?;
+                        }
+                    }
+                    (None, Some(_)) => {
+                        return Err(NeoError::Internal(
+                            "quantized conv without a schedule".into(),
+                        ));
+                    }
+                    (Some(s), None) if params.groups > 1 => {
                         depthwise_conv2d_nchwc(
                             x,
                             &g.params[*weight],
@@ -703,7 +823,7 @@ impl Module {
                             None,
                         )?;
                     }
-                    Some(s) => {
+                    (Some(s), None) => {
                         conv2d_nchwc(
                             x,
                             &g.params[*weight],
@@ -716,10 +836,22 @@ impl Module {
                             None,
                         )?;
                     }
-                    None => {
+                    (None, None) => {
                         conv2d_nchw_direct(x, &g.params[*weight], &mut out, params, &epi, par)?;
                     }
                 }
+                out
+            }
+            Op::Quantize { scale, zero_point } => {
+                let x = value(node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                quantize_slice(x.data(), out.data_u8_mut(), *scale, *zero_point);
+                out
+            }
+            Op::Dequantize { scale, zero_point } => {
+                let x = value(node.inputs[0])?;
+                let mut out = self.alloc(id)?;
+                dequantize_slice(x.data_u8(), out.data_mut(), *scale, *zero_point);
                 out
             }
             Op::ScaleShift { scale, shift } => {

@@ -42,6 +42,7 @@ mod error;
 mod executor;
 pub mod faults;
 pub mod memory;
+mod quantize;
 pub mod serve;
 mod target;
 
@@ -52,6 +53,10 @@ pub use compile::{
 };
 pub use error::NeoError;
 pub use executor::{Module, OpProfile, RunContext};
+pub use quantize::{
+    compile_quantized, compile_quantized_with_db, QuantizeOptions, QuantizeReport,
+    DEFAULT_INT8_ERROR_BUDGET,
+};
 pub use memory::MemoryReport;
 pub use serve::{EngineHealth, Request, ServeEngine, ServeOptions, ServeReport, ShedPolicy};
 pub use target::{CpuTarget, IsaKind};

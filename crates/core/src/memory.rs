@@ -25,7 +25,7 @@
 
 use neocpu_graph::{Graph, Op};
 use neocpu_kernels::padded_input_len;
-use neocpu_tensor::{Layout, Shape};
+use neocpu_tensor::{DType, Layout, Shape};
 
 use crate::{NeoError, Result};
 
@@ -207,6 +207,7 @@ pub(crate) fn plan_memory(
     g: &Graph,
     shapes: &[Shape],
     layouts: &[Layout],
+    dtypes: &[DType],
 ) -> Result<MemoryPlan> {
     let n = g.len();
 
@@ -221,7 +222,13 @@ pub(crate) fn plan_memory(
         last_use[o] = usize::MAX;
     }
 
-    let sizes: Vec<usize> = shapes.iter().map(|s| align_up(s.num_elements())).collect();
+    // Region sizes in arena slots (f32 quanta): byte-width-aware, so a u8
+    // value occupies a quarter of the slots its f32 twin would.
+    let sizes: Vec<usize> = shapes
+        .iter()
+        .zip(dtypes)
+        .map(|(s, dt)| align_up(dt.slots(s.num_elements())))
+        .collect();
 
     // Slot merging: alias and in-place decisions.
     let mut slots = Slots::new(n);
@@ -309,7 +316,9 @@ pub(crate) fn plan_memory(
             let batch = shapes[node.inputs[0]].dims().first().copied().unwrap_or(1);
             let len = padded_input_len(params, s.ic_bn, batch);
             if len > 0 {
-                let aligned = align_up(len);
+                // A quantized conv pads u8 elements; the reservation is in
+                // arena slots either way.
+                let aligned = align_up(dtypes[node.inputs[0]].slots(len));
                 scratch_reqs.push((id, ranges.len()));
                 ranges.push(LiveRange { start: id, end: id, len: aligned });
                 scratch_bytes += aligned * 4;
@@ -359,7 +368,8 @@ pub(crate) fn plan_memory(
     }
     let _ = layouts; // layouts participate via shapes; kept for signature symmetry
 
-    let naive_bytes: usize = shapes.iter().map(|s| s.num_elements() * 4).sum();
+    let naive_bytes: usize =
+        shapes.iter().zip(dtypes).map(|(s, dt)| s.num_elements() * dt.size_bytes()).sum();
     // Batch from the first graph input: every context built from this plan
     // serves that many images per run, which the report surfaces so a
     // context pool's memory bill is `pool_bytes(workers)`.

@@ -1,0 +1,515 @@
+//! Post-training int8 quantization (compile-time pass).
+//!
+//! The int8 path replaces eligible scheduled convolutions with their
+//! `u8 × i8 → i32` quad-packed kernels:
+//!
+//! 1. **Calibration** — the planned graph is compiled to an f32 module and
+//!    run over calibration inputs with a probe that records the min/max of
+//!    every quantized conv's input tensor. Activation scale and zero point
+//!    come from that range (asymmetric, zero always representable).
+//! 2. **Rewrite** — each eligible conv gets a memoized [`Op::Quantize`]
+//!    node spliced onto its data input, its weights re-packed to symmetric
+//!    per-out-channel i8 ([`Layout `]`::OihwIo4` dense, `OIHW1i[x]o`
+//!    depthwise), its bias folded with the compile-time zero-point
+//!    correction `bias − m·zp·Σw_q`, and a per-out-channel multiplier
+//!    parameter `m[oc] = s_in · s_w[oc]` attached via
+//!    [`QuantInfo`]. Eligibility is the kernel's quad-packing rule plus an
+//!    analytical profit test, so 3-channel stems and other
+//!    vectorization-hostile workloads stay f32 per layer.
+//! 3. **Accuracy gate** — the quantized module's outputs are compared to
+//!    the f32 module's on the calibration set; if the max abs error
+//!    exceeds the budget, compilation *falls back to the f32 module* and
+//!    reports it, instead of shipping a module that fails accuracy.
+//!
+//! The whole pass is per-layer: a model compiles into a mix of int8 and
+//! f32 convs, with dtype chosen per workload by the same search that
+//! chooses blocking factors (see `plan_stage` with `int8 = true`).
+
+use std::collections::HashMap;
+
+use neocpu_graph::{Graph, Node, NodeId, Op, QuantInfo};
+use neocpu_kernels::quantize::{quantize_dense_weights, quantize_dw_weights, QuantizedWeights};
+use neocpu_search::{CostModel, SchemeDatabase};
+use neocpu_tensor::{Layout, Tensor};
+
+use crate::compile::{finish_module, plan_stage, CompileOptions, CompileReport};
+use crate::executor::Module;
+use crate::target::CpuTarget;
+use crate::{NeoError, Result};
+
+/// Default whole-model max-abs-error budget for the int8 accuracy gate,
+/// measured against the f32 module's outputs on the calibration set.
+///
+/// Classification heads end in softmax, so outputs are probabilities and
+/// an absolute tolerance is meaningful across models; feature-map outputs
+/// of headless graphs are noisier, and callers with such graphs should set
+/// their own budget in [`QuantizeOptions`].
+pub const DEFAULT_INT8_ERROR_BUDGET: f32 = 0.05;
+
+/// Options for [`compile_quantized`].
+#[derive(Debug, Clone)]
+pub struct QuantizeOptions {
+    /// Max abs error allowed between quantized and f32 outputs on the
+    /// calibration set before the compile falls back to f32.
+    pub error_budget: f32,
+    /// Calibration input sets (one `Vec<Tensor>` per inference). Empty
+    /// means "generate [`QuantizeOptions::auto_runs`] deterministic random
+    /// sets from the graph's input shapes".
+    pub calibration: Vec<Vec<Tensor>>,
+    /// Number of auto-generated calibration runs when none are supplied.
+    pub auto_runs: usize,
+    /// Seed for auto-generated calibration inputs.
+    pub seed: u64,
+}
+
+impl Default for QuantizeOptions {
+    fn default() -> Self {
+        Self {
+            error_budget: DEFAULT_INT8_ERROR_BUDGET,
+            calibration: Vec::new(),
+            auto_runs: 2,
+            seed: 0x0ff5e7,
+        }
+    }
+}
+
+/// What the quantization pass did to one compile.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizeReport {
+    /// Scheduled convs now running the int8 kernels.
+    pub quantized: usize,
+    /// Scheduled convs kept on f32 (ineligible or unprofitable).
+    pub skipped: usize,
+    /// Max abs output error vs. the f32 module on the calibration set.
+    pub max_abs_error: f32,
+    /// Whether the accuracy gate rejected the quantized module and the
+    /// returned module is the f32 one.
+    pub fell_back: bool,
+    /// The underlying compile diagnostics (dropped schemes, fallbacks,
+    /// memory plan of the returned module).
+    pub compile: CompileReport,
+}
+
+/// Compiles `graph` with the int8 quantization pass, using a throwaway
+/// scheme database.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a pass fails. An accuracy
+/// budget violation is *not* an error — the f32 module is returned with
+/// [`QuantizeReport::fell_back`] set.
+pub fn compile_quantized(
+    graph: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    qopts: &QuantizeOptions,
+) -> Result<(Module, QuantizeReport)> {
+    let mut db = SchemeDatabase::new();
+    compile_quantized_with_db(graph, target, opts, qopts, &mut db)
+}
+
+/// Compiles `graph` with the int8 quantization pass, reading/writing
+/// schedule candidates (both f32 and `d`-suffixed int8 entries) in `db`.
+///
+/// # Errors
+///
+/// See [`compile_quantized`].
+pub fn compile_quantized_with_db(
+    graph: &Graph,
+    target: &CpuTarget,
+    opts: &CompileOptions,
+    qopts: &QuantizeOptions,
+    db: &mut SchemeDatabase,
+) -> Result<(Module, QuantizeReport)> {
+    let mut report = CompileReport::default();
+    let planned = plan_stage(graph, target, opts, db, &mut report, true)?;
+    let f32_module = finish_module(&planned, target, opts, &mut report)?;
+
+    let calib: Vec<Vec<Tensor>> = if qopts.calibration.is_empty() {
+        auto_calibration(graph, qopts)?
+    } else {
+        qopts.calibration.clone()
+    };
+    if calib.is_empty() {
+        return Err(NeoError::BadInput(
+            "int8 compilation needs at least one calibration input set".into(),
+        ));
+    }
+
+    let stats = calibrate(&f32_module, &planned, &calib)?;
+    let analytical = target.analytical_model();
+    let (qgraph, quantized, skipped) = quantize_planned(&planned, &stats, &analytical)?;
+    let mut qreport =
+        QuantizeReport { quantized, skipped, ..Default::default() };
+    if quantized == 0 {
+        qreport.compile = report;
+        return Ok((f32_module, qreport));
+    }
+
+    let q_module = finish_module(&qgraph, target, opts, &mut report)?;
+
+    // Accuracy gate: quantized vs f32 outputs over the calibration set.
+    let mut max_err = 0f32;
+    for set in &calib {
+        let reference = f32_module.run(set)?;
+        let quant = q_module.run(set)?;
+        for (a, b) in reference.iter().zip(&quant) {
+            max_err = max_err.max(a.max_abs_diff(b));
+        }
+    }
+    qreport.max_abs_error = max_err;
+    if max_err > qopts.error_budget {
+        // `finish_module` recorded the quantized module's memory plan;
+        // re-point the report at the module actually returned.
+        report.memory = *f32_module.memory_report();
+        qreport.fell_back = true;
+        qreport.compile = report;
+        return Ok((f32_module, qreport));
+    }
+    qreport.compile = report;
+    Ok((q_module, qreport))
+}
+
+/// Deterministic random calibration inputs from the graph's input shapes.
+fn auto_calibration(graph: &Graph, qopts: &QuantizeOptions) -> Result<Vec<Vec<Tensor>>> {
+    let shapes: Vec<&Vec<usize>> = graph
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Input { shape } => Some(shape),
+            _ => None,
+        })
+        .collect();
+    let mut runs = Vec::with_capacity(qopts.auto_runs.max(1));
+    for r in 0..qopts.auto_runs.max(1) {
+        let mut set = Vec::with_capacity(shapes.len());
+        for (i, shape) in shapes.iter().enumerate() {
+            let layout = match shape.len() {
+                4 => Layout::Nchw,
+                2 => Layout::Nc,
+                _ => Layout::Flat,
+            };
+            let seed = qopts.seed ^ (r as u64).wrapping_mul(0x9e37_79b9) ^ (i as u64) << 32;
+            let t = Tensor::random(shape.as_slice(), layout, seed, 1.0)
+                .map_err(|e| NeoError::BadInput(format!("calibration input: {e}")))?;
+            set.push(t);
+        }
+        runs.push(set);
+    }
+    Ok(runs)
+}
+
+/// Records per-node (min, max) over the calibration set for every node
+/// feeding a quantization-candidate conv, via the reference interpreter's
+/// probe hook. NaNs are skipped (they quantize to the zero point anyway).
+fn calibrate(
+    module: &Module,
+    planned: &Graph,
+    calib: &[Vec<Tensor>],
+) -> Result<HashMap<NodeId, (f32, f32)>> {
+    let wanted: std::collections::HashSet<NodeId> = planned
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Conv2d { schedule: Some(_), quant: None, .. } => Some(n.inputs[0]),
+            _ => None,
+        })
+        .collect();
+    let mut stats: HashMap<NodeId, (f32, f32)> = HashMap::new();
+    for set in calib {
+        module.run_reference_probe(set, &mut |id, t| {
+            if !wanted.contains(&id) {
+                return;
+            }
+            let entry = stats.entry(id).or_insert((f32::INFINITY, f32::NEG_INFINITY));
+            let n = t.num_elements();
+            for &v in &t.data()[..n] {
+                if v.is_nan() {
+                    continue;
+                }
+                if v < entry.0 {
+                    entry.0 = v;
+                }
+                if v > entry.1 {
+                    entry.1 = v;
+                }
+            }
+        })?;
+    }
+    Ok(stats)
+}
+
+/// Derives the activation quantization parameters from an observed range.
+///
+/// The range is widened to include zero so the zero point is always an
+/// exact u8 code (padding halos and ReLU floors then quantize without
+/// error). A degenerate or non-finite range maps to `(1.0, 0)` — every
+/// value quantizes to the zero point and dequantizes to exactly 0.
+fn activation_qparams(min: f32, max: f32) -> (f32, u8) {
+    let lo = min.min(0.0);
+    let hi = max.max(0.0);
+    let scale = (hi - lo) / 255.0;
+    if !(scale.is_finite() && scale > 0.0) {
+        return (1.0, 0);
+    }
+    let zp = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+    (scale, zp)
+}
+
+/// Rewrites a planned graph onto the int8 path: splices `Quantize` nodes,
+/// re-packs weights, folds biases, attaches [`QuantInfo`]. Returns the new
+/// graph plus (quantized, skipped) conv counts.
+///
+/// Only scheduled convs with calibration stats are considered; each must
+/// pass the analytical profit test (`conv_time_i8 < conv_time`, infinite
+/// for un-quad-packable dense workloads) and its weights must re-pack
+/// cleanly. Everything else is carried over untouched.
+fn quantize_planned(
+    planned: &Graph,
+    stats: &HashMap<NodeId, (f32, f32)>,
+    model: &impl CostModel,
+) -> Result<(Graph, usize, usize)> {
+    let mut out = Graph {
+        nodes: Vec::with_capacity(planned.len()),
+        params: planned.params.clone(),
+        outputs: Vec::new(),
+    };
+    let mut map: Vec<NodeId> = Vec::with_capacity(planned.len());
+    // One Quantize node per (producer, qparams); two convs sharing an input
+    // share its quantized form. Keyed by producer id only — the qparams
+    // derive deterministically from that producer's calibration stats.
+    let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+    let (mut quantized, mut skipped) = (0usize, 0usize);
+
+    for node in &planned.nodes {
+        let new_inputs: Vec<NodeId> = node.inputs.iter().map(|&i| map[i]).collect();
+        let id = match try_quantize_conv(planned, node, &new_inputs, stats, model, &mut out, &mut memo)
+        {
+            Some(op) => {
+                quantized += 1;
+                op
+            }
+            None => {
+                if matches!(&node.op, Op::Conv2d { schedule: Some(_), quant: None, .. }) {
+                    skipped += 1;
+                }
+                out.push(node.op.clone(), new_inputs)
+            }
+        };
+        map.push(id);
+    }
+    out.outputs = planned.outputs.iter().map(|&o| map[o]).collect();
+    Ok((out, quantized, skipped))
+}
+
+/// Attempts the int8 rewrite of one conv node; `None` keeps it f32.
+fn try_quantize_conv(
+    planned: &Graph,
+    node: &Node,
+    new_inputs: &[NodeId],
+    stats: &HashMap<NodeId, (f32, f32)>,
+    model: &impl CostModel,
+    out: &mut Graph,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> Option<NodeId> {
+    let Op::Conv2d { params, weight, bias, schedule: Some(s), relu, residual, quant: None } =
+        &node.op
+    else {
+        return None;
+    };
+    let &(lo, hi) = stats.get(&node.inputs[0])?;
+    // Per-layer dtype decision: the int8 kernel must be analytically
+    // profitable under the schedule the planner assigned. `conv_time_i8`
+    // is infinite for dense workloads whose `ic_bn` cannot quad-pack, so
+    // this test also encodes hard eligibility.
+    let t8 = model.conv_time_i8(params, s);
+    if !t8.is_finite() || t8 >= model.conv_time(params, s) {
+        return None;
+    }
+    let w = &planned.params[*weight];
+    let qw: QuantizedWeights = if params.groups > 1 {
+        quantize_dw_weights(w, s.oc_bn).ok()?
+    } else {
+        quantize_dense_weights(w, s.ic_bn, s.oc_bn).ok()?
+    };
+    let (in_scale, in_zp) = activation_qparams(lo, hi);
+
+    let oc = params.out_channels;
+    let mult: Vec<f32> = qw.scales.iter().map(|&sw| in_scale * sw).collect();
+    // Compile-time zero-point correction: with a zp-filled padding halo the
+    // exact dequantized conv is `m·Σa_q·w_q − m·zp·Σw_q`, so the second
+    // term folds into the bias once, here.
+    let folded: Vec<f32> = (0..oc)
+        .map(|o| {
+            let base = bias.map_or(0.0, |b| planned.params[b].data()[o]);
+            base - mult[o] * f32::from(in_zp) * qw.tap_sums[o] as f32
+        })
+        .collect();
+
+    let qweight = out.push_param(qw.tensor);
+    let qmult = out.push_param(Tensor::from_vec(mult, [oc], Layout::Flat).ok()?);
+    let qbias = out.push_param(Tensor::from_vec(folded, [oc], Layout::Flat).ok()?);
+
+    let producer = node.inputs[0];
+    let quantize_node = *memo.entry(producer).or_insert_with(|| {
+        out.push(Op::Quantize { scale: in_scale, zero_point: in_zp }, vec![new_inputs[0]])
+    });
+    let mut inputs = vec![quantize_node];
+    inputs.extend_from_slice(&new_inputs[1..]);
+    let op = Op::Conv2d {
+        params: *params,
+        weight: qweight,
+        bias: Some(qbias),
+        schedule: Some(*s),
+        relu: *relu,
+        residual: *residual,
+        quant: Some(QuantInfo { in_scale, in_zp, mult: qmult }),
+    };
+    Some(out.push(op, inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, OptLevel};
+    use neocpu_graph::GraphBuilder;
+
+    fn conv_net(channels: usize) -> Graph {
+        let mut b = GraphBuilder::new(41);
+        let x = b.input([1, channels, 12, 12]);
+        let c1 = b.conv_bn_relu(x, 16, 3, 1, 1);
+        let c2 = b.conv_bn_relu(c1, 16, 3, 1, 1);
+        b.finish(vec![c2])
+    }
+
+    #[test]
+    fn activation_qparams_are_sane() {
+        let (s, zp) = activation_qparams(-1.0, 1.0);
+        assert!(s > 0.0 && (zp as i32 - 128).abs() <= 1);
+        // One-sided (post-ReLU) range: zero point lands at 0.
+        let (s, zp) = activation_qparams(0.0, 6.0);
+        assert!(s > 0.0);
+        assert_eq!(zp, 0);
+        // Degenerate and non-finite ranges degrade deterministically.
+        assert_eq!(activation_qparams(0.0, 0.0), (1.0, 0));
+        assert_eq!(activation_qparams(f32::INFINITY, f32::NEG_INFINITY), (1.0, 0));
+    }
+
+    #[test]
+    fn quantized_compile_matches_f32_within_budget() {
+        let g = conv_net(8);
+        let target = CpuTarget::host();
+        let opts = CompileOptions::level(OptLevel::O3);
+        let qopts = QuantizeOptions::default();
+        let (m, report) = compile_quantized(&g, &target, &opts, &qopts).unwrap();
+        assert!(report.quantized >= 1, "no conv quantized: {report:?}");
+        assert!(!report.fell_back, "accuracy gate rejected: {report:?}");
+        assert!(report.max_abs_error <= qopts.error_budget);
+
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 77, 1.0).unwrap();
+        let f = compile(&g, &target, &opts).unwrap();
+        let a = f.run(std::slice::from_ref(&input)).unwrap();
+        let b = m.run(std::slice::from_ref(&input)).unwrap();
+        // Fresh input (not in the calibration set): error stays in the same
+        // regime as the gate's, with slack for out-of-range clipping.
+        assert!(
+            a[0].max_abs_diff(&b[0]) <= 4.0 * qopts.error_budget,
+            "fresh-input error {}",
+            a[0].max_abs_diff(&b[0])
+        );
+    }
+
+    #[test]
+    fn three_channel_stem_stays_f32() {
+        // ic=3 cannot quad-pack: the stem conv must stay f32 while the
+        // following 16-channel conv quantizes — per-layer dtype selection.
+        let g = conv_net(3);
+        let target = CpuTarget::host();
+        let (m, report) = compile_quantized(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O3),
+            &QuantizeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.quantized, 1, "{report:?}");
+        assert_eq!(report.skipped, 1, "{report:?}");
+        let input = Tensor::random([1, 3, 12, 12], Layout::Nchw, 5, 1.0).unwrap();
+        m.run(&[input]).unwrap();
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_f32() {
+        let g = conv_net(8);
+        let target = CpuTarget::host();
+        let qopts = QuantizeOptions { error_budget: 0.0, ..Default::default() };
+        let (m, report) =
+            compile_quantized(&g, &target, &CompileOptions::level(OptLevel::O2), &qopts)
+                .unwrap();
+        assert!(report.fell_back, "a zero budget cannot pass: {report:?}");
+        assert!(report.max_abs_error > 0.0);
+        // The returned module is the f32 one: bit-identical to a plain compile.
+        let input = Tensor::random([1, 8, 12, 12], Layout::Nchw, 9, 1.0).unwrap();
+        let f = compile(&g, &target, &CompileOptions::level(OptLevel::O2)).unwrap();
+        let a = f.run(std::slice::from_ref(&input)).unwrap();
+        let b = m.run(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(a[0].data(), b[0].data());
+    }
+
+    #[test]
+    fn shared_input_convs_share_one_quantize_node() {
+        let mut b = GraphBuilder::new(17);
+        let x = b.input([1, 8, 10, 10]);
+        let stem = b.conv_bn_relu(x, 8, 3, 1, 1);
+        let l = b.conv_bn_relu(stem, 8, 3, 1, 1);
+        let r = b.conv_bn_relu(stem, 8, 3, 1, 1);
+        let y = b.add(l, r);
+        let g = b.finish(vec![y]);
+        let target = CpuTarget::host();
+        let (m, report) = compile_quantized(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O2),
+            &QuantizeOptions::default(),
+        )
+        .unwrap();
+        assert!(report.quantized >= 2, "{report:?}");
+        let quantize_nodes = m
+            .graph()
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Quantize { .. }))
+            .count();
+        assert_eq!(
+            quantize_nodes,
+            report.quantized - 1,
+            "branch convs must share their input's Quantize node"
+        );
+        let input = Tensor::random([1, 8, 10, 10], Layout::Nchw, 3, 1.0).unwrap();
+        m.run(&[input]).unwrap();
+    }
+
+    #[test]
+    fn int8_schemes_land_in_db_under_dtype_key() {
+        use neocpu_tensor::DType;
+        let g = conv_net(8);
+        let target = CpuTarget::host();
+        let mut db = SchemeDatabase::new();
+        let (_, report) = compile_quantized_with_db(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O3),
+            &QuantizeOptions::default(),
+            &mut db,
+        )
+        .unwrap();
+        assert!(report.quantized >= 1);
+        let text = db.to_text();
+        assert!(text.starts_with("neocpu-scheme-db v2"), "missing v2 header:\n{text}");
+        assert!(text.contains("du8"), "missing int8 dtype key:\n{text}");
+        // Reload round-trips, and the u8 entries resolve under the dtype key.
+        let reloaded = SchemeDatabase::from_text(&text).unwrap();
+        let p = neocpu_kernels::conv::Conv2dParams::square(16, 16, 12, 3, 1, 1);
+        assert!(reloaded.get_dtyped(&target.name, &p, DType::U8).is_some());
+    }
+}

@@ -5,7 +5,7 @@
 //! `NCHW[x]c` schedules assigned to the convolutions. The §3.2 operator
 //! taxonomy decides how each node treats its input layout.
 
-use neocpu_tensor::{Layout, Shape};
+use neocpu_tensor::{DType, Layout, Shape};
 
 use crate::ir::{Graph, Op};
 use crate::{GraphError, Result};
@@ -27,7 +27,12 @@ impl LayoutClass {
     /// Classifies an operator.
     pub fn of(op: &Op) -> Self {
         match op {
-            Op::Relu | Op::Dropout | Op::Softmax | Op::Add => Self::Oblivious,
+            Op::Relu
+            | Op::Dropout
+            | Op::Softmax
+            | Op::Add
+            | Op::Quantize { .. }
+            | Op::Dequantize { .. } => Self::Oblivious,
             Op::Conv2d { .. }
             | Op::ScaleShift { .. }
             | Op::BatchNorm { .. }
@@ -121,7 +126,9 @@ pub fn infer_shapes(g: &Graph) -> Result<Vec<Shape>> {
                 }
                 ins[0].clone()
             }
-            Op::Relu | Op::Dropout => ins[0].clone(),
+            Op::Relu | Op::Dropout | Op::Quantize { .. } | Op::Dequantize { .. } => {
+                ins[0].clone()
+            }
             Op::Pool { params, .. } => {
                 let d = ins[0].dims();
                 if ins[0].rank() != 4 {
@@ -254,7 +261,7 @@ pub fn infer_layouts(g: &Graph, shapes: &[Shape]) -> Result<Vec<Layout>> {
                     l => return Err(lerr(id, format!("{} cannot handle {l}", node.op.name()))),
                 }
             }
-            Op::Relu | Op::Dropout => ins[0],
+            Op::Relu | Op::Dropout | Op::Quantize { .. } | Op::Dequantize { .. } => ins[0],
             Op::Add => {
                 if ins[0] != ins[1] {
                     return Err(lerr(id, format!("add layouts {} vs {}", ins[0], ins[1])));
@@ -308,6 +315,73 @@ pub fn infer_layouts(g: &Graph, shapes: &[Shape]) -> Result<Vec<Layout>> {
         layouts.push(layout);
     }
     Ok(layouts)
+}
+
+/// Computes the element type every node produces, validating that each
+/// operator receives the dtype it requires.
+///
+/// The dtype discipline is narrow by design: only `Quantize` produces a
+/// non-f32 edge (`u8`), and the only op that accepts one is a *quantized*
+/// conv (`quant: Some(_)`) or `Dequantize`. Every other operator both
+/// requires and produces f32 — a quantized conv's output is already f32
+/// (the microkernel applies the multiplier on store), so nothing downstream
+/// changes.
+///
+/// # Errors
+///
+/// Returns an error at the first node whose input dtype is unacceptable.
+pub fn infer_dtypes(g: &Graph) -> Result<Vec<DType>> {
+    let mut dtypes: Vec<DType> = Vec::with_capacity(g.len());
+    for (id, node) in g.nodes.iter().enumerate() {
+        let ins: Vec<DType> = node.inputs.iter().map(|&i| dtypes[i]).collect();
+        let require_f32 = |which: usize| -> Result<()> {
+            if ins[which] != DType::F32 {
+                return Err(lerr(
+                    id,
+                    format!("{} requires f32 input, got {}", node.op.name(), ins[which]),
+                ));
+            }
+            Ok(())
+        };
+        let dt = match &node.op {
+            Op::Input { .. } => DType::F32,
+            Op::Quantize { .. } => {
+                require_f32(0)?;
+                DType::U8
+            }
+            Op::Dequantize { .. } => {
+                if ins[0] != DType::U8 {
+                    return Err(lerr(id, format!("dequantize requires u8 input, got {}", ins[0])));
+                }
+                DType::F32
+            }
+            Op::Conv2d { quant, residual, .. } => {
+                match quant {
+                    Some(_) => {
+                        if ins[0] != DType::U8 {
+                            return Err(lerr(
+                                id,
+                                format!("quantized conv requires u8 input, got {}", ins[0]),
+                            ));
+                        }
+                    }
+                    None => require_f32(0)?,
+                }
+                if *residual {
+                    require_f32(1)?;
+                }
+                DType::F32
+            }
+            _ => {
+                for i in 0..ins.len() {
+                    require_f32(i)?;
+                }
+                DType::F32
+            }
+        };
+        dtypes.push(dt);
+    }
+    Ok(dtypes)
 }
 
 #[cfg(test)]
@@ -379,5 +453,76 @@ mod tests {
         let a = b.add(c1, c2);
         let g = b.finish(vec![a]);
         assert!(infer_shapes(&g).is_err());
+    }
+
+    /// Input → Quantize → quantized Conv2d, built by splicing a `Quantize`
+    /// node in front of a builder-made conv.
+    fn quantized_conv_graph() -> Graph {
+        let mut b = GraphBuilder::new(7);
+        let x = b.input([1, 8, 8, 8]);
+        let c = b.conv2d(x, 8, 3, 1, 1);
+        let mut g = b.finish(vec![c]);
+        let mult = g.push_param(
+            neocpu_tensor::Tensor::random([8], Layout::Flat, 1, 0.1).unwrap(),
+        );
+        let q = g.push(Op::Quantize { scale: 0.05, zero_point: 128 }, vec![x]);
+        g.nodes.swap(c, q); // keep topological order: quantize before conv
+        g.nodes[q].inputs = vec![c];
+        if let Op::Conv2d { quant, .. } = &mut g.nodes[q].op {
+            *quant = Some(crate::QuantInfo { in_scale: 0.05, in_zp: 128, mult });
+        }
+        g.outputs = vec![q];
+        g
+    }
+
+    #[test]
+    fn dtypes_through_quantized_conv() {
+        let g = quantized_conv_graph();
+        let dtypes = infer_dtypes(&g).unwrap();
+        assert_eq!(dtypes, vec![DType::F32, DType::U8, DType::F32]);
+    }
+
+    #[test]
+    fn quantized_conv_rejects_f32_input() {
+        let mut g = quantized_conv_graph();
+        // Bypass the quantize node: feed the conv the f32 input directly.
+        g.nodes[2].inputs = vec![0];
+        let err = infer_dtypes(&g).unwrap_err().to_string();
+        assert!(err.contains("u8"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn plain_ops_reject_u8_input() {
+        let mut g = quantized_conv_graph();
+        // Turn the quantized conv back into a plain one: u8 in is now wrong.
+        if let Op::Conv2d { quant, .. } = &mut g.nodes[2].op {
+            *quant = None;
+        }
+        assert!(infer_dtypes(&g).is_err());
+    }
+
+    #[test]
+    fn dequantize_round_trips_dtype() {
+        let mut b = GraphBuilder::new(8);
+        let x = b.input([1, 4, 8, 8]);
+        let g0 = b.finish(vec![x]);
+        let mut g = g0;
+        let q = g.push(Op::Quantize { scale: 0.1, zero_point: 7 }, vec![x]);
+        let d = g.push(Op::Dequantize { scale: 0.1, zero_point: 7 }, vec![q]);
+        g.outputs = vec![d];
+        let dtypes = infer_dtypes(&g).unwrap();
+        assert_eq!(dtypes, vec![DType::F32, DType::U8, DType::F32]);
+        // Dequantize directly on f32 data is a dtype error.
+        g.nodes[d].inputs = vec![x];
+        assert!(infer_dtypes(&g).is_err());
+    }
+
+    #[test]
+    fn quantize_preserves_shape_and_layout() {
+        let g = quantized_conv_graph();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[1].dims(), shapes[0].dims());
+        let layouts = infer_layouts(&g, &shapes).unwrap();
+        assert_eq!(layouts[1], layouts[0]);
     }
 }

@@ -18,6 +18,24 @@ pub type NodeId = usize;
 /// Index of a parameter tensor within its graph.
 pub type ParamId = usize;
 
+/// Compile-time quantization state of a `Conv2d` node.
+///
+/// Set by the quantization pass: the weight parameter has been replaced by
+/// an `i8` quad-packed tensor, the bias by the folded
+/// `bias − m·zp·Σw_q` correction, and `mult` points at the per-output-
+/// channel multiplier `m[oc] = in_scale · s_w[oc]` that maps the integer
+/// accumulator back to f32. The node then requires a `u8` input (produced
+/// by a `Quantize` node) and still produces f32 output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantInfo {
+    /// Activation quantization scale (from calibration).
+    pub in_scale: f32,
+    /// Activation zero point; also the padding halo fill value.
+    pub in_zp: u8,
+    /// Parameter id of the per-out-channel f32 multiplier (`FLAT`).
+    pub mult: ParamId,
+}
+
 /// An operator node.
 ///
 /// Fusion state is carried on the operator itself: a `Conv2d` with
@@ -46,6 +64,25 @@ pub enum Op {
         /// Fused residual add; when set the node has a second input whose
         /// tensor is added before the (optional) ReLU.
         residual: bool,
+        /// Int8 quantization state; `None` is the f32 path. See
+        /// [`QuantInfo`].
+        quant: Option<QuantInfo>,
+    },
+    /// Affine f32 → u8 quantization (`q = clamp(round(x/scale) + zp, 0,
+    /// 255)`; NaN maps to `zp`). Shape- and layout-preserving.
+    Quantize {
+        /// Quantization scale.
+        scale: f32,
+        /// Zero point.
+        zero_point: u8,
+    },
+    /// Inverse of [`Op::Quantize`]: `x = (q − zp)·scale`. Shape- and
+    /// layout-preserving.
+    Dequantize {
+        /// Quantization scale.
+        scale: f32,
+        /// Zero point.
+        zero_point: u8,
     },
     /// Per-channel affine `y = x·scale + shift` (folded BatchNorm).
     ScaleShift {
@@ -123,7 +160,13 @@ impl Op {
     /// against the graph's parameter store.
     pub fn param_ids(&self) -> Vec<ParamId> {
         match self {
-            Op::Conv2d { weight, bias, .. } | Op::Dense { weight, bias, .. } => {
+            Op::Conv2d { weight, bias, quant, .. } => {
+                let mut v = vec![*weight];
+                v.extend(bias.iter().copied());
+                v.extend(quant.iter().map(|q| q.mult));
+                v
+            }
+            Op::Dense { weight, bias, .. } => {
                 let mut v = vec![*weight];
                 v.extend(bias.iter().copied());
                 v
@@ -153,6 +196,8 @@ impl Op {
             Op::Dense { .. } => "dense",
             Op::Softmax => "softmax",
             Op::Dropout => "dropout",
+            Op::Quantize { .. } => "quantize",
+            Op::Dequantize { .. } => "dequantize",
             Op::LayoutTransform { .. } => "layout_transform",
         }
     }

@@ -27,8 +27,8 @@ pub mod passes;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use infer::{infer_layouts, infer_shapes, LayoutClass};
-pub use ir::{Graph, Node, NodeId, Op, ParamId};
+pub use infer::{infer_dtypes, infer_layouts, infer_shapes, LayoutClass};
+pub use ir::{Graph, Node, NodeId, Op, ParamId, QuantInfo};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

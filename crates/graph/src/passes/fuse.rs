@@ -109,7 +109,7 @@ pub fn fuse_ops(g: &Graph) -> Result<Graph> {
             let root = &g.nodes[gr.root];
             let mut inputs: Vec<usize> = root.inputs.iter().map(|&i| remap[i]).collect();
             let op = match &root.op {
-                Op::Conv2d { params, weight, bias, schedule, .. } => {
+                Op::Conv2d { params, weight, bias, schedule, quant, .. } => {
                     if let Some((_, other)) = gr.add {
                         inputs.push(remap[other]);
                     }
@@ -120,6 +120,7 @@ pub fn fuse_ops(g: &Graph) -> Result<Graph> {
                         schedule: *schedule,
                         relu: gr.relu.is_some(),
                         residual: gr.add.is_some(),
+                        quant: *quant,
                     }
                 }
                 Op::Dense { weight, bias, .. } => {

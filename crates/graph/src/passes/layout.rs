@@ -179,6 +179,7 @@ pub fn wrap_convs_with_transforms(g: &Graph, cfg: &UniformPlanCfg) -> Result<Gra
                         schedule: Some(s),
                         relu: *relu,
                         residual: *residual,
+                        quant: None,
                     },
                     conv_inputs,
                 );
@@ -278,7 +279,9 @@ pub fn insert_layout_transforms(g: &Graph) -> Result<Graph> {
                 (ins.clone(), l)
             }
             // Layout-oblivious unary ops.
-            Op::Relu | Op::Dropout => (ins.clone(), layout[ins[0]]),
+            Op::Relu | Op::Dropout | Op::Quantize { .. } | Op::Dequantize { .. } => {
+                (ins.clone(), layout[ins[0]])
+            }
             Op::Add => {
                 // Both operands must share a layout; convert the second to
                 // the first's (Figure 3's Elementwise_Add constraint).

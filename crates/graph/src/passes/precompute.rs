@@ -21,8 +21,16 @@ use crate::Result;
 pub fn precompute_weights(g: &Graph) -> Result<Graph> {
     let mut g = g.clone();
     for id in g.conv_ids() {
-        let Op::Conv2d { params, weight, schedule, .. } = &g.nodes[id].op else { unreachable!() };
+        let Op::Conv2d { params, weight, schedule, quant, .. } = &g.nodes[id].op else {
+            unreachable!()
+        };
         let Some(s) = *schedule else { continue };
+        // Quantized convs already carry i8 weights packed by the quantize
+        // pass (quad-blocked for dense, `OIHW1i[x]o` for depthwise); the
+        // f32 blocking transform neither applies nor preserves their dtype.
+        if quant.is_some() {
+            continue;
+        }
         // Depthwise filters carry a single input channel, so the inner
         // blocking factor is pinned to 1 regardless of the schedule's
         // activation blocking.

@@ -31,14 +31,16 @@ pub mod conv;
 pub mod dense;
 pub mod elementwise;
 pub mod pool2d;
+pub mod quantize;
 pub mod softmax;
 
 mod error;
 mod util;
 
 pub use conv::{
-    conv2d_nchw_direct, conv2d_nchwc, conv2d_nhwc_direct, depthwise_conv2d_nchwc,
-    padded_input_len, Conv2dParams, ConvSchedule, Epilogue,
+    conv2d_nchw_direct, conv2d_nchwc, conv2d_nchwc_u8, conv2d_nhwc_direct,
+    depthwise_conv2d_nchwc, depthwise_conv2d_nchwc_u8, padded_input_len, Conv2dParams,
+    ConvQuant, ConvSchedule, Epilogue,
 };
 pub use error::KernelError;
 

@@ -106,6 +106,15 @@ pub fn zoo() -> Vec<ModelKind> {
     ]
 }
 
+/// Models with a validated int8 deployment path: the bottleneck-heavy
+/// ResNet-50 and the depthwise-separable MobileNet together exercise both
+/// int8 kernel families (quad-packed dense `u8×i8` and the widened
+/// depthwise kernel) plus the per-layer f32 fallback on their 3-channel
+/// stems. The quantized accuracy suite runs every model listed here.
+pub fn quantized_zoo() -> Vec<ModelKind> {
+    vec![ModelKind::ResNet50, ModelKind::MobileNet]
+}
+
 /// Workload scaling for a model build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelScale {
@@ -182,6 +191,17 @@ mod tests {
     #[test]
     fn zoo_has_sixteen_models() {
         assert_eq!(zoo().len(), 16);
+    }
+
+    #[test]
+    fn quantized_zoo_is_a_zoo_subset_with_both_conv_families() {
+        let q = quantized_zoo();
+        assert!(!q.is_empty());
+        for kind in &q {
+            assert!(zoo().contains(kind), "{} not in the zoo", kind.name());
+        }
+        // At least one model exercises depthwise int8 kernels.
+        assert!(q.contains(&ModelKind::MobileNet));
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub trait CostModel {
     /// Time for one invocation of `params` under `schedule`.
     fn conv_time(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32;
 
+    /// Time for one invocation under `schedule` with the u8×i8 int8 kernel.
+    ///
+    /// The default forwards to [`CostModel::conv_time`]: a measurer that
+    /// only runs the f32 kernel (like [`TimedMeasurer`]) reports *no* int8
+    /// speedup rather than guessing, so dtype selection driven by such a
+    /// model conservatively keeps f32. [`AnalyticalModel`] overrides this
+    /// with the quad-packed kernel's lane and footprint credits.
+    fn conv_time_i8(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32 {
+        self.conv_time(params, schedule)
+    }
+
     /// Time to transform a `[1, c, h, w]` activation between two channel
     /// blockings (`from == to` is free by definition).
     fn transform_time(&self, c: usize, h: usize, w: usize, from: usize, to: usize) -> f32;
@@ -94,6 +105,37 @@ impl AnalyticalModel {
         let unroll = if s.unroll_ker { 1.05 } else { 1.0 };
         (vec_util * pipe_util * cache_util * unroll).clamp(0.01, 1.05)
     }
+
+    /// Relative efficiency of the u8×i8 quad-packed kernel, on the same
+    /// scale as [`AnalyticalModel::efficiency`] (so values above 1 mean
+    /// faster than f32 peak). The maddubs pairing retires 4 MACs per byte
+    /// lane through a 3-instruction sequence — net ~2× the f32 FMA rate
+    /// when a SIMD strip exists for `oc_bn` — and 1-byte elements shrink
+    /// the L1 working set 4×, easing the penalty on big blocks. The exact
+    /// scalar fallback earns no credit.
+    fn efficiency_i8(&self, p: &Conv2dParams, s: &ConvSchedule) -> f32 {
+        let lanes = self.vec_lanes as f32;
+        let (effective, simd) = if s.oc_bn == 16 && self.vec_lanes >= 16 {
+            (16.0, true)
+        } else if s.oc_bn == 8 && self.vec_lanes >= 8 {
+            (8.0, true)
+        } else {
+            ((lanes / 4.0).max(1.0).min(s.oc_bn as f32), false)
+        };
+        let vec_util = (effective / lanes) * if simd { 2.0 } else { 1.0 };
+        let rn = s.reg_n as f32;
+        let pipe_util = (rn / 8.0).min(1.0) * 0.5 + 0.5 * (rn / 28.0).clamp(0.5, 1.0);
+        let ws = s.ic_bn * s.oc_bn * p.kernel_h * p.kernel_w
+            + s.reg_n * s.ic_bn * p.kernel_h
+            + s.reg_n * s.oc_bn;
+        let cache_util = if ws <= self.l1_bytes {
+            1.0
+        } else {
+            (self.l1_bytes as f32 / ws as f32).max(0.25)
+        };
+        let unroll = if s.unroll_ker { 1.05 } else { 1.0 };
+        (vec_util * pipe_util * cache_util * unroll).clamp(0.01, 2.1)
+    }
 }
 
 impl CostModel for AnalyticalModel {
@@ -112,6 +154,31 @@ impl CostModel for AnalyticalModel {
                     * params.kernel_h
                     * params.kernel_w;
             let mem = (elems * 4) as f32 / self.mem_bytes_per_sec;
+            compute.max(mem)
+        } else {
+            compute
+        }
+    }
+
+    fn conv_time_i8(&self, params: &Conv2dParams, schedule: &ConvSchedule) -> f32 {
+        // The quad-packed kernel consumes input channels four at a time;
+        // schedules whose inner block cannot be quadded (including the
+        // 3-channel stem) are ineligible and must never win the dtype race.
+        if !params.is_depthwise() && !schedule.ic_bn.is_multiple_of(4) {
+            return f32::INFINITY;
+        }
+        let macs = params.macs() as f32;
+        let compute = macs / (self.macs_per_sec * self.efficiency_i8(params, schedule));
+        if params.groups > 1 {
+            // Memory-bound depthwise term with int8 traffic: 1-byte input
+            // and weight elements, f32 (4-byte) output.
+            let elems = params.in_channels * params.in_h * params.in_w
+                + 4 * params.out_channels * params.out_h() * params.out_w()
+                + params.out_channels
+                    * params.in_channels_per_group()
+                    * params.kernel_h
+                    * params.kernel_w;
+            let mem = elems as f32 / self.mem_bytes_per_sec;
             compute.max(mem)
         } else {
             compute
@@ -266,6 +333,43 @@ mod tests {
         // must cost more under the model.
         let dense = Conv2dParams::square(64, 64, 28, 3, 1, 1);
         assert!(m.conv_time(&dense, &s) > t);
+    }
+
+    #[test]
+    fn analytical_int8_beats_f32_on_simd_blocks() {
+        let m = AnalyticalModel::default();
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true };
+        assert!(m.conv_time_i8(&wl(), &s) < m.conv_time(&wl(), &s));
+        // A narrow AVX2-style model still credits the oc_bn == 8 strip.
+        let avx2 = AnalyticalModel { vec_lanes: 8, ..AnalyticalModel::default() };
+        let s8 = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true };
+        assert!(avx2.conv_time_i8(&wl(), &s8) < avx2.conv_time(&wl(), &s8));
+    }
+
+    #[test]
+    fn analytical_int8_rejects_unquaddable_blocks() {
+        let m = AnalyticalModel::default();
+        let p = Conv2dParams::square(6, 64, 28, 3, 1, 1);
+        let s = ConvSchedule { ic_bn: 2, oc_bn: 16, reg_n: 8, unroll_ker: false };
+        assert_eq!(m.conv_time_i8(&p, &s), f32::INFINITY);
+        // Depthwise kernels widen before multiplying and have no quad
+        // constraint.
+        let dw = Conv2dParams::depthwise(64, 28, 3, 1, 1);
+        let sdw = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false };
+        assert!(m.conv_time_i8(&dw, &sdw).is_finite());
+    }
+
+    #[test]
+    fn timed_measurer_reports_no_int8_speedup() {
+        // TimedMeasurer only runs the f32 kernel; its default conv_time_i8
+        // must not fabricate a speedup (it re-measures f32, so the two are
+        // the same operation — equality is not asserted because wall-clock
+        // noise differs between calls).
+        let m = TimedMeasurer { repeats: 1, warmup: 0, max_lanes: usize::MAX };
+        let p = Conv2dParams::square(8, 8, 8, 3, 1, 1);
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let t = m.conv_time_i8(&p, &s);
+        assert!(t > 0.0 && t.is_finite());
     }
 
     #[test]

@@ -25,16 +25,21 @@ use std::io;
 use std::path::Path;
 
 use neocpu_kernels::conv::{Conv2dParams, ConvSchedule};
+use neocpu_tensor::DType;
 
 use crate::local::RankedScheme;
 
-/// A `(target name, workload)` key.
+/// A `(target name, workload, dtype)` key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WorkloadKey {
     /// CPU target name (e.g. `"skylake-avx512"`).
     pub target: String,
     /// The convolution workload.
     pub params: Conv2dParams,
+    /// Activation element type the schemes were tuned for. `F32` keys
+    /// serialize without a suffix, so pre-quantization databases round-trip
+    /// byte-for-byte.
+    pub dtype: DType,
 }
 
 /// Typed failure from parsing or loading a scheme database.
@@ -61,7 +66,10 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::BadHeader { found } => {
-                write!(f, "bad scheme-db header: expected 'neocpu-scheme-db v1', found '{found}'")
+                write!(
+                    f,
+                    "bad scheme-db header: expected 'neocpu-scheme-db v1' or 'v2', found '{found}'"
+                )
             }
             Self::Line { line, reason } => write!(f, "scheme-db line {line}: {reason}"),
             Self::Io(e) => write!(f, "scheme-db i/o error: {e}"),
@@ -99,10 +107,22 @@ impl SchemeDatabase {
         self.entries.is_empty()
     }
 
-    /// Looks up the ranked schemes of a workload.
+    /// Looks up the ranked schemes of an f32 workload.
     pub fn get(&self, target: &str, params: &Conv2dParams) -> Option<&[RankedScheme]> {
+        self.get_dtyped(target, params, DType::F32)
+    }
+
+    /// Looks up the ranked schemes of a workload tuned for `dtype`
+    /// activations. Entries of different dtypes never alias: an int8 scheme
+    /// is only returned for an int8 lookup.
+    pub fn get_dtyped(
+        &self,
+        target: &str,
+        params: &Conv2dParams,
+        dtype: DType,
+    ) -> Option<&[RankedScheme]> {
         self.entries
-            .get(&WorkloadKey { target: target.to_string(), params: *params })
+            .get(&WorkloadKey { target: target.to_string(), params: *params, dtype })
             .map(Vec::as_slice)
     }
 
@@ -116,9 +136,20 @@ impl SchemeDatabase {
     /// [`SchemeDatabase::replace`] when overwrite semantics are wanted
     /// (e.g. purging entries that failed verification).
     pub fn put(&mut self, target: &str, params: &Conv2dParams, schemes: Vec<RankedScheme>) {
+        self.put_dtyped(target, params, DType::F32, schemes);
+    }
+
+    /// Dtype-aware variant of [`SchemeDatabase::put`].
+    pub fn put_dtyped(
+        &mut self,
+        target: &str,
+        params: &Conv2dParams,
+        dtype: DType,
+        schemes: Vec<RankedScheme>,
+    ) {
         let list = self
             .entries
-            .entry(WorkloadKey { target: target.to_string(), params: *params })
+            .entry(WorkloadKey { target: target.to_string(), params: *params, dtype })
             .or_default();
         for s in schemes {
             match list.iter_mut().find(|r| r.schedule == s.schedule) {
@@ -140,7 +171,18 @@ impl SchemeDatabase {
     /// the compiler uses it to purge schemes that failed target
     /// verification, so they never resurface on the next compile.
     pub fn replace(&mut self, target: &str, params: &Conv2dParams, schemes: Vec<RankedScheme>) {
-        let key = WorkloadKey { target: target.to_string(), params: *params };
+        self.replace_dtyped(target, params, DType::F32, schemes);
+    }
+
+    /// Dtype-aware variant of [`SchemeDatabase::replace`].
+    pub fn replace_dtyped(
+        &mut self,
+        target: &str,
+        params: &Conv2dParams,
+        dtype: DType,
+        schemes: Vec<RankedScheme>,
+    ) {
+        let key = WorkloadKey { target: target.to_string(), params: *params, dtype };
         if schemes.is_empty() {
             self.entries.remove(&key);
         } else {
@@ -156,15 +198,29 @@ impl SchemeDatabase {
         compute: impl FnOnce() -> Vec<RankedScheme>,
     ) -> &[RankedScheme] {
         self.entries
-            .entry(WorkloadKey { target: target.to_string(), params: *params })
+            .entry(WorkloadKey {
+                target: target.to_string(),
+                params: *params,
+                dtype: DType::F32,
+            })
             .or_insert_with(compute)
     }
 
     /// Serializes to the text format.
+    ///
+    /// A database holding only f32 workloads writes the v1 header and the
+    /// v1 key format, byte-identical to what earlier releases produced; the
+    /// v2 header appears only once a non-f32 entry (whose key needs the
+    /// `d{dtype}` suffix) exists.
     pub fn to_text(&self) -> String {
-        let mut s = String::from("neocpu-scheme-db v1\n");
+        let v2 = self.entries.keys().any(|k| k.dtype != DType::F32);
+        let mut s =
+            String::from(if v2 { "neocpu-scheme-db v2\n" } else { "neocpu-scheme-db v1\n" });
         let mut keys: Vec<&WorkloadKey> = self.entries.keys().collect();
-        keys.sort_by(|a, b| (&a.target, fmt_params(&a.params)).cmp(&(&b.target, fmt_params(&b.params))));
+        keys.sort_by(|a, b| {
+            (&a.target, fmt_workload(&a.params, a.dtype))
+                .cmp(&(&b.target, fmt_workload(&b.params, b.dtype)))
+        });
         for k in keys {
             for r in &self.entries[k] {
                 let sch = r.schedule;
@@ -172,7 +228,7 @@ impl SchemeDatabase {
                     s,
                     "{} {} {} {} {} {} {:e}",
                     k.target,
-                    fmt_params(&k.params),
+                    fmt_workload(&k.params, k.dtype),
                     sch.ic_bn,
                     sch.oc_bn,
                     sch.reg_n,
@@ -270,7 +326,7 @@ fn parse_into(
 ) -> Result<(), DbError> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
-    if header != "neocpu-scheme-db v1" {
+    if header != "neocpu-scheme-db v1" && header != "neocpu-scheme-db v2" {
         on_err(DbError::BadHeader { found: header.to_string() })?;
     }
     for (no, line) in lines.enumerate() {
@@ -301,8 +357,8 @@ fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
     let mut f = line.split_whitespace();
     let target = f.next().ok_or_else(|| "missing target field".to_string())?.to_string();
     let params_field = f.next().ok_or_else(|| "missing workload field".to_string())?;
-    let params =
-        parse_params(params_field).ok_or_else(|| format!("bad workload '{params_field}'"))?;
+    let (params, dtype) =
+        parse_workload(params_field).ok_or_else(|| format!("bad workload '{params_field}'"))?;
     let nums: Vec<&str> = f.collect();
     if nums.len() != 5 {
         return Err(format!("expected 5 scheme fields, found {}", nums.len()));
@@ -325,15 +381,22 @@ fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
     if !time.is_finite() || time < 0.0 {
         return Err(format!("time {time} is not finite and non-negative"));
     }
-    Ok((WorkloadKey { target, params }, RankedScheme { schedule, time }))
+    Ok((WorkloadKey { target, params, dtype }, RankedScheme { schedule, time }))
 }
 
-fn fmt_params(p: &Conv2dParams) -> String {
-    // The `g{groups}` suffix is omitted for dense convs, keeping the v1
-    // format byte-identical for every pre-depthwise database on disk.
+/// Formats a workload key:
+/// `ICxOCxHxWkKHxKWsSHxSWpPHxPW[gG][dDTYPE]`.
+///
+/// This is the single definition of the key grammar — [`parse_workload`] is
+/// its exact inverse, and both `put` and `get` key through the same
+/// [`WorkloadKey`] it round-trips. Both optional suffixes are omitted at
+/// their defaults (`groups == 1`, `dtype == f32`), keeping dense-f32 keys
+/// byte-identical to the v1 format on disk.
+fn fmt_workload(p: &Conv2dParams, dtype: DType) -> String {
     let groups = if p.groups > 1 { format!("g{}", p.groups) } else { String::new() };
+    let dt = if dtype != DType::F32 { format!("d{dtype}") } else { String::new() };
     format!(
-        "{}x{}x{}x{}k{}x{}s{}x{}p{}x{}{}",
+        "{}x{}x{}x{}k{}x{}s{}x{}p{}x{}{}{}",
         p.in_channels,
         p.out_channels,
         p.in_h,
@@ -344,17 +407,22 @@ fn fmt_params(p: &Conv2dParams) -> String {
         p.stride_w,
         p.pad_h,
         p.pad_w,
-        groups
+        groups,
+        dt
     )
 }
 
-fn parse_params(s: &str) -> Option<Conv2dParams> {
-    // Format: IC x OC x H x W k KH x KW s SH x SW p PH x PW [g G].
-    // The groups suffix is optional (absent means 1), so old database
-    // files parse unchanged.
+/// Inverse of [`fmt_workload`]. Both suffixes are optional (absent means
+/// `groups == 1` / f32), so v1 files and PR-4-era `g{groups}` files parse
+/// unchanged.
+fn parse_workload(s: &str) -> Option<(Conv2dParams, DType)> {
     let (chans, rest) = s.split_once('k')?;
     let (kern, rest) = rest.split_once('s')?;
     let (stride, rest) = rest.split_once('p')?;
+    let (rest, dtype) = match rest.split_once('d') {
+        Some((rest, dt)) => (rest, dt.parse::<DType>().ok()?),
+        None => (rest, DType::F32),
+    };
     let (pad, groups) = match rest.split_once('g') {
         Some((pad, g)) => (pad, g.parse::<usize>().ok().filter(|&g| g > 0)?),
         None => (rest, 1),
@@ -366,7 +434,7 @@ fn parse_params(s: &str) -> Option<Conv2dParams> {
     if c.len() != 4 || k.len() != 2 || st.len() != 2 || pd.len() != 2 {
         return None;
     }
-    Some(Conv2dParams {
+    let params = Conv2dParams {
         in_channels: c[0],
         out_channels: c[1],
         in_h: c[2],
@@ -378,7 +446,8 @@ fn parse_params(s: &str) -> Option<Conv2dParams> {
         pad_h: pd[0],
         pad_w: pd[1],
         groups,
-    })
+    };
+    Some((params, dtype))
 }
 
 #[cfg(test)]
@@ -437,6 +506,87 @@ mod tests {
         let mut db2 = SchemeDatabase::new();
         db2.put("host", &pd, sd);
         assert!(!db2.to_text().contains('g'));
+    }
+
+    #[test]
+    fn int8_keys_round_trip_with_dtype_suffix() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put_dtyped("host", &p, DType::U8, schemes.clone());
+        let text = db.to_text();
+        assert!(text.starts_with("neocpu-scheme-db v2\n"), "int8 db must be v2: {text}");
+        assert!(text.contains("du8"), "int8 key missing dtype suffix: {text}");
+        let back = SchemeDatabase::from_text(&text).unwrap();
+        let got = back.get_dtyped("host", &p, DType::U8).unwrap();
+        assert_eq!(got[0].schedule, schemes[0].schedule);
+        // Same workload, different dtype: distinct keys, no aliasing.
+        assert!(back.get("host", &p).is_none());
+        assert!(back.get_dtyped("host", &p, DType::F32).is_none());
+    }
+
+    #[test]
+    fn depthwise_int8_keys_stack_both_suffixes() {
+        let p = Conv2dParams::depthwise(64, 28, 3, 1, 1);
+        let schemes = vec![RankedScheme {
+            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+            time: 3.0e-5,
+        }];
+        let mut db = SchemeDatabase::new();
+        db.put_dtyped("host", &p, DType::U8, schemes.clone());
+        let text = db.to_text();
+        assert!(text.contains("g64du8"), "expected g then d suffix order: {text}");
+        let back = SchemeDatabase::from_text(&text).unwrap();
+        assert_eq!(back.get_dtyped("host", &p, DType::U8).unwrap()[0].schedule, schemes[0].schedule);
+    }
+
+    #[test]
+    fn f32_only_db_keeps_v1_format() {
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes);
+        let text = db.to_text();
+        assert!(text.starts_with("neocpu-scheme-db v1\n"));
+        // 'd' appears in the header's "db"; only data lines must be clean.
+        assert!(
+            text.lines().skip(1).all(|l| !l.contains('d')),
+            "f32 keys must stay suffix-free: {text}"
+        );
+    }
+
+    #[test]
+    fn loads_v1_and_pr4_era_files() {
+        // A v1 file predating both the groups and dtype suffixes, plus a
+        // PR-4-era row carrying only the `g{groups}` suffix: both must load
+        // and answer f32 lookups through old and new entry points alike.
+        let text = "neocpu-scheme-db v1\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1.25e-4\n\
+            host 64x64x28x28k3x3s1x1p1x1g64 16 16 8 0 3e-5\n";
+        let db = SchemeDatabase::from_text(text).unwrap();
+        let dense = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        let dw = Conv2dParams::depthwise(64, 28, 3, 1, 1);
+        assert!(db.get("host", &dense).is_some());
+        assert_eq!(
+            db.get("host", &dense).unwrap()[0].schedule,
+            db.get_dtyped("host", &dense, DType::F32).unwrap()[0].schedule
+        );
+        assert!(db.get("host", &dw).is_some());
+        // Round-tripping a file with no non-f32 entries keeps the v1 header.
+        assert_eq!(db.to_text(), text);
+    }
+
+    #[test]
+    fn v2_header_without_int8_rows_still_parses() {
+        let text = "neocpu-scheme-db v2\nhost 64x128x28x28k3x3s1x1p1x1 16 16 8 1 1e-4\n";
+        let db = SchemeDatabase::from_text(text).unwrap();
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        assert!(db.get("host", &p).is_some());
+    }
+
+    #[test]
+    fn rejects_bad_dtype_suffix() {
+        let text = "neocpu-scheme-db v2\nhost 64x128x28x28k3x3s1x1p1x1df16 16 16 8 1 1e-4\n";
+        let err = SchemeDatabase::from_text(text).unwrap_err();
+        assert!(matches!(err, DbError::Line { line: 2, .. }), "got {err:?}");
     }
 
     #[test]

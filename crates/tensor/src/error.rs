@@ -40,8 +40,17 @@ pub enum TensorError {
     },
     /// A layout string could not be parsed.
     ParseLayout(String),
+    /// A dtype string could not be parsed.
+    ParseDType(String),
     /// Two tensors that must agree in shape do not.
     ShapeMismatch(String),
+    /// The operation expected a tensor of one element type but got another.
+    DTypeMismatch {
+        /// DType the operation requires.
+        expected: crate::DType,
+        /// DType the tensor actually has.
+        actual: crate::DType,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -60,7 +69,11 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected}, got {actual}")
             }
             Self::ParseLayout(s) => write!(f, "cannot parse layout string {s:?}"),
+            Self::ParseDType(s) => write!(f, "cannot parse dtype string {s:?}"),
             Self::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            Self::DTypeMismatch { expected, actual } => {
+                write!(f, "expected dtype {expected}, got {actual}")
+            }
         }
     }
 }

@@ -32,6 +32,16 @@ pub enum Layout {
         /// Output-channel block size (the paper's `y`).
         o: usize,
     },
+    /// Quad-packed int8 convolution weights: physically
+    /// `[O/o, I/i, H, W, i/4, o, 4]` — four consecutive input channels sit
+    /// innermost so a `maddubs`-style kernel loads `o × 4` contiguous bytes
+    /// per tap. Requires `i % 4 == 0`.
+    OihwIo4 {
+        /// Input-channel block size (must be a multiple of 4).
+        i: usize,
+        /// Output-channel block size.
+        o: usize,
+    },
     /// Rank-2 activations (batch, feature) for dense layers.
     Nc,
     /// Rank-2 dense weights (out-feature, in-feature).
@@ -44,7 +54,12 @@ impl Layout {
     /// Logical rank of tensors carried in this layout.
     pub fn logical_rank(&self) -> usize {
         match self {
-            Self::Nchw | Self::Nhwc | Self::NchwC(_) | Self::Oihw | Self::OihwIo { .. } => 4,
+            Self::Nchw
+            | Self::Nhwc
+            | Self::NchwC(_)
+            | Self::Oihw
+            | Self::OihwIo { .. }
+            | Self::OihwIo4 { .. } => 4,
             Self::Nc | Self::Oi => 2,
             Self::Flat => 1,
         }
@@ -104,6 +119,23 @@ impl Layout {
                 }
                 Ok(vec![d[0] / o, d[1] / i, d[2], d[3], i, o])
             }
+            Self::OihwIo4 { i, o } => {
+                if o == 0 || !d[0].is_multiple_of(o) {
+                    return Err(TensorError::NotDivisible {
+                        dim: "out_channel",
+                        size: d[0],
+                        block: o,
+                    });
+                }
+                if i == 0 || !i.is_multiple_of(4) || !d[1].is_multiple_of(i) {
+                    return Err(TensorError::NotDivisible {
+                        dim: "in_channel",
+                        size: d[1],
+                        block: i,
+                    });
+                }
+                Ok(vec![d[0] / o, d[1] / i, d[2], d[3], i / 4, o, 4])
+            }
             Self::Nc | Self::Oi | Self::Flat => Ok(d.to_vec()),
         }
     }
@@ -137,6 +169,16 @@ impl Layout {
                 let (ico, ici) = (ic / i, ic % i);
                 ((((oco * (d[1] / i) + ico) * d[2] + kh) * d[3] + kw) * i + ici) * o + oci
             }
+            Self::OihwIo4 { i, o } => {
+                let (oc, ic, kh, kw) = (idx[0], idx[1], idx[2], idx[3]);
+                let (oco, oci) = (oc / o, oc % o);
+                let (ico, ici) = (ic / i, ic % i);
+                let (quad, lane) = (ici / 4, ici % 4);
+                (((((oco * (d[1] / i) + ico) * d[2] + kh) * d[3] + kw) * (i / 4) + quad) * o
+                    + oci)
+                    * 4
+                    + lane
+            }
         }
     }
 }
@@ -149,6 +191,7 @@ impl fmt::Display for Layout {
             Self::NchwC(x) => write!(f, "NCHW{x}c"),
             Self::Oihw => write!(f, "OIHW"),
             Self::OihwIo { i, o } => write!(f, "OIHW{i}i{o}o"),
+            Self::OihwIo4 { i, o } => write!(f, "OIHW{i}i{o}oq4"),
             Self::Nc => write!(f, "NC"),
             Self::Oi => write!(f, "OI"),
             Self::Flat => write!(f, "FLAT"),
@@ -179,12 +222,21 @@ impl FromStr for Layout {
             return Ok(Self::NchwC(x));
         }
         if let Some(rest) = s.strip_prefix("OIHW") {
-            let body = rest.strip_suffix('o').ok_or_else(err)?;
+            let (body, quad) = match rest.strip_suffix("oq4") {
+                Some(b) => (b, true),
+                None => (rest.strip_suffix('o').ok_or_else(err)?, false),
+            };
             let (i_str, o_str) = body.split_once('i').ok_or_else(err)?;
             let i: usize = i_str.parse().map_err(|_| err())?;
             let o: usize = o_str.parse().map_err(|_| err())?;
             if i == 0 || o == 0 {
                 return Err(err());
+            }
+            if quad {
+                if !i.is_multiple_of(4) {
+                    return Err(err());
+                }
+                return Ok(Self::OihwIo4 { i, o });
             }
             return Ok(Self::OihwIo { i, o });
         }
@@ -206,6 +258,8 @@ mod tests {
             Layout::Oihw,
             Layout::OihwIo { i: 16, o: 16 },
             Layout::OihwIo { i: 8, o: 4 },
+            Layout::OihwIo4 { i: 16, o: 16 },
+            Layout::OihwIo4 { i: 8, o: 8 },
             Layout::Nc,
             Layout::Oi,
             Layout::Flat,
@@ -246,6 +300,40 @@ mod tests {
     fn physical_dims_rejects_indivisible() {
         let s = Shape::from([1, 30, 5, 5]);
         assert!(Layout::NchwC(16).physical_dims(&s).is_err());
+    }
+
+    #[test]
+    fn quad_packed_offsets_are_a_permutation() {
+        let s = Shape::from([16, 8, 2, 2]);
+        let l = Layout::OihwIo4 { i: 8, o: 8 };
+        assert_eq!(l.physical_dims(&s).unwrap(), vec![2, 1, 2, 2, 2, 8, 4]);
+        let n = s.num_elements();
+        let mut seen = vec![false; n];
+        for oc in 0..16 {
+            for ic in 0..8 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        let off = l.offset(&s, &[oc, ic, h, w]);
+                        assert!(!seen[off], "duplicate offset {off}");
+                        seen[off] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+        // Four consecutive input channels of one (oc, tap) are adjacent.
+        let base = l.offset(&s, &[3, 4, 1, 0]);
+        for lane in 1..4 {
+            assert_eq!(l.offset(&s, &[3, 4 + lane, 1, 0]), base + lane);
+        }
+    }
+
+    #[test]
+    fn quad_packed_requires_divisible_quads() {
+        // i must be a multiple of 4.
+        let s = Shape::from([8, 6, 1, 1]);
+        assert!(Layout::OihwIo4 { i: 6, o: 8 }.physical_dims(&s).is_err());
+        assert!("OIHW6i8oq4".parse::<Layout>().is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 mod aligned;
 mod arena;
+mod dtype;
 mod error;
 mod layout;
 mod shape;
@@ -24,6 +25,7 @@ pub mod transform;
 
 pub use aligned::AlignedBuf;
 pub use arena::Arena;
+pub use dtype::DType;
 pub use error::TensorError;
 pub use layout::Layout;
 pub use shape::Shape;

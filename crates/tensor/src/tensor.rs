@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AlignedBuf, Arena, Layout, Shape, TensorError};
+use crate::{AlignedBuf, Arena, DType, Layout, Shape, TensorError};
 
 /// Physical storage behind a [`Tensor`]: an owned aligned buffer, or a
 /// planned view into a shared execution [`Arena`].
@@ -35,9 +35,16 @@ enum Storage {
 /// shared execution [`Arena`] (see [`Tensor::arena_view`]); the distinction
 /// is invisible to kernels, which only see `data()`/`data_mut()` slices.
 /// Cloning always detaches: the clone owns a fresh copy of the data.
+///
+/// Storage is always counted in 4-byte `f32` slots; a non-`f32` tensor
+/// (see [`DType`]) occupies `DType::slots(n)` slots and reinterprets the
+/// bytes through the typed accessors ([`Tensor::data_u8`],
+/// [`Tensor::data_i8`], [`Tensor::data_i32`]). That keeps the arena, the
+/// planner, and the alignment guarantees dtype-oblivious.
 pub struct Tensor {
     shape: Shape,
     layout: Layout,
+    dtype: DType,
     buf: Storage,
 }
 
@@ -49,10 +56,24 @@ impl Tensor {
     /// Returns an error if the shape is incompatible with the layout (wrong
     /// rank, or a blocked dimension not divisible by the block size).
     pub fn zeros(shape: impl Into<Shape>, layout: Layout) -> Result<Self, TensorError> {
+        Self::zeros_dtyped(shape, layout, DType::F32)
+    }
+
+    /// Creates a zero-filled tensor of the given element type (all-zero
+    /// bytes are the zero value of every supported dtype).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout.
+    pub fn zeros_dtyped(
+        shape: impl Into<Shape>,
+        layout: Layout,
+        dtype: DType,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         layout.physical_dims(&shape)?;
-        let buf = AlignedBuf::zeroed(shape.num_elements());
-        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
+        let buf = AlignedBuf::zeroed(dtype.slots(shape.num_elements()));
+        Ok(Self { shape, layout, dtype, buf: Storage::Owned(buf) })
     }
 
     /// Creates a tensor whose contents are **unspecified** (no memset).
@@ -67,10 +88,23 @@ impl Tensor {
     ///
     /// Returns an error if the shape is incompatible with the layout.
     pub fn uninit(shape: impl Into<Shape>, layout: Layout) -> Result<Self, TensorError> {
+        Self::uninit_dtyped(shape, layout, DType::F32)
+    }
+
+    /// [`Tensor::uninit`] for an arbitrary element type.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout.
+    pub fn uninit_dtyped(
+        shape: impl Into<Shape>,
+        layout: Layout,
+        dtype: DType,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         layout.physical_dims(&shape)?;
-        let buf = AlignedBuf::uninit(shape.num_elements());
-        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
+        let buf = AlignedBuf::uninit(dtype.slots(shape.num_elements()));
+        Ok(Self { shape, layout, dtype, buf: Storage::Owned(buf) })
     }
 
     /// Creates a tensor viewing `shape.num_elements()` elements of `arena`
@@ -99,16 +133,38 @@ impl Tensor {
         shape: impl Into<Shape>,
         layout: Layout,
     ) -> Result<Self, TensorError> {
+        // SAFETY: forwarded caller contract.
+        unsafe { Self::arena_view_dtyped(arena, offset, shape, layout, DType::F32) }
+    }
+
+    /// [`Tensor::arena_view`] for an arbitrary element type; the view spans
+    /// `DType::slots(num_elements)` arena slots.
+    ///
+    /// # Safety
+    ///
+    /// As [`Tensor::arena_view`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the layout or the
+    /// range does not fit in the arena.
+    pub unsafe fn arena_view_dtyped(
+        arena: Arc<Arena>,
+        offset: usize,
+        shape: impl Into<Shape>,
+        layout: Layout,
+        dtype: DType,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         layout.physical_dims(&shape)?;
-        let len = shape.num_elements();
+        let len = dtype.slots(shape.num_elements());
         if offset.checked_add(len).is_none_or(|end| end > arena.len()) {
             return Err(TensorError::LengthMismatch {
                 expected: offset.saturating_add(len),
                 actual: arena.len(),
             });
         }
-        Ok(Self { shape, layout, buf: Storage::View { arena, offset, len } })
+        Ok(Self { shape, layout, dtype, buf: Storage::View { arena, offset, len } })
     }
 
     /// Whether this tensor views a shared arena (planned storage) rather
@@ -136,7 +192,12 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Self { shape, layout, buf: Storage::Owned(AlignedBuf::from_slice(&data)) })
+        Ok(Self {
+            shape,
+            layout,
+            dtype: DType::F32,
+            buf: Storage::Owned(AlignedBuf::from_slice(&data)),
+        })
     }
 
     /// Creates a tensor with deterministic pseudo-random values in
@@ -163,7 +224,7 @@ impl Tensor {
         for v in buf.iter_mut() {
             *v = rng.gen_range(-scale..scale);
         }
-        Ok(Self { shape, layout, buf: Storage::Owned(buf) })
+        Ok(Self { shape, layout, dtype: DType::F32, buf: Storage::Owned(buf) })
     }
 
     /// Logical shape.
@@ -174,6 +235,11 @@ impl Tensor {
     /// Physical layout.
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
     }
 
     /// Total number of elements.
@@ -199,6 +265,101 @@ impl Tensor {
             // view overlapping this range is accessed while this one lives.
             Storage::View { arena, offset, len } => unsafe { arena.slice_mut(*offset, *len) },
         }
+    }
+
+    /// Asserts the tensor holds elements of `expected` type.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the would-be [`TensorError::DTypeMismatch`] message) if
+    /// the dtype differs. Kernels call this once at entry so a mis-wired
+    /// graph fails loudly instead of silently misreading bytes.
+    pub fn assert_dtype(&self, expected: DType) {
+        assert_eq!(
+            self.dtype, expected,
+            "{}",
+            TensorError::DTypeMismatch { expected, actual: self.dtype }
+        );
+    }
+
+    /// Read-only `u8` view of the raw buffer in physical order.
+    ///
+    /// The slice has exactly `num_elements()` entries; the tail bytes of the
+    /// last storage slot (if any) are not exposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::U8`].
+    pub fn data_u8(&self) -> &[u8] {
+        self.assert_dtype(DType::U8);
+        let raw = self.data();
+        // SAFETY: `raw` covers `slots(n)` 4-byte slots ≥ n bytes; u8 has no
+        // validity or alignment requirements.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<u8>(), self.num_elements()) }
+    }
+
+    /// Mutable `u8` view of the raw buffer in physical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::U8`].
+    pub fn data_u8_mut(&mut self) -> &mut [u8] {
+        self.assert_dtype(DType::U8);
+        let n = self.num_elements();
+        let raw = self.data_mut();
+        // SAFETY: as `data_u8`, and the borrow is exclusive.
+        unsafe { std::slice::from_raw_parts_mut(raw.as_mut_ptr().cast::<u8>(), n) }
+    }
+
+    /// Read-only `i8` view of the raw buffer in physical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::I8`].
+    pub fn data_i8(&self) -> &[i8] {
+        self.assert_dtype(DType::I8);
+        let raw = self.data();
+        // SAFETY: as `data_u8`; i8 is a 1-byte plain-old-data type.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<i8>(), self.num_elements()) }
+    }
+
+    /// Mutable `i8` view of the raw buffer in physical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::I8`].
+    pub fn data_i8_mut(&mut self) -> &mut [i8] {
+        self.assert_dtype(DType::I8);
+        let n = self.num_elements();
+        let raw = self.data_mut();
+        // SAFETY: as `data_u8_mut`.
+        unsafe { std::slice::from_raw_parts_mut(raw.as_mut_ptr().cast::<i8>(), n) }
+    }
+
+    /// Read-only `i32` view of the raw buffer in physical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::I32`].
+    pub fn data_i32(&self) -> &[i32] {
+        self.assert_dtype(DType::I32);
+        let raw = self.data();
+        // SAFETY: i32 and f32 have identical size/alignment; every bit
+        // pattern is a valid i32.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<i32>(), self.num_elements()) }
+    }
+
+    /// Mutable `i32` view of the raw buffer in physical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's dtype is not [`DType::I32`].
+    pub fn data_i32_mut(&mut self) -> &mut [i32] {
+        self.assert_dtype(DType::I32);
+        let n = self.num_elements();
+        let raw = self.data_mut();
+        // SAFETY: as `data_i32`, and the borrow is exclusive.
+        unsafe { std::slice::from_raw_parts_mut(raw.as_mut_ptr().cast::<i32>(), n) }
     }
 
     /// Element at a logical multi-index (slow general path).
@@ -263,7 +424,7 @@ impl Tensor {
                 Storage::View { arena: Arc::clone(arena), offset: *offset, len: *len }
             }
         };
-        Ok(Self { shape, layout, buf })
+        Ok(Self { shape, layout, dtype: self.dtype, buf })
     }
 
     /// Largest absolute element-wise difference between two tensors compared
@@ -317,6 +478,7 @@ impl Clone for Tensor {
         Self {
             shape: self.shape.clone(),
             layout: self.layout,
+            dtype: self.dtype,
             buf: Storage::Owned(AlignedBuf::from_slice(self.data())),
         }
     }
@@ -327,6 +489,7 @@ impl fmt::Debug for Tensor {
         f.debug_struct("Tensor")
             .field("shape", &self.shape)
             .field("layout", &format_args!("{}", self.layout))
+            .field("dtype", &format_args!("{}", self.dtype))
             .finish()
     }
 }
@@ -434,6 +597,58 @@ mod tests {
         let r = v.reshaped([1, 16]).unwrap();
         assert!(r.is_view());
         assert_eq!(r.at(&[0, 15]), 2.0);
+    }
+
+    #[test]
+    fn dtyped_tensor_sizes_round_up_to_slots() {
+        let t = Tensor::zeros_dtyped([1, 1, 3, 3], Layout::Nchw, DType::U8).unwrap();
+        assert_eq!(t.dtype(), DType::U8);
+        // 9 u8 elements fit in 3 four-byte slots.
+        assert_eq!(t.data().len(), 3);
+        assert_eq!(t.data_u8().len(), 9);
+        let f = Tensor::zeros([1, 1, 3, 3], Layout::Nchw).unwrap();
+        assert_eq!(f.dtype(), DType::F32);
+        assert_eq!(f.data().len(), 9);
+    }
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut t = Tensor::zeros_dtyped([8], Layout::Flat, DType::I8).unwrap();
+        t.data_i8_mut().copy_from_slice(&[-3, 5, 127, -128, 0, 1, 2, 3]);
+        assert_eq!(t.data_i8()[3], -128);
+        let snap = t.clone();
+        assert_eq!(snap.dtype(), DType::I8);
+        assert_eq!(snap.data_i8(), t.data_i8());
+
+        let mut a = Tensor::zeros_dtyped([4], Layout::Flat, DType::I32).unwrap();
+        a.data_i32_mut()[2] = -7;
+        assert_eq!(a.data_i32(), &[0, 0, -7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected dtype u8")]
+    fn typed_accessor_rejects_wrong_dtype() {
+        let t = Tensor::zeros([4], Layout::Flat).unwrap();
+        let _ = t.data_u8();
+    }
+
+    #[test]
+    fn dtyped_arena_view_spans_slot_count() {
+        let arena = crate::Arena::new(4);
+        // 16 u8 elements = 4 slots: exactly fills the arena.
+        // SAFETY: sole view of the arena.
+        let mut v = unsafe {
+            Tensor::arena_view_dtyped(arena.clone(), 0, [16], Layout::Flat, DType::U8)
+        }
+        .unwrap();
+        assert_eq!(v.data_u8().len(), 16);
+        v.data_u8_mut()[15] = 42;
+        assert_eq!(v.data_u8()[15], 42);
+        // 17 u8 elements need 5 slots: rejected.
+        assert!(unsafe {
+            Tensor::arena_view_dtyped(arena, 0, [17], Layout::Flat, DType::U8)
+        }
+        .is_err());
     }
 
     #[test]

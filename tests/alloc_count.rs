@@ -135,6 +135,38 @@ fn warm_depthwise_run_performs_zero_allocations() {
 }
 
 #[test]
+fn warm_quantized_run_performs_zero_allocations() {
+    use neocpu::{compile_quantized, QuantizeOptions};
+
+    // A residual tower on the int8 path: quantized convs reinterpret their
+    // planned f32 scratch as the u8 padded-input buffer and the spliced
+    // Quantize nodes write arena views — none of it may touch the heap.
+    let g = residual_net();
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let (m, report) =
+        compile_quantized(&g, &CpuTarget::host(), &opts, &QuantizeOptions::default()).unwrap();
+    assert!(report.quantized >= 1, "no conv took the int8 path: {report:?}");
+    assert!(!report.fell_back, "accuracy gate rejected the int8 module: {report:?}");
+    let input = Tensor::random([1, 8, 16, 16], Layout::Nchw, 13, 1.0).unwrap();
+
+    let mut ctx = m.make_context();
+    for _ in 0..3 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        m.run_with(&mut ctx, std::slice::from_ref(&input)).unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "warm quantized run allocated {delta} time(s); expected zero");
+
+    let out = ctx.output(0).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 10]);
+    assert!(out.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
 fn warm_serve_cycle_performs_zero_allocations() {
     use std::sync::Arc;
     use neocpu::{ServeEngine, ServeOptions};

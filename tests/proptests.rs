@@ -423,6 +423,88 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// u8 affine quantization round-trips within half a quantization step:
+    /// any representable grid point perturbed by less than `scale/2` comes
+    /// back within `scale/2` — including at the saturating edges (codes 0
+    /// and 255), where clamping absorbs the outward jitter.
+    #[test]
+    fn quantize_round_trip_is_bounded(
+        scale_mil in 1u32..5000,
+        zp in any::<u8>(),
+        code in any::<u8>(),
+        jitter_mil in -499i32..500,
+    ) {
+        use neocpu_kernels::quantize::{dequantize_value, quantize_value};
+        let scale = scale_mil as f32 / 1000.0;
+        let x = dequantize_value(code, scale, zp) + scale * (jitter_mil as f32 / 1000.0);
+        let back = dequantize_value(quantize_value(x, scale, zp), scale, zp);
+        prop_assert!(
+            (x - back).abs() <= scale / 2.0 + scale * 1e-5,
+            "x {x} back {back} scale {scale} zp {zp}"
+        );
+    }
+
+    /// Quantization saturates deterministically for every scale/zero-point:
+    /// NaN maps to the zero point, ±inf and arbitrarily-far out-of-range
+    /// values clamp to the representable edges — never a UB float→int cast,
+    /// never a value-dependent surprise.
+    #[test]
+    fn quantize_saturation_is_deterministic(
+        scale_mil in 1u32..5000,
+        zp in any::<u8>(),
+        mag in 1.0f32..1e30,
+    ) {
+        use neocpu_kernels::quantize::{dequantize_value, quantize_value};
+        let scale = scale_mil as f32 / 1000.0;
+        prop_assert_eq!(quantize_value(f32::NAN, scale, zp), zp);
+        prop_assert_eq!(quantize_value(f32::INFINITY, scale, zp), 255);
+        prop_assert_eq!(quantize_value(f32::NEG_INFINITY, scale, zp), 0);
+        let hi = dequantize_value(255, scale, zp);
+        let lo = dequantize_value(0, scale, zp);
+        // `+ mag * scale` may overflow to inf — saturation must hold anyway.
+        prop_assert_eq!(quantize_value(hi + mag * scale, scale, zp), 255);
+        prop_assert_eq!(quantize_value(lo - mag * scale, scale, zp), 0);
+    }
+
+    /// The slice kernels agree element-wise with the scalar mapping even
+    /// when the input is laced with non-finite poison, and the dequantized
+    /// result is always finite.
+    #[test]
+    fn quantize_slice_matches_scalar_under_poison(
+        n in 1usize..64,
+        scale_mil in 1u32..5000,
+        zp in any::<u8>(),
+        poison_stride in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        use neocpu_kernels::quantize::{
+            dequantize_slice, dequantize_value, quantize_slice, quantize_value,
+        };
+        let scale = scale_mil as f32 / 1000.0;
+        let t = Tensor::random([n], Layout::Flat, seed, 100.0).unwrap();
+        let mut src = t.data()[..n].to_vec();
+        for (i, v) in src.iter_mut().enumerate() {
+            if i.is_multiple_of(poison_stride) {
+                *v = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][i % 3];
+            }
+        }
+        let mut q = vec![0u8; n];
+        quantize_slice(&src, &mut q, scale, zp);
+        for (&x, &c) in src.iter().zip(&q) {
+            prop_assert_eq!(c, quantize_value(x, scale, zp));
+        }
+        let mut back = vec![0f32; n];
+        dequantize_slice(&q, &mut back, scale, zp);
+        for (&c, &b) in q.iter().zip(&back) {
+            prop_assert!(b.is_finite());
+            prop_assert_eq!(b, dequantize_value(c, scale, zp));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
     /// The memory planner's interval packing never hands overlapping arena

@@ -1,0 +1,103 @@
+//! Whole-model int8 accuracy: every model in the quantized zoo must stay
+//! within one named max-abs-error budget of the f32 reference interpreter.
+//!
+//! Two properties per model:
+//!
+//! 1. **Quantization error** — the int8 module's outputs vs. the f32
+//!    module's `run_reference` outputs on a fresh (non-calibration) input
+//!    stay within [`QUANTIZED_MAX_ABS_ERROR`]. Model heads end in softmax,
+//!    so the budget is an absolute probability error.
+//! 2. **Kernel exactness** — the int8 module's optimized `run` matches its
+//!    own `run_reference` almost exactly: integer accumulation is designed
+//!    to be bit-identical across ISAs, so the only slack is the f32
+//!    epilogue's rounding.
+
+use neocpu::{
+    compile, compile_quantized, CompileOptions, CpuTarget, OptLevel, QuantizeOptions,
+};
+use neocpu_models::{build, quantized_zoo, ModelScale};
+use neocpu_tensor::{Layout, Tensor};
+
+/// The whole-model int8 error budget, shared by every quantized zoo model:
+/// max abs difference between the quantized module's output and the f32
+/// reference on the same input.
+const QUANTIZED_MAX_ABS_ERROR: f32 = 0.05;
+
+#[test]
+fn quantized_zoo_stays_within_error_budget() {
+    let target = CpuTarget::host();
+    for kind in quantized_zoo() {
+        let scale = ModelScale::tiny(kind);
+        let g = build(kind, scale, 42);
+        let opts = CompileOptions::level(OptLevel::O3);
+        let qopts = QuantizeOptions { error_budget: QUANTIZED_MAX_ABS_ERROR, ..Default::default() };
+        let (m, report) = compile_quantized(&g, &target, &opts, &qopts)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert!(
+            report.quantized >= 2,
+            "{}: only {} conv(s) took the int8 path",
+            kind.name(),
+            report.quantized
+        );
+        assert!(
+            !report.fell_back,
+            "{}: accuracy gate rejected the int8 module (err {})",
+            kind.name(),
+            report.max_abs_error
+        );
+
+        // Fresh input, disjoint from the auto-generated calibration set.
+        let input =
+            Tensor::random([scale.batch, 3, scale.input, scale.input], Layout::Nchw, 777, 1.0)
+                .unwrap();
+
+        let f32_module = compile(&g, &target, &opts).unwrap();
+        let reference = f32_module.run_reference(std::slice::from_ref(&input)).unwrap();
+        let quantized = m.run(std::slice::from_ref(&input)).unwrap();
+        for (r, q) in reference.iter().zip(&quantized) {
+            let err = r.max_abs_diff(q);
+            assert!(
+                err <= QUANTIZED_MAX_ABS_ERROR,
+                "{}: int8 error {err} exceeds budget {QUANTIZED_MAX_ABS_ERROR}",
+                kind.name()
+            );
+        }
+
+        // The optimized int8 kernels against the int8 reference
+        // interpreter: exact integer accumulation leaves only f32
+        // epilogue rounding.
+        let own_ref = m.run_reference(std::slice::from_ref(&input)).unwrap();
+        for (r, q) in own_ref.iter().zip(&quantized) {
+            assert!(
+                r.approx_eq(q, 1e-5),
+                "{}: optimized int8 diverged from its reference by {}",
+                kind.name(),
+                r.max_abs_diff(q)
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_models_mix_dtypes_per_layer() {
+    // The 3-channel stem cannot quad-pack, so every quantized zoo model
+    // must compile to a *mix* of int8 and f32 convs — per-layer dtype
+    // selection, not whole-model flips.
+    let target = CpuTarget::host();
+    for kind in quantized_zoo() {
+        let g = build(kind, ModelScale::tiny(kind), 42);
+        let (_, report) = compile_quantized(
+            &g,
+            &target,
+            &CompileOptions::level(OptLevel::O2),
+            &QuantizeOptions::default(),
+        )
+        .unwrap();
+        assert!(report.quantized > 0, "{}: nothing quantized", kind.name());
+        assert!(
+            report.skipped > 0,
+            "{}: the f32 stem should have been skipped, not quantized",
+            kind.name()
+        );
+    }
+}
