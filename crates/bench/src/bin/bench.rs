@@ -1,5 +1,6 @@
 //! Machine-readable bench orchestrator (ROADMAP item 5, seeded here):
-//! spawns release `table2`, `memplan`, and `serve` runs, collects the
+//! spawns release `table2`, `memplan`, `serve`, and `netbench` runs,
+//! collects the
 //! single-line JSON summary each emits under `--json`, measures per-run
 //! wall time and peak RSS (`VmHWM` polled from `/proc/<pid>/status`), and
 //! writes the combined trajectory point to `BENCH_<date>.json` at the
@@ -60,6 +61,12 @@ fn main() {
                 "--json", "--int8", "--models", "mobilenet", "--clients", "1,2,4",
                 "--requests", "16",
             ],
+        ),
+        // E11: the wire-level serving path — in-process TCP server, real
+        // sockets, every registry route including int8.
+        (
+            "netbench",
+            vec!["--json", "--smoke", "--int8", "--clients", "4", "--requests", "12"],
         ),
     ];
     if full {

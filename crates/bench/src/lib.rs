@@ -119,15 +119,7 @@ impl HarnessCfg {
                     i += 1;
                 }
                 "--models" if i + 1 < args.len() => {
-                    cfg.models = args[i + 1]
-                        .split(',')
-                        .filter_map(|name| {
-                            neocpu_models::zoo().into_iter().find(|k| {
-                                k.name().eq_ignore_ascii_case(name)
-                                    || k.name().replace('-', "").eq_ignore_ascii_case(name)
-                            })
-                        })
-                        .collect();
+                    cfg.models = args[i + 1].split(',').filter_map(ModelKind::parse).collect();
                     i += 1;
                 }
                 "--smoke" => cfg.smoke = true,

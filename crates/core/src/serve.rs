@@ -111,11 +111,24 @@ pub enum EngineHealth {
 
 impl EngineHealth {
     fn from_u8(v: u8) -> Self {
+        Self::from_code(v).unwrap_or(Self::Stopped)
+    }
+
+    /// The state's stable one-byte code (`Starting = 0` … `Stopped = 3`),
+    /// used verbatim by the wire protocol's health responses.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EngineHealth::code`]; `None` for an unknown byte (a
+    /// decoder must surface that as a typed frame error, not a panic).
+    pub fn from_code(v: u8) -> Option<Self> {
         match v {
-            0 => Self::Starting,
-            1 => Self::Ready,
-            2 => Self::Draining,
-            _ => Self::Stopped,
+            0 => Some(Self::Starting),
+            1 => Some(Self::Ready),
+            2 => Some(Self::Draining),
+            3 => Some(Self::Stopped),
+            _ => None,
         }
     }
 }
@@ -301,6 +314,37 @@ impl Request {
     /// As [`Request::fill`].
     pub fn fill_with_deadline(&self, data: &Tensor, budget: Duration) -> Result<()> {
         self.fill_impl(data, Some(budget))
+    }
+
+    /// Fills the slot's input straight from a little-endian `f32` byte
+    /// stream (the wire protocol's payload encoding), avoiding the staging
+    /// tensor a [`Request::fill`] caller would need. `budget` arms a
+    /// deadline exactly like [`Request::fill_with_deadline`]; `None` leaves
+    /// the engine default in force. Performs no heap allocations — this is
+    /// the networked frontend's warm decode path.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an in-flight slot, and payloads whose byte length is not
+    /// exactly `4 ×` the input element count.
+    pub fn fill_le_bytes(&self, bytes: &[u8], budget: Option<Duration>) -> Result<()> {
+        let mut inner = lock(&self.inner);
+        if matches!(inner.state, SlotState::Queued) {
+            return Err(NeoError::Serve("cannot fill a request that is in flight".into()));
+        }
+        let want = inner.input.data().len() * 4;
+        if bytes.len() != want {
+            return Err(NeoError::BadInput(format!(
+                "payload must be exactly {want} bytes of little-endian f32, got {}",
+                bytes.len()
+            )));
+        }
+        for (dst, src) in inner.input.data_mut().iter_mut().zip(bytes.chunks_exact(4)) {
+            *dst = f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+        }
+        inner.state = SlotState::Idle;
+        inner.budget = budget;
+        Ok(())
     }
 
     fn fill_impl(&self, data: &Tensor, budget: Option<Duration>) -> Result<()> {

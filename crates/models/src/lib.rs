@@ -84,6 +84,23 @@ impl ModelKind {
         }
     }
 
+    /// Parses a model name as written on a CLI or a wire request:
+    /// case-insensitive, hyphens optional (`"resnet50"`, `"ResNet-50"`,
+    /// `"MOBILENET"` all resolve). Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Self> {
+        let mut needle = String::with_capacity(name.len());
+        for ch in name.chars().filter(|c| *c != '-' && *c != '_') {
+            needle.extend(ch.to_lowercase());
+        }
+        zoo().into_iter().find(|kind| {
+            kind.name()
+                .chars()
+                .filter(|c| *c != '-')
+                .flat_map(char::to_lowercase)
+                .eq(needle.chars())
+        })
+    }
+
     /// The paper's input resolution for this model (§4: 224×224 except
     /// Inception at 299×299 and SSD at 512×512).
     pub fn full_input(&self) -> usize {
@@ -191,6 +208,19 @@ mod tests {
     #[test]
     fn zoo_has_sixteen_models() {
         assert_eq!(zoo().len(), 16);
+    }
+
+    #[test]
+    fn parse_round_trips_every_zoo_name() {
+        for kind in zoo() {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(ModelKind::parse(&kind.name().to_lowercase()), Some(kind));
+            let squashed: String =
+                kind.name().chars().filter(|c| *c != '-').collect();
+            assert_eq!(ModelKind::parse(&squashed), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("resnet-9000"), None);
+        assert_eq!(ModelKind::parse(""), None);
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! The length-prefixed binary wire format.
+//!
+//! Every frame is a fixed-size little-endian header followed by
+//! `payload_len` payload bytes. Request headers are [`REQ_HEADER_LEN`]
+//! bytes, response headers [`RESP_HEADER_LEN`]; both start with the
+//! [`MAGIC`] tag and a [`VERSION`] byte so a desynchronized or
+//! wrong-protocol peer is detected on the first frame. Decoding borrows
+//! from the input slice and never allocates or panics: every malformed
+//! input maps to a typed [`FrameError`].
+//!
+//! ```text
+//! request  header (24 B): magic[4] version kind model dtype request_id[8] deadline_us[4] payload_len[4]
+//! response header (18 B): magic[4] version status     request_id[8] payload_len[4]
+//! ```
+//!
+//! Payloads by frame type:
+//!
+//! | frame              | payload                                   |
+//! |--------------------|-------------------------------------------|
+//! | `Infer` request    | input tensor as little-endian `f32` NCHW  |
+//! | `Health` request   | empty                                     |
+//! | `Ok` response      | argmax `u32`, then scores as LE `f32`     |
+//! | `Busy` response    | queue depth `u32`                         |
+//! | `DeadlineExceeded` | empty                                     |
+//! | `Shutdown`         | empty                                     |
+//! | `Error` response   | UTF-8 message                             |
+//! | `Health` response  | one [`EngineHealth`] code byte            |
+
+use std::fmt;
+
+use neocpu::EngineHealth;
+use neocpu_models::ModelKind;
+
+/// Frame tag opening every header; never valid UTF-8 JSON/HTTP, so a
+/// peer speaking the wrong protocol fails fast with [`FrameError::BadMagic`].
+pub const MAGIC: [u8; 4] = *b"NCPU";
+
+/// Wire protocol version; bumped on any incompatible header change.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload (16 MiB) — larger than any zoo model's
+/// batch-1 input or score row, small enough that a corrupted length field
+/// cannot drive an unbounded read.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// Request frame header length in bytes.
+pub const REQ_HEADER_LEN: usize = 24;
+
+/// Response frame header length in bytes.
+pub const RESP_HEADER_LEN: usize = 18;
+
+/// What a request frame asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Run inference on the payload; routed by `(model, dtype)`.
+    Infer,
+    /// Report the server's [`EngineHealth`]; payload must be empty.
+    Health,
+}
+
+/// The numeric precision a request routes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireDtype {
+    /// The f32 compilation of the model.
+    F32,
+    /// The int8-quantized compilation (`compile_quantized`).
+    Int8,
+}
+
+impl WireDtype {
+    /// Stable one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::F32 => 0,
+            Self::Int8 => 1,
+        }
+    }
+
+    /// Inverse of [`WireDtype::code`].
+    pub fn from_code(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::F32),
+            1 => Some(Self::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WireDtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::F32 => "f32",
+            Self::Int8 => "int8",
+        })
+    }
+}
+
+/// Maps a model to its stable wire byte (zoo order). The inverse is
+/// [`model_from_wire`]; both are allocation-free (`zoo()` builds a `Vec`,
+/// which would break the warm decode path's zero-alloc contract).
+pub fn model_to_wire(kind: ModelKind) -> u8 {
+    match kind {
+        ModelKind::ResNet18 => 0,
+        ModelKind::ResNet34 => 1,
+        ModelKind::ResNet50 => 2,
+        ModelKind::ResNet101 => 3,
+        ModelKind::ResNet152 => 4,
+        ModelKind::Vgg11 => 5,
+        ModelKind::Vgg13 => 6,
+        ModelKind::Vgg16 => 7,
+        ModelKind::Vgg19 => 8,
+        ModelKind::DenseNet121 => 9,
+        ModelKind::DenseNet161 => 10,
+        ModelKind::DenseNet169 => 11,
+        ModelKind::DenseNet201 => 12,
+        ModelKind::InceptionV3 => 13,
+        ModelKind::SsdResNet50 => 14,
+        ModelKind::MobileNet => 15,
+    }
+}
+
+/// Inverse of [`model_to_wire`]; `None` for an unknown byte.
+pub fn model_from_wire(v: u8) -> Option<ModelKind> {
+    Some(match v {
+        0 => ModelKind::ResNet18,
+        1 => ModelKind::ResNet34,
+        2 => ModelKind::ResNet50,
+        3 => ModelKind::ResNet101,
+        4 => ModelKind::ResNet152,
+        5 => ModelKind::Vgg11,
+        6 => ModelKind::Vgg13,
+        7 => ModelKind::Vgg16,
+        8 => ModelKind::Vgg19,
+        9 => ModelKind::DenseNet121,
+        10 => ModelKind::DenseNet161,
+        11 => ModelKind::DenseNet169,
+        12 => ModelKind::DenseNet201,
+        13 => ModelKind::InceptionV3,
+        14 => ModelKind::SsdResNet50,
+        15 => ModelKind::MobileNet,
+        _ => return None,
+    })
+}
+
+/// A decoded request frame, borrowing its payload from the input buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestFrame<'a> {
+    /// Caller-chosen id echoed verbatim in the response.
+    pub request_id: u64,
+    /// What the frame asks for.
+    pub kind: FrameKind,
+    /// The model to route to.
+    pub model: ModelKind,
+    /// The precision to route to.
+    pub dtype: WireDtype,
+    /// Per-request deadline in microseconds from receipt; `0` = none.
+    pub deadline_us: u32,
+    /// Frame payload (LE `f32` input for `Infer`, empty for `Health`).
+    pub payload: &'a [u8],
+}
+
+/// A decoded response frame, borrowing variable-size payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResponseFrame<'a> {
+    /// Inference completed; scores are the model's output row as LE `f32`.
+    Ok {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Index of the maximum score.
+        argmax: u32,
+        /// Raw LE `f32` bytes of the full score row.
+        scores: &'a [u8],
+    },
+    /// The engine's bounded queue was full; try again later.
+    Busy {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Queue depth observed at rejection.
+        queue_depth: u32,
+    },
+    /// The request's deadline expired before execution; it never ran.
+    DeadlineExceeded {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The engine is draining or stopped; no new work is admitted.
+    Shutdown {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The request was malformed or failed; human-readable reason.
+    Error {
+        /// Echo of the request id (0 when the header itself was bad).
+        request_id: u64,
+        /// UTF-8 diagnostic message.
+        message: &'a str,
+    },
+    /// Answer to a `Health` request.
+    Health {
+        /// Echo of the request id.
+        request_id: u64,
+        /// The engine lifecycle state.
+        health: EngineHealth,
+    },
+}
+
+impl ResponseFrame<'_> {
+    /// The response's one-byte wire status code.
+    pub fn status(&self) -> u8 {
+        match self {
+            Self::Ok { .. } => 0,
+            Self::Busy { .. } => 1,
+            Self::DeadlineExceeded { .. } => 2,
+            Self::Shutdown { .. } => 3,
+            Self::Error { .. } => 4,
+            Self::Health { .. } => 5,
+        }
+    }
+
+    /// The request id the frame echoes.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Self::Ok { request_id, .. }
+            | Self::Busy { request_id, .. }
+            | Self::DeadlineExceeded { request_id }
+            | Self::Shutdown { request_id }
+            | Self::Error { request_id, .. }
+            | Self::Health { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// Every way a byte stream can fail to be a frame. Decoders return these —
+/// they never panic, whatever the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the frame needs; `need` is the total frame size
+    /// once known (header first, then header + payload).
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required to decode further.
+        need: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes actually seen.
+        got: [u8; 4],
+    },
+    /// Version byte differs from [`VERSION`].
+    Version {
+        /// The version byte seen.
+        got: u8,
+    },
+    /// Unknown request kind byte.
+    BadKind {
+        /// The kind byte seen.
+        got: u8,
+    },
+    /// Model byte outside the zoo.
+    BadModel {
+        /// The model byte seen.
+        got: u8,
+    },
+    /// Unknown dtype byte.
+    BadDtype {
+        /// The dtype byte seen.
+        got: u8,
+    },
+    /// Unknown response status byte.
+    BadStatus {
+        /// The status byte seen.
+        got: u8,
+    },
+    /// Health response carried an unknown [`EngineHealth`] code.
+    BadHealth {
+        /// The code byte seen.
+        got: u8,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The protocol ceiling.
+        max: u32,
+    },
+    /// The payload's size or content does not fit the frame type.
+    BadPayload(
+        /// What was wrong.
+        &'static str,
+    ),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            Self::BadMagic { got } => write!(f, "bad magic {got:02x?}"),
+            Self::Version { got } => {
+                write!(f, "unsupported protocol version {got} (want {VERSION})")
+            }
+            Self::BadKind { got } => write!(f, "unknown request kind {got}"),
+            Self::BadModel { got } => write!(f, "unknown model byte {got}"),
+            Self::BadDtype { got } => write!(f, "unknown dtype byte {got}"),
+            Self::BadStatus { got } => write!(f, "unknown response status {got}"),
+            Self::BadHealth { got } => write!(f, "unknown health code {got}"),
+            Self::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds protocol maximum {max}")
+            }
+            Self::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn u32_le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn u64_le(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// The fields of a request header, before the payload has been read.
+/// Produced by [`parse_request_header`] on the server's streaming path,
+/// where the payload arrives in a separate read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Caller-chosen id echoed in the response.
+    pub request_id: u64,
+    /// What the frame asks for.
+    pub kind: FrameKind,
+    /// The model to route to.
+    pub model: ModelKind,
+    /// The precision to route to.
+    pub dtype: WireDtype,
+    /// Per-request deadline in microseconds; `0` = none.
+    pub deadline_us: u32,
+    /// Payload bytes that follow the header.
+    pub payload_len: u32,
+}
+
+/// Validates and splits a complete request header. Allocation-free.
+pub fn parse_request_header(h: &[u8; REQ_HEADER_LEN]) -> Result<RequestHeader, FrameError> {
+    if h[0..4] != MAGIC {
+        return Err(FrameError::BadMagic { got: [h[0], h[1], h[2], h[3]] });
+    }
+    if h[4] != VERSION {
+        return Err(FrameError::Version { got: h[4] });
+    }
+    let kind = match h[5] {
+        0 => FrameKind::Infer,
+        1 => FrameKind::Health,
+        got => return Err(FrameError::BadKind { got }),
+    };
+    let model = model_from_wire(h[6]).ok_or(FrameError::BadModel { got: h[6] })?;
+    let dtype = WireDtype::from_code(h[7]).ok_or(FrameError::BadDtype { got: h[7] })?;
+    let request_id = u64_le(&h[8..16]);
+    let deadline_us = u32_le(&h[16..20]);
+    let payload_len = u32_le(&h[20..24]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len: payload_len, max: MAX_PAYLOAD });
+    }
+    if kind == FrameKind::Health && payload_len != 0 {
+        return Err(FrameError::BadPayload("health request payload must be empty"));
+    }
+    Ok(RequestHeader { request_id, kind, model, dtype, deadline_us, payload_len })
+}
+
+/// Decodes one request frame from the front of `buf`, returning the frame
+/// and the number of bytes consumed. Never panics; never allocates.
+pub fn decode_request(buf: &[u8]) -> Result<(RequestFrame<'_>, usize), FrameError> {
+    if buf.len() < REQ_HEADER_LEN {
+        return Err(FrameError::Truncated { have: buf.len(), need: REQ_HEADER_LEN });
+    }
+    let mut header = [0u8; REQ_HEADER_LEN];
+    header.copy_from_slice(&buf[..REQ_HEADER_LEN]);
+    let h = parse_request_header(&header)?;
+    let total = REQ_HEADER_LEN + h.payload_len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Truncated { have: buf.len(), need: total });
+    }
+    let payload = &buf[REQ_HEADER_LEN..total];
+    if h.kind == FrameKind::Infer && !payload.len().is_multiple_of(4) {
+        return Err(FrameError::BadPayload("infer payload must be a multiple of 4 bytes"));
+    }
+    Ok((
+        RequestFrame {
+            request_id: h.request_id,
+            kind: h.kind,
+            model: h.model,
+            dtype: h.dtype,
+            deadline_us: h.deadline_us,
+            payload,
+        },
+        total,
+    ))
+}
+
+/// Encodes `frame` into `out` (cleared first). With sufficient capacity
+/// reserved, performs no heap allocation.
+pub fn encode_request(frame: &RequestFrame<'_>, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(match frame.kind {
+        FrameKind::Infer => 0,
+        FrameKind::Health => 1,
+    });
+    out.push(model_to_wire(frame.model));
+    out.push(frame.dtype.code());
+    out.extend_from_slice(&frame.request_id.to_le_bytes());
+    out.extend_from_slice(&frame.deadline_us.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(frame.payload);
+}
+
+/// Decodes one response frame from the front of `buf`, returning the frame
+/// and the number of bytes consumed. Never panics; never allocates.
+pub fn decode_response(buf: &[u8]) -> Result<(ResponseFrame<'_>, usize), FrameError> {
+    if buf.len() < RESP_HEADER_LEN {
+        return Err(FrameError::Truncated { have: buf.len(), need: RESP_HEADER_LEN });
+    }
+    if buf[0..4] != MAGIC {
+        return Err(FrameError::BadMagic { got: [buf[0], buf[1], buf[2], buf[3]] });
+    }
+    if buf[4] != VERSION {
+        return Err(FrameError::Version { got: buf[4] });
+    }
+    let status = buf[5];
+    let request_id = u64_le(&buf[6..14]);
+    let payload_len = u32_le(&buf[14..18]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len: payload_len, max: MAX_PAYLOAD });
+    }
+    let total = RESP_HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Truncated { have: buf.len(), need: total });
+    }
+    let payload = &buf[RESP_HEADER_LEN..total];
+    let frame = match status {
+        0 => {
+            if payload.len() < 4 || !(payload.len() - 4).is_multiple_of(4) {
+                return Err(FrameError::BadPayload("ok payload needs argmax u32 + f32 scores"));
+            }
+            ResponseFrame::Ok { request_id, argmax: u32_le(&payload[0..4]), scores: &payload[4..] }
+        }
+        1 => {
+            if payload.len() != 4 {
+                return Err(FrameError::BadPayload("busy payload must be a u32 queue depth"));
+            }
+            ResponseFrame::Busy { request_id, queue_depth: u32_le(payload) }
+        }
+        2 => {
+            if !payload.is_empty() {
+                return Err(FrameError::BadPayload("deadline-exceeded payload must be empty"));
+            }
+            ResponseFrame::DeadlineExceeded { request_id }
+        }
+        3 => {
+            if !payload.is_empty() {
+                return Err(FrameError::BadPayload("shutdown payload must be empty"));
+            }
+            ResponseFrame::Shutdown { request_id }
+        }
+        4 => {
+            let message = std::str::from_utf8(payload)
+                .map_err(|_| FrameError::BadPayload("error message must be utf-8"))?;
+            ResponseFrame::Error { request_id, message }
+        }
+        5 => {
+            if payload.len() != 1 {
+                return Err(FrameError::BadPayload("health payload must be one code byte"));
+            }
+            let health =
+                EngineHealth::from_code(payload[0]).ok_or(FrameError::BadHealth { got: payload[0] })?;
+            ResponseFrame::Health { request_id, health }
+        }
+        got => return Err(FrameError::BadStatus { got }),
+    };
+    Ok((frame, total))
+}
+
+/// Encodes `frame` into `out` (cleared first). With sufficient capacity
+/// reserved, performs no heap allocation.
+pub fn encode_response(frame: &ResponseFrame<'_>, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.status());
+    out.extend_from_slice(&frame.request_id().to_le_bytes());
+    match frame {
+        ResponseFrame::Ok { argmax, scores, .. } => {
+            out.extend_from_slice(&(4 + scores.len() as u32).to_le_bytes());
+            out.extend_from_slice(&argmax.to_le_bytes());
+            out.extend_from_slice(scores);
+        }
+        ResponseFrame::Busy { queue_depth, .. } => {
+            out.extend_from_slice(&4u32.to_le_bytes());
+            out.extend_from_slice(&queue_depth.to_le_bytes());
+        }
+        ResponseFrame::DeadlineExceeded { .. } | ResponseFrame::Shutdown { .. } => {
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        ResponseFrame::Error { message, .. } => {
+            out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+        }
+        ResponseFrame::Health { health, .. } => {
+            out.extend_from_slice(&1u32.to_le_bytes());
+            out.push(health.code());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_wire_codes_round_trip_the_zoo() {
+        for kind in neocpu_models::zoo() {
+            assert_eq!(model_from_wire(model_to_wire(kind)), Some(kind));
+        }
+        assert_eq!(model_from_wire(16), None);
+        assert_eq!(model_from_wire(255), None);
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let frame = RequestFrame {
+            request_id: 0xDEAD_BEEF_CAFE_F00D,
+            kind: FrameKind::Infer,
+            model: ModelKind::InceptionV3,
+            dtype: WireDtype::Int8,
+            deadline_us: 1_500,
+            payload: &payload,
+        };
+        let mut buf = Vec::new();
+        encode_request(&frame, &mut buf);
+        let (decoded, used) = decode_request(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn response_variants_round_trip() {
+        let scores = 3.5f32.to_le_bytes();
+        let frames = [
+            ResponseFrame::Ok { request_id: 7, argmax: 0, scores: &scores },
+            ResponseFrame::Busy { request_id: 8, queue_depth: 31 },
+            ResponseFrame::DeadlineExceeded { request_id: 9 },
+            ResponseFrame::Shutdown { request_id: 10 },
+            ResponseFrame::Error { request_id: 11, message: "no such route" },
+            ResponseFrame::Health { request_id: 12, health: EngineHealth::Draining },
+        ];
+        let mut buf = Vec::new();
+        for frame in frames {
+            encode_response(&frame, &mut buf);
+            let (decoded, used) = decode_response(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_frames() {
+        let mut buf = Vec::new();
+        encode_request(
+            &RequestFrame {
+                request_id: 1,
+                kind: FrameKind::Infer,
+                model: ModelKind::ResNet50,
+                dtype: WireDtype::F32,
+                deadline_us: 0,
+                payload: &[0u8; 8],
+            },
+            &mut buf,
+        );
+
+        assert!(matches!(
+            decode_request(&buf[..5]),
+            Err(FrameError::Truncated { have: 5, need: REQ_HEADER_LEN })
+        ));
+        assert!(matches!(
+            decode_request(&buf[..REQ_HEADER_LEN + 3]),
+            Err(FrameError::Truncated { .. })
+        ));
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_request(&bad), Err(FrameError::BadMagic { .. })));
+
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(decode_request(&bad), Err(FrameError::Version { got: 99 })));
+
+        let mut bad = buf.clone();
+        bad[5] = 7;
+        assert!(matches!(decode_request(&bad), Err(FrameError::BadKind { got: 7 })));
+
+        let mut bad = buf.clone();
+        bad[6] = 200;
+        assert!(matches!(decode_request(&bad), Err(FrameError::BadModel { got: 200 })));
+
+        let mut bad = buf.clone();
+        bad[7] = 9;
+        assert!(matches!(decode_request(&bad), Err(FrameError::BadDtype { got: 9 })));
+
+        let mut bad = buf.clone();
+        bad[20..24].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode_request(&bad), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn health_request_rejects_payload() {
+        let mut buf = Vec::new();
+        encode_request(
+            &RequestFrame {
+                request_id: 2,
+                kind: FrameKind::Health,
+                model: ModelKind::ResNet50,
+                dtype: WireDtype::F32,
+                deadline_us: 0,
+                payload: &[1, 2, 3, 4],
+            },
+            &mut buf,
+        );
+        assert!(matches!(decode_request(&buf), Err(FrameError::BadPayload(_))));
+    }
+}

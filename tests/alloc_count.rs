@@ -237,6 +237,103 @@ fn warm_serve_cycle_performs_zero_allocations() {
 }
 
 #[test]
+fn warm_net_serve_path_performs_zero_allocations() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+    use neocpu::ServeOptions;
+    use neocpu_models::ModelKind;
+    use neocpu_net::{
+        encode_request, FrameKind, ModelRegistry, ModelSpec, NetServer, RequestFrame, WireDtype,
+        RESP_HEADER_LEN,
+    };
+
+    // The batch-4 residual tower again, registered as the MobileNet/f32
+    // route (the spec is routing metadata only — `from_modules` takes the
+    // module as-is), so the whole wire loop stays millisecond-cheap.
+    let mut b = GraphBuilder::new(5);
+    let x = b.input([4, 8, 16, 16]);
+    let c0 = b.conv2d(x, 8, 1, 1, 0);
+    let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+    let c2 = b.conv2d_opts(c1, 8, 3, 1, 1, false);
+    let a = b.add(c2, c0);
+    let r = b.relu(a);
+    let p = b.max_pool(r, 2, 2, 0);
+    let f = b.flatten(p);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    let g = b.finish(vec![s]);
+
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+    let spec = ModelSpec::serving(ModelKind::MobileNet, WireDtype::F32, false, 4);
+    let registry = Arc::new(
+        ModelRegistry::from_modules(
+            vec![(spec, m)],
+            &ServeOptions { workers: 1, ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let input_bytes = registry.entries()[0].input_bytes;
+    let output_bytes = registry.entries()[0].output_bytes;
+    let server = NetServer::bind(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+
+    // The client pre-allocates everything too, so the only allocations the
+    // counter could see during the measured window are the server's.
+    let img = Tensor::random([1, 8, 16, 16], Layout::Nchw, 9, 1.0).unwrap();
+    let payload: Vec<u8> = img.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+    assert_eq!(payload.len(), input_bytes);
+    let mut frame = Vec::new();
+    encode_request(
+        &RequestFrame {
+            request_id: 7,
+            kind: FrameKind::Infer,
+            model: spec.kind,
+            dtype: spec.dtype,
+            deadline_us: 0,
+            payload: &payload,
+        },
+        &mut frame,
+    );
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut resp_header = [0u8; RESP_HEADER_LEN];
+    let mut resp_payload = vec![0u8; output_bytes];
+
+    let mut cycle = |stream: &mut std::net::TcpStream| {
+        stream.write_all(&frame).unwrap();
+        stream.read_exact(&mut resp_header).unwrap();
+        assert_eq!(resp_header[5], 0, "warm wire cycle must answer Ok");
+        let len = u32::from_le_bytes([
+            resp_header[14],
+            resp_header[15],
+            resp_header[16],
+            resp_header[17],
+        ]) as usize;
+        assert_eq!(len, output_bytes, "Ok payload is argmax + one score row");
+        stream.read_exact(&mut resp_payload).unwrap();
+    };
+
+    // Warm-up: the connection thread builds its `ConnState` (slots and
+    // buffers) on the first frames; steady state starts after that.
+    for _ in 0..5 {
+        cycle(&mut stream);
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        cycle(&mut stream);
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "warm server-side wire path allocated {delta} time(s); the decode → submit → \
+         wait → encode loop must run entirely out of pre-allocated connection state"
+    );
+
+    server.shutdown_within(std::time::Duration::from_secs(10));
+}
+
+#[test]
 fn pooled_run_allocates_only_the_returned_outputs() {
     let g = residual_net();
     let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);

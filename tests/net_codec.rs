@@ -1,0 +1,242 @@
+//! Codec round-trip and robustness proptests (ISSUE 8 satellite):
+//! arbitrary valid frames encode→decode bit-identically, and truncated,
+//! corrupted, oversized, and wrong-version byte streams decode to typed
+//! `FrameError`s — the decoders never panic, whatever the input.
+
+use neocpu::EngineHealth;
+use neocpu_net::{
+    decode_request, decode_response, encode_request, encode_response, model_from_wire,
+    FrameError, FrameKind, RequestFrame, ResponseFrame, WireDtype, MAX_PAYLOAD, REQ_HEADER_LEN,
+    RESP_HEADER_LEN, VERSION,
+};
+use proptest::prelude::*;
+
+/// Builds a random but valid request frame from proptest-drawn scalars.
+fn build_request(
+    request_id: u64,
+    kind_bit: bool,
+    model_byte: u8,
+    dtype_bit: bool,
+    deadline_us: u32,
+    payload_words: usize,
+    payload_seed: u64,
+) -> (RequestFrame<'static>, Vec<u8>) {
+    let kind = if kind_bit { FrameKind::Health } else { FrameKind::Infer };
+    let payload: Vec<u8> = if kind == FrameKind::Health {
+        Vec::new()
+    } else {
+        let mut state = payload_seed.max(1);
+        (0..payload_words * 4)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect()
+    };
+    let payload: &'static [u8] = Box::leak(payload.into_boxed_slice());
+    let frame = RequestFrame {
+        request_id,
+        kind,
+        model: model_from_wire(model_byte % 16).expect("in-zoo byte"),
+        dtype: if dtype_bit { WireDtype::Int8 } else { WireDtype::F32 },
+        deadline_us,
+        payload,
+    };
+    let mut buf = Vec::new();
+    encode_request(&frame, &mut buf);
+    (frame, buf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn request_frames_round_trip(
+        request_id in any::<u64>(),
+        kind_bit in any::<bool>(),
+        model_byte in 0u8..16,
+        dtype_bit in any::<bool>(),
+        deadline_us in any::<u32>(),
+        payload_words in 0usize..64,
+        payload_seed in any::<u64>(),
+    ) {
+        let (frame, buf) = build_request(
+            request_id, kind_bit, model_byte, dtype_bit, deadline_us, payload_words,
+            payload_seed,
+        );
+        let (decoded, used) = match decode_request(&buf) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("valid frame rejected: {e}"))),
+        };
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_requests_are_typed_errors(
+        request_id in any::<u64>(),
+        model_byte in 0u8..16,
+        payload_words in 1usize..64,
+        cut in 0usize..260,
+    ) {
+        let (_, buf) = build_request(request_id, false, model_byte, false, 0, payload_words, 1);
+        prop_assume!(cut < buf.len());
+        match decode_request(&buf[..cut]) {
+            Err(FrameError::Truncated { have, need }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(need > cut, "need {} must exceed have {}", need, cut);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "truncation at {cut} gave {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_request_bytes_never_panic(
+        request_id in any::<u64>(),
+        model_byte in 0u8..16,
+        payload_words in 0usize..16,
+        corrupt_at in 0usize..100,
+        corrupt_to in any::<u8>(),
+    ) {
+        let (frame, mut buf) =
+            build_request(request_id, false, model_byte, false, 0, payload_words, 2);
+        prop_assume!(corrupt_at < buf.len());
+        prop_assume!(buf[corrupt_at] != corrupt_to);
+        buf[corrupt_at] = corrupt_to;
+        // Decoding must terminate in either a typed error or a (different
+        // or identical) valid frame — never a panic. Corrupting the
+        // payload or the id yields a valid frame; headers yield errors.
+        if let Ok((decoded, used)) = decode_request(&buf) {
+            prop_assert!(used <= buf.len());
+            if corrupt_at >= REQ_HEADER_LEN {
+                // Payload corruption alone never changes the header.
+                prop_assert_eq!(decoded.request_id, frame.request_id);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected(version in any::<u8>(), model_byte in 0u8..16) {
+        prop_assume!(version != VERSION);
+        let (_, mut buf) = build_request(7, false, model_byte, false, 0, 4, 3);
+        buf[4] = version;
+        match decode_request(&buf) {
+            Err(FrameError::Version { got }) => prop_assert_eq!(got, version),
+            other => {
+                return Err(TestCaseError::fail(format!("version {version} gave {other:?}")))
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_payloads_are_rejected(
+        model_byte in 0u8..16,
+        extra in 1u32..1000,
+    ) {
+        let (_, mut buf) = build_request(9, false, model_byte, false, 0, 2, 4);
+        let huge = MAX_PAYLOAD + extra;
+        buf[20..24].copy_from_slice(&huge.to_le_bytes());
+        match decode_request(&buf) {
+            Err(FrameError::Oversized { len, max }) => {
+                prop_assert_eq!(len, huge);
+                prop_assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => return Err(TestCaseError::fail(format!("oversized gave {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip(
+        request_id in any::<u64>(),
+        variant in 0usize..6,
+        queue_depth in any::<u32>(),
+        argmax in any::<u32>(),
+        score_count in 1usize..32,
+        health_code in 0u8..4,
+    ) {
+        let scores: Vec<u8> = (0..score_count)
+            .flat_map(|i| ((i as f32) * 0.25 - 2.0).to_le_bytes())
+            .collect();
+        let message = "worker lost: generation 3";
+        let frame = match variant {
+            0 => ResponseFrame::Ok { request_id, argmax, scores: &scores },
+            1 => ResponseFrame::Busy { request_id, queue_depth },
+            2 => ResponseFrame::DeadlineExceeded { request_id },
+            3 => ResponseFrame::Shutdown { request_id },
+            4 => ResponseFrame::Error { request_id, message },
+            _ => ResponseFrame::Health {
+                request_id,
+                health: EngineHealth::from_code(health_code).expect("valid code"),
+            },
+        };
+        let mut buf = Vec::new();
+        encode_response(&frame, &mut buf);
+        let (decoded, used) = match decode_response(&buf) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("valid response rejected: {e}"))),
+        };
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_either_decoder(
+        len in 0usize..96,
+        seed in any::<u64>(),
+        with_magic in any::<bool>(),
+    ) {
+        let mut state = seed.max(1);
+        let mut buf: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        if with_magic && buf.len() >= 5 {
+            buf[0..4].copy_from_slice(b"NCPU");
+            buf[4] = VERSION;
+        }
+        // Termination without panic is the property; the result value is
+        // free. Consumed lengths must stay in bounds when decoding works.
+        if let Ok((_, used)) = decode_request(&buf) {
+            prop_assert!(used <= buf.len());
+            prop_assert!(used >= REQ_HEADER_LEN);
+        }
+        if let Ok((_, used)) = decode_response(&buf) {
+            prop_assert!(used <= buf.len());
+            prop_assert!(used >= RESP_HEADER_LEN);
+        }
+    }
+}
+
+#[test]
+fn bad_status_and_bad_health_are_typed() {
+    let mut buf = Vec::new();
+    encode_response(&ResponseFrame::Shutdown { request_id: 1 }, &mut buf);
+    buf[5] = 9;
+    assert!(matches!(decode_response(&buf), Err(FrameError::BadStatus { got: 9 })));
+
+    encode_response(
+        &ResponseFrame::Health { request_id: 1, health: EngineHealth::Ready },
+        &mut buf,
+    );
+    buf[RESP_HEADER_LEN] = 77;
+    assert!(matches!(decode_response(&buf), Err(FrameError::BadHealth { got: 77 })));
+}
+
+#[test]
+fn non_utf8_error_message_is_rejected() {
+    let mut buf = Vec::new();
+    encode_response(&ResponseFrame::Error { request_id: 3, message: "boom" }, &mut buf);
+    buf[RESP_HEADER_LEN] = 0xFF;
+    buf[RESP_HEADER_LEN + 1] = 0xFE;
+    assert!(matches!(decode_response(&buf), Err(FrameError::BadPayload(_))));
+}

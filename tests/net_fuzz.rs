@@ -1,0 +1,260 @@
+//! Seeded malformed-input fuzz drill for the TCP frontend (ISSUE 8
+//! satellite): a deterministic schedule of hostile connections — garbage
+//! bytes, corrupted headers, oversized declarations, truncated frames,
+//! half-closed sockets — hammers a live server, and after every round the
+//! drill asserts the server is still healthy and still answers a clean
+//! request correctly. The schedule derives entirely from one seed, printed
+//! up front and overridable via `CHAOS_SEED`, so any failure reproduces
+//! byte-for-byte.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use neocpu::{EngineHealth, Module, ServeOptions};
+use neocpu_models::ModelKind;
+use neocpu_net::{
+    encode_request, FrameKind, ModelRegistry, ModelSpec, NetServer, RequestFrame, WireDtype,
+    MAX_PAYLOAD, RESP_HEADER_LEN,
+};
+
+/// Base seed for the drill schedule; override with `CHAOS_SEED=<u64>` to
+/// reproduce a failing run.
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x00C0_FFEE);
+    println!("net fuzz seed: {seed} (set CHAOS_SEED to reproduce)");
+    seed
+}
+
+/// xorshift64* — the same generator the chaos drills use, so the whole
+/// attack schedule derives from the one printed seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Fails the drill if `f` does not finish within `secs` — a server wedged
+/// by garbage input is exactly what this test exists to rule out.
+fn with_timeout<F: FnOnce() + Send + 'static>(secs: u64, name: &str, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = std::thread::spawn(move || {
+        f();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) | Err(RecvTimeoutError::Disconnected) => t.join().unwrap(),
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("{name} did not finish within {secs}s: likely deadlock")
+        }
+    }
+}
+
+/// The one tiny module this drill serves, compiled once per process.
+fn mobilenet() -> (ModelSpec, Arc<Module>) {
+    static MODULE: OnceLock<(ModelSpec, Arc<Module>)> = OnceLock::new();
+    MODULE
+        .get_or_init(|| {
+            let spec = ModelSpec::serving(ModelKind::MobileNet, WireDtype::F32, false, 2);
+            let (module, _) = spec.compile().expect("tiny MobileNet compiles");
+            (spec, module)
+        })
+        .clone()
+}
+
+/// A well-formed request frame for the served route.
+fn valid_frame(spec: &ModelSpec, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_request(
+        &RequestFrame {
+            request_id,
+            kind: FrameKind::Infer,
+            model: spec.kind,
+            dtype: spec.dtype,
+            deadline_us: 0,
+            payload,
+        },
+        &mut buf,
+    );
+    buf
+}
+
+fn connect(server: &NetServer) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+}
+
+/// Reads one response frame; `None` on EOF/reset/timeout.
+fn read_response(stream: &mut TcpStream) -> Option<(u8, u64, Vec<u8>)> {
+    let mut buf = vec![0u8; RESP_HEADER_LEN];
+    stream.read_exact(&mut buf).ok()?;
+    let payload_len = u32::from_le_bytes([buf[14], buf[15], buf[16], buf[17]]) as usize;
+    buf.resize(RESP_HEADER_LEN + payload_len, 0);
+    stream.read_exact(&mut buf[RESP_HEADER_LEN..]).ok()?;
+    let (frame, _) = neocpu_net::decode_response(&buf).expect("server frames are always valid");
+    let rid = frame.request_id();
+    let payload = buf[RESP_HEADER_LEN..].to_vec();
+    Some((frame.status(), rid, payload))
+}
+
+/// One clean request must round-trip to `Ok` with the id echoed — the
+/// health criterion applied after every attack round.
+fn assert_servable(server: &NetServer, spec: &ModelSpec, payload: &[u8], rid: u64) {
+    let mut stream = connect(server);
+    stream.write_all(&valid_frame(spec, rid, payload)).expect("clean request write");
+    let (status, got_rid, _) = read_response(&mut stream).expect("clean request answered");
+    assert_eq!(status, 0, "clean request after an attack must be Ok");
+    assert_eq!(got_rid, rid, "clean request id echo");
+}
+
+#[test]
+fn hostile_bytes_never_take_the_server_down() {
+    with_timeout(300, "hostile_bytes_never_take_the_server_down", || {
+        let (spec, module) = mobilenet();
+        let registry = Arc::new(
+            ModelRegistry::from_modules(
+                vec![(spec, module)],
+                &ServeOptions {
+                    workers: 1,
+                    batch_timeout: Duration::from_millis(1),
+                    ..Default::default()
+                },
+            )
+            .expect("registry starts"),
+        );
+        let input_bytes = registry.entries()[0].input_bytes;
+        let clean_payload = vec![0x3Du8; input_bytes]; // valid finite f32 pattern
+        let server = NetServer::bind(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+
+        let mut rng = XorShift::new(chaos_seed());
+        const ROUNDS: usize = 24;
+        for round in 0..ROUNDS {
+            match rng.next() % 7 {
+                // Pure byte soup, then close.
+                0 => {
+                    let mut stream = connect(&server);
+                    let len = (rng.next() % 512) as usize;
+                    let soup: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+                    let _ = stream.write_all(&soup);
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                // Valid magic + version, then garbage: the header parses
+                // further before failing on kind/model/dtype.
+                1 => {
+                    let mut stream = connect(&server);
+                    let mut buf = vec![0u8; 24 + (rng.next() % 64) as usize];
+                    for b in buf.iter_mut() {
+                        *b = rng.next() as u8;
+                    }
+                    buf[0..4].copy_from_slice(b"NCPU");
+                    buf[4] = 1;
+                    let _ = stream.write_all(&buf);
+                    // Either an Error frame (rid 0) or a reset is fine.
+                    if let Some((status, rid, _)) = read_response(&mut stream) {
+                        if status == 4 {
+                            assert_eq!(rid, 0, "desync errors carry rid 0");
+                        }
+                    }
+                }
+                // Oversized declared payload: a typed Error then close.
+                2 => {
+                    let mut stream = connect(&server);
+                    let mut buf = valid_frame(&spec, round as u64, &clean_payload);
+                    let huge = MAX_PAYLOAD + 1 + (rng.next() % 1000) as u32;
+                    buf[20..24].copy_from_slice(&huge.to_le_bytes());
+                    let _ = stream.write_all(&buf[..24]);
+                    if let Some((status, _, _)) = read_response(&mut stream) {
+                        assert_eq!(status, 4, "oversized declaration must be an Error");
+                    }
+                }
+                // Truncated valid frame, then abrupt close mid-payload.
+                3 => {
+                    let mut stream = connect(&server);
+                    let buf = valid_frame(&spec, round as u64, &clean_payload);
+                    let cut = 1 + (rng.next() as usize % (buf.len() - 1));
+                    let _ = stream.write_all(&buf[..cut]);
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                // Half-close the write side mid-header: the server's
+                // header read sees EOF and must just drop the connection.
+                4 => {
+                    let mut stream = connect(&server);
+                    let buf = valid_frame(&spec, round as u64, &clean_payload);
+                    let _ = stream.write_all(&buf[..12]);
+                    let _ = stream.shutdown(Shutdown::Write);
+                    assert!(
+                        read_response(&mut stream).is_none(),
+                        "a half-frame must not produce a response"
+                    );
+                }
+                // A valid request, then garbage on the same connection:
+                // the good frame is served before the stream desyncs.
+                5 => {
+                    let mut stream = connect(&server);
+                    stream
+                        .write_all(&valid_frame(&spec, round as u64, &clean_payload))
+                        .expect("valid frame write");
+                    let soup: Vec<u8> = (0..64).map(|_| rng.next() as u8).collect();
+                    let _ = stream.write_all(&soup);
+                    let (status, rid, _) =
+                        read_response(&mut stream).expect("valid frame answered");
+                    assert_eq!(status, 0, "the valid frame is served first");
+                    assert_eq!(rid, round as u64);
+                }
+                // In-bounds payload_len that matches no route: drained off
+                // the socket, answered with Error, stream stays framed.
+                _ => {
+                    let mut stream = connect(&server);
+                    let extra = input_bytes + 4 + (rng.next() % 8192) as usize * 4;
+                    let wrong = vec![0u8; extra];
+                    stream
+                        .write_all(&valid_frame(&spec, round as u64, &wrong))
+                        .expect("wrong-size frame write");
+                    let (status, rid, _) =
+                        read_response(&mut stream).expect("wrong-size frame answered");
+                    assert_eq!(status, 4, "wrong payload size must be an Error");
+                    assert_eq!(rid, round as u64);
+                    // Same connection still serves a clean request.
+                    stream
+                        .write_all(&valid_frame(&spec, 1000 + round as u64, &clean_payload))
+                        .expect("follow-up write");
+                    let (status, rid, _) =
+                        read_response(&mut stream).expect("follow-up answered");
+                    assert_eq!(status, 0, "stream stayed framed after the Error");
+                    assert_eq!(rid, 1000 + round as u64);
+                }
+            }
+            assert_eq!(
+                server.health(),
+                EngineHealth::Ready,
+                "round {round}: server health degraded"
+            );
+            assert_servable(&server, &spec, &clean_payload, 0xF000 + round as u64);
+        }
+
+        // The drill ends with a clean drain: hostile traffic must not leak
+        // anything that wedges shutdown.
+        server.shutdown_within(Duration::from_secs(10));
+        assert_eq!(server.health(), EngineHealth::Stopped);
+    });
+}
