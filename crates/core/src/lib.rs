@@ -44,6 +44,7 @@ pub mod faults;
 pub mod memory;
 mod quantize;
 pub mod serve;
+pub mod shard;
 mod target;
 
 pub use compile::{
@@ -58,8 +59,13 @@ pub use quantize::{
     DEFAULT_INT8_ERROR_BUDGET,
 };
 pub use memory::MemoryReport;
-pub use serve::{EngineHealth, Request, ServeEngine, ServeOptions, ServeReport, ShedPolicy};
+pub use serve::{
+    EngineHealth, LatencyClass, Request, ServeEngine, ServeOptions, ServeReport, ShedPolicy,
+};
+pub use shard::{ShardReport, ShardedEngine};
 pub use target::{CpuTarget, IsaKind};
+
+pub use neocpu_threadpool::affinity::CoreSet;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NeoError>;

@@ -49,8 +49,20 @@
 //!   [`ServeEngine::health`]). [`ServeEngine::shutdown_within`] stops
 //!   admissions, drains what fits the budget, and fails the remainder with
 //!   [`NeoError::Shutdown`]; [`ServeEngine::shutdown`] drains everything.
-//! * Workers bind to distinct cores via `neocpu-threadpool`'s affinity
-//!   helper (best effort; see [`ServeOptions::bind_workers`]).
+//! * Workers bind to distinct cores inside the engine's [`CoreSet`]
+//!   (best effort; see [`ServeOptions::bind_workers`] /
+//!   [`ServeOptions::core_set`]). Engines that do not pass an explicit
+//!   set reserve slots from a process-global cursor, so two engines in
+//!   one process land on disjoint cores by default.
+//! * **Latency classes**: a request (or a whole engine, via
+//!   [`ServeOptions::latency_class`]) marked [`LatencyClass::Interactive`]
+//!   is queued ahead of bulk work and caps batch formation at what is
+//!   already queued — it never waits out the batch timeout behind a large
+//!   coalescing batch.
+//! * **Work stealing**: engines linked as replicas of one
+//!   [`crate::shard::ShardedEngine`] let an idle worker claim queued
+//!   requests from a busy sibling replica, so one hot queue cannot
+//!   starve while other partitions idle.
 //!
 //! The module executed by the engine should usually be compiled
 //! single-threaded (`PoolChoice::Sequential`): the engine's workers are
@@ -61,12 +73,12 @@
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use neocpu_tensor::{Layout, Shape, Tensor};
-use neocpu_threadpool::affinity;
+use neocpu_threadpool::affinity::{self, CoreSet};
 
 use crate::executor::{Module, RunContext};
 use crate::{NeoError, Result};
@@ -83,6 +95,23 @@ pub enum ShedPolicy {
     /// work when queued requests are likely to miss their deadlines
     /// anyway.
     ShedOldest,
+}
+
+/// Scheduling class of a request (see [`ServeOptions::latency_class`] and
+/// [`Request::set_latency_class`]).
+///
+/// The class changes *dispatch order*, not execution: interactive requests
+/// jump ahead of bulk work in the submission queue, and a batch containing
+/// one never waits out [`ServeOptions::batch_timeout`] for more rows — it
+/// runs with whatever is already queued. Bulk requests get the full
+/// coalescing treatment (larger batches, better throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyClass {
+    /// Latency-sensitive: dequeued first, caps batch-formation waits.
+    Interactive,
+    /// Throughput-oriented (default): coalesced up to the batch timeout.
+    #[default]
+    Bulk,
 }
 
 /// Engine lifecycle state (see [`ServeEngine::health`]).
@@ -164,8 +193,23 @@ pub struct ServeOptions {
     /// (backpressure) until a worker drains it, and makes `try_submit`
     /// shed per [`ServeOptions::shed_policy`].
     pub queue_cap: usize,
-    /// Pin worker `w` to core `w % cores` (best effort, Linux only).
+    /// Pin each worker to one core of the engine's [`CoreSet`] (best
+    /// effort, Linux only). With [`ServeOptions::core_set`] unset the
+    /// engine reserves `workers` slots from a process-global cursor over
+    /// the cpuset, so concurrently constructed engines land on disjoint
+    /// cores instead of all stacking onto `0..workers`.
     pub bind_workers: bool,
+    /// Explicit cores for this engine's workers: worker `w` binds to the
+    /// `w`-th core of the set, wrapping when the set is smaller than the
+    /// worker count. `None` (default) reserves cores from the
+    /// process-global cursor. Ignored unless `bind_workers` is set; an
+    /// explicitly empty set is a configuration error.
+    pub core_set: Option<CoreSet>,
+    /// Default [`LatencyClass`] for requests that did not set their own
+    /// via [`Request::set_latency_class`]. A registry fronting several
+    /// models marks small-model routes `Interactive` so their requests
+    /// never dally in batch formation behind bulk traffic.
+    pub latency_class: LatencyClass,
     /// Latency samples retained for percentile reporting; older samples
     /// are overwritten ring-style so the warm path never reallocates.
     pub latency_capacity: usize,
@@ -194,6 +238,8 @@ impl Default for ServeOptions {
             batch_timeout: Duration::from_millis(1),
             queue_cap: 256,
             bind_workers: true,
+            core_set: None,
+            latency_class: LatencyClass::Bulk,
             latency_capacity: 65_536,
             default_deadline: None,
             shed_policy: ShedPolicy::RejectNewest,
@@ -236,6 +282,15 @@ struct SlotInner {
     /// Absolute deadline, fixed at submit time (budget or the engine
     /// default, added to the submission instant).
     deadline: Option<Instant>,
+    /// Scheduling class override; `None` falls back to the admitting
+    /// engine's [`ServeOptions::latency_class`]. Persists across fills.
+    class: Option<LatencyClass>,
+    /// The engine that admitted the current submission, for deadline
+    /// cancellation from `wait` (weak: a request must not keep a dropped
+    /// engine's threads alive). Set per submit, because a sharded
+    /// dispatcher may route each submission of one slot to a different
+    /// replica.
+    engine: Weak<Shared>,
 }
 
 /// A reusable request slot: one in-flight inference.
@@ -254,9 +309,6 @@ struct SlotInner {
 /// [`NeoError::WorkerLost`], or [`NeoError::Shutdown`].
 pub struct Request {
     module_uid: u64,
-    /// Back-reference for deadline cancellation from `wait` (weak: a
-    /// request must not keep a dropped engine's threads alive).
-    shared: Weak<Shared>,
     inner: Mutex<SlotInner>,
     done: Condvar,
 }
@@ -427,22 +479,51 @@ impl Request {
         }
     }
 
-    /// Removes this request from the engine's queue (if still there) and
-    /// resolves it as expired. Returns whether this call resolved it.
+    /// Pins the slot's scheduling class (see [`LatencyClass`]); the class
+    /// persists across fills and resubmissions until set again. Without a
+    /// pinned class, requests inherit the admitting engine's
+    /// [`ServeOptions::latency_class`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a slot that is currently in flight.
+    pub fn set_latency_class(&self, class: LatencyClass) -> Result<()> {
+        let mut inner = lock(&self.inner);
+        if matches!(inner.state, SlotState::Queued) {
+            return Err(NeoError::Serve("cannot reclass a request that is in flight".into()));
+        }
+        inner.class = Some(class);
+        Ok(())
+    }
+
+    /// Removes this request from the admitting engine's queue (if still
+    /// there) and resolves it as expired. Returns whether this call
+    /// resolved it.
     fn cancel_expired(&self, seq: u64) -> bool {
-        let Some(shared) = self.shared.upgrade() else {
+        // Lock order is queue → slot, so read the engine weak and release
+        // the slot before touching the queue.
+        let engine = {
+            let inner = lock(&self.inner);
+            if inner.seq != seq {
+                return false;
+            }
+            inner.engine.clone()
+        };
+        let Some(shared) = engine.upgrade() else {
             // Engine gone; resolve locally so the waiter cannot hang.
             return resolve_failure(self, seq, &NeoError::DeadlineExceeded);
         };
         let mut q = lock(&shared.queue);
-        let pos = q
-            .items
-            .iter()
-            .position(|(r, s)| std::ptr::eq(Arc::as_ptr(r), self as *const Request) && *s == seq);
-        let Some(pos) = pos else {
-            return false;
+        let me = |(r, s): &(Arc<Request>, u64)| {
+            std::ptr::eq(Arc::as_ptr(r), self as *const Request) && *s == seq
         };
-        q.items.remove(pos);
+        if let Some(pos) = q.hi.iter().position(me) {
+            q.hi.remove(pos);
+        } else if let Some(pos) = q.bulk.iter().position(me) {
+            q.bulk.remove(pos);
+        } else {
+            return false;
+        }
         drop(q);
         shared.not_full.notify_one();
         if resolve_failure(self, seq, &NeoError::DeadlineExceeded) {
@@ -482,11 +563,27 @@ impl Request {
     }
 }
 
-/// The bounded submission queue plus its synchronization.
+/// The bounded submission queue plus its synchronization: two priority
+/// lanes (interactive ahead of bulk) that share one capacity.
 struct QueueInner {
-    items: VecDeque<(Arc<Request>, u64)>,
+    /// Interactive lane, always drained before `bulk`.
+    hi: VecDeque<(Arc<Request>, u64)>,
+    /// Bulk lane (the common case).
+    bulk: VecDeque<(Arc<Request>, u64)>,
     stopping: bool,
     depth_hwm: usize,
+}
+
+impl QueueInner {
+    fn len(&self) -> usize {
+        self.hi.len() + self.bulk.len()
+    }
+
+    /// Oldest queued item regardless of lane, for shed-oldest and drain
+    /// cancellation (bulk first: shedding prefers to sacrifice bulk work).
+    fn pop_oldest_any(&mut self) -> Option<(Arc<Request>, u64)> {
+        self.bulk.pop_front().or_else(|| self.hi.pop_front())
+    }
 }
 
 /// Aggregate counters and the latency ring, under one lock (touched once
@@ -506,6 +603,9 @@ struct ServeStats {
     batched_requests: u64,
     multi_batches: u64,
     max_batch_formed: usize,
+    /// Requests this engine's workers claimed from sibling replicas'
+    /// queues (counted on the stealing engine).
+    stolen: u64,
 }
 
 /// One worker's supervision record in the watchdog's table.
@@ -525,6 +625,10 @@ struct WorkerEntry {
     /// The slots of the batch currently executing, for failure resolution
     /// if the worker is lost mid-batch. Pre-reserved at `max_batch`.
     in_flight: Vec<(Arc<Request>, u64)>,
+    /// The core this worker verified itself bound to (it re-reads its
+    /// mask from the kernel after binding), `None` when unbound. Lets
+    /// tests prove two engines' workers landed on disjoint cores.
+    bound_core: Option<usize>,
 }
 
 /// State shared between the engine handle, its workers, and the watchdog.
@@ -546,6 +650,12 @@ struct Shared {
     /// Watchdog parking: `true` tells the watchdog to exit.
     watchdog_stop: Mutex<bool>,
     watchdog_cv: Condvar,
+    /// Sibling replicas' shared state, set once by
+    /// [`link_replicas`] when this engine serves inside a
+    /// [`crate::shard::ShardedEngine`]. Idle workers steal queued
+    /// requests from these queues (weak: a replica must not keep a
+    /// dropped sibling's state alive).
+    siblings: OnceLock<Vec<Weak<Shared>>>,
 }
 
 impl Shared {
@@ -580,6 +690,11 @@ pub struct ServeReport {
     /// Stalled workers abandoned by the watchdog (a subset of the events
     /// behind `respawns`).
     pub stalls: u64,
+    /// Requests this engine's workers claimed from sibling replicas'
+    /// queues (non-zero only inside a [`crate::shard::ShardedEngine`];
+    /// the stolen requests' completions are also counted here, on the
+    /// engine that executed them).
+    pub stolen: u64,
     /// Batched runs executed.
     pub batches: u64,
     /// Batches that coalesced more than one request.
@@ -633,7 +748,7 @@ impl std::fmt::Display for ServeReport {
             f,
             "{} ok / {} failed in {:.2}s ({:.1} img/s) | {} batches (mean {:.2}, max {}, >1: {}) \
              | queue hwm {} | p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms ({} samples) \
-             | {} workers × {} KiB arena | {} expired, {} shed, {} cancelled \
+             | {} workers × {} KiB arena | {} expired, {} shed, {} cancelled, {} stolen \
              | {} respawns ({} stalls) | {}",
             self.completed,
             self.failed,
@@ -653,6 +768,7 @@ impl std::fmt::Display for ServeReport {
             self.deadline_exceeded,
             self.shed,
             self.cancelled,
+            self.stolen,
             self.respawns,
             self.stalls,
             self.health,
@@ -676,6 +792,8 @@ pub struct ServeEngine {
     out_layouts: Vec<Layout>,
     default_deadline: Option<Duration>,
     shed_policy: ShedPolicy,
+    latency_class: LatencyClass,
+    cores: Option<CoreSet>,
     started: Instant,
 }
 
@@ -700,6 +818,11 @@ fn validate(opts: &ServeOptions) -> Result<()> {
     if opts.default_deadline.is_some_and(|d| d.is_zero()) {
         return Err(NeoError::Config(
             "ServeOptions::default_deadline must be non-zero when set".into(),
+        ));
+    }
+    if opts.core_set.as_ref().is_some_and(CoreSet::is_empty) {
+        return Err(NeoError::Config(
+            "ServeOptions::core_set must be non-empty when set".into(),
         ));
     }
     Ok(())
@@ -751,9 +874,26 @@ impl ServeEngine {
             .collect();
 
         let max_batch = if opts.max_batch == 0 { batch } else { opts.max_batch.min(batch) };
+        // Resolve where this engine's workers may pin: an explicit set
+        // wins; otherwise reserve slots from the process-global cursor so
+        // concurrently constructed engines do not stack onto the same
+        // cores. A reservation that comes back empty (no affinity API)
+        // degrades to unbound.
+        let cores = if opts.bind_workers {
+            match &opts.core_set {
+                Some(set) => Some(set.clone()),
+                None => {
+                    let reserved = affinity::reserve_cores(opts.workers);
+                    (!reserved.is_empty()).then_some(reserved)
+                }
+            }
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner {
-                items: VecDeque::with_capacity(opts.queue_cap),
+                hi: VecDeque::with_capacity(opts.queue_cap),
+                bulk: VecDeque::with_capacity(opts.queue_cap),
                 stopping: false,
                 depth_hwm: 0,
             }),
@@ -774,12 +914,14 @@ impl ServeEngine {
                 batched_requests: 0,
                 multi_batches: 0,
                 max_batch_formed: 0,
+                stolen: 0,
             }),
             workers: Mutex::new(Vec::with_capacity(opts.workers)),
             worker_exited: Condvar::new(),
             health: AtomicU8::new(EngineHealth::Starting as u8),
             watchdog_stop: Mutex::new(false),
             watchdog_cv: Condvar::new(),
+            siblings: OnceLock::new(),
         });
 
         let template = WorkerTemplate {
@@ -787,7 +929,7 @@ impl ServeEngine {
             shared: Arc::clone(&shared),
             max_batch,
             batch_timeout: opts.batch_timeout,
-            bind: opts.bind_workers,
+            cores: cores.clone(),
             input_shape: input_shape.clone(),
             input_layout,
         };
@@ -801,6 +943,7 @@ impl ServeEngine {
                     alive: false,
                     busy_since: None,
                     in_flight: Vec::with_capacity(max_batch),
+                    bound_core: None,
                 });
             }
             for w in 0..opts.workers {
@@ -849,8 +992,25 @@ impl ServeEngine {
             out_layouts,
             default_deadline: opts.default_deadline,
             shed_policy: opts.shed_policy,
+            latency_class: opts.latency_class,
+            cores,
             started: Instant::now(),
         })
+    }
+
+    /// The cores this engine's workers bind inside (`None` when binding
+    /// is disabled or unavailable).
+    pub fn core_set(&self) -> Option<&CoreSet> {
+        self.cores.as_ref()
+    }
+
+    /// The core each worker verified itself bound to (indexed by worker
+    /// slot; `None` for unbound workers or workers still starting). A
+    /// worker re-reads its affinity mask from the kernel after binding,
+    /// so this reflects what actually took effect — tests use it to prove
+    /// two engines' workers occupy disjoint cores.
+    pub fn bound_cores(&self) -> Vec<Option<usize>> {
+        lock(&self.shared.workers).iter().map(|e| e.bound_core).collect()
     }
 
     /// The module's compiled batch size B (the batcher's ceiling).
@@ -867,7 +1027,7 @@ impl ServeEngine {
     /// Current submission-queue depth (requests admitted, not yet picked
     /// up by a worker).
     pub fn queue_depth(&self) -> usize {
-        lock(&self.shared.queue).items.len()
+        lock(&self.shared.queue).len()
     }
 
     /// Creates a request slot with pre-allocated input/output buffers.
@@ -888,7 +1048,6 @@ impl ServeEngine {
             .collect();
         Arc::new(Request {
             module_uid: self.module.uid(),
-            shared: Arc::downgrade(&self.shared),
             inner: Mutex::new(SlotInner {
                 state: SlotState::Idle,
                 seq: 0,
@@ -897,6 +1056,8 @@ impl ServeEngine {
                 submitted: Instant::now(),
                 budget: None,
                 deadline: None,
+                class: None,
+                engine: Weak::new(),
             }),
             done: Condvar::new(),
         })
@@ -934,7 +1095,7 @@ impl ServeEngine {
         if req.module_uid != self.module.uid() {
             return Err(NeoError::Serve("request belongs to a different engine".into()));
         }
-        let (seq, deadline) = {
+        let (seq, deadline, class) = {
             let mut inner = lock(&req.inner);
             if matches!(inner.state, SlotState::Queued) {
                 return Err(NeoError::Serve("request is already in flight".into()));
@@ -945,7 +1106,8 @@ impl ServeEngine {
             inner.submitted = now;
             inner.deadline =
                 inner.budget.or(self.default_deadline).and_then(|b| now.checked_add(b));
-            (inner.seq, inner.deadline)
+            inner.engine = Arc::downgrade(&self.shared);
+            (inner.seq, inner.deadline, inner.class.unwrap_or(self.latency_class))
         };
         let mut q = lock(&self.shared.queue);
         loop {
@@ -954,11 +1116,11 @@ impl ServeEngine {
                 lock(&req.inner).state = SlotState::Idle;
                 return Err(NeoError::Shutdown);
             }
-            if q.items.len() < self.shared.queue_cap {
+            if q.len() < self.shared.queue_cap {
                 break;
             }
             if !blocking {
-                let queue_depth = q.items.len();
+                let queue_depth = q.len();
                 match self.shed_policy {
                     ShedPolicy::RejectNewest => {
                         drop(q);
@@ -966,7 +1128,7 @@ impl ServeEngine {
                         return Err(NeoError::Busy { queue_depth });
                     }
                     ShedPolicy::ShedOldest => {
-                        if let Some((victim, vseq)) = q.items.pop_front() {
+                        if let Some((victim, vseq)) = q.pop_oldest_any() {
                             if resolve_failure(&victim, vseq, &NeoError::Busy { queue_depth }) {
                                 lock(&self.shared.stats).shed += 1;
                             }
@@ -996,9 +1158,12 @@ impl ServeEngine {
                 }
             }
         }
-        q.items.push_back((Arc::clone(req), seq));
-        if q.items.len() > q.depth_hwm {
-            q.depth_hwm = q.items.len();
+        match class {
+            LatencyClass::Interactive => q.hi.push_back((Arc::clone(req), seq)),
+            LatencyClass::Bulk => q.bulk.push_back((Arc::clone(req), seq)),
+        }
+        if q.len() > q.depth_hwm {
+            q.depth_hwm = q.len();
         }
         drop(q);
         self.shared.not_empty.notify_one();
@@ -1022,63 +1187,15 @@ impl ServeEngine {
 
     /// Snapshot of the engine's serving statistics.
     pub fn report(&self) -> ServeReport {
-        let depth_hwm = lock(&self.shared.queue).depth_hwm;
-        let st = {
-            let st = lock(&self.shared.stats);
-            (
-                st.latencies_us.clone(),
-                [
-                    st.completed,
-                    st.failed,
-                    st.deadline_exceeded,
-                    st.shed,
-                    st.cancelled,
-                    st.respawns,
-                    st.stalls,
-                    st.batches,
-                    st.batched_requests,
-                    st.multi_batches,
-                ],
-                st.max_batch_formed,
-            )
-        };
-        let (mut lat, counters, max_formed) = st;
-        let [completed, failed, deadline_exceeded, shed, cancelled, respawns, stalls, batches, batched_requests, multi] =
-            counters;
-        lat.sort_by(f64::total_cmp);
-        // Nearest-rank percentile: the ceil(p/100 · n)-th smallest sample.
-        // Exact for any non-empty set (p50 of one sample is that sample;
-        // tiny sets collapse high percentiles to the max); NaN when empty.
-        let pct = |p: f64| -> f64 {
-            if lat.is_empty() {
-                return f64::NAN;
-            }
-            let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-            lat[rank.clamp(1, lat.len()) - 1] / 1e3
-        };
-        ServeReport {
-            completed,
-            failed,
-            deadline_exceeded,
-            shed,
-            cancelled,
-            respawns,
-            stalls,
-            batches,
-            multi_batches: multi,
-            mean_batch: if batches > 0 { batched_requests as f64 / batches as f64 } else { 0.0 },
-            max_batch_formed: max_formed,
-            queue_depth_hwm: depth_hwm,
-            latency_samples: lat.len(),
-            p50_ms: pct(50.0),
-            p95_ms: pct(95.0),
-            p99_ms: pct(99.0),
-            workers: self.worker_count,
-            module_batch: self.batch,
-            arena_bytes_per_context: self.module.memory_report().planned_peak_bytes,
-            elapsed_s: self.started.elapsed().as_secs_f64(),
-            health: self.shared.health(),
-        }
+        let mut raw = raw_stats(&self.shared);
+        raw.workers = self.worker_count;
+        build_report(
+            raw,
+            self.batch,
+            self.module.memory_report().planned_peak_bytes,
+            self.started.elapsed().as_secs_f64(),
+            self.shared.health(),
+        )
     }
 
     /// Stops the engine gracefully, drain bounded by `budget`: admissions
@@ -1117,7 +1234,7 @@ impl ServeEngine {
             // slices so a vanished workforce or an expired budget is
             // noticed promptly.
             loop {
-                if q.items.is_empty() {
+                if q.len() == 0 {
                     break;
                 }
                 let any_alive = lock(&self.shared.workers).iter().any(|e| e.alive);
@@ -1140,7 +1257,7 @@ impl ServeEngine {
             }
             // Whatever is left missed the budget.
             let mut cancelled = 0u64;
-            while let Some((req, seq)) = q.items.pop_front() {
+            while let Some((req, seq)) = q.pop_oldest_any() {
                 if resolve_failure(&req, seq, &NeoError::Shutdown) {
                     cancelled += 1;
                 }
@@ -1188,6 +1305,177 @@ impl ServeEngine {
     }
 }
 
+/// Raw, unsorted statistics pulled from one engine's shared state —
+/// the mergeable form of a [`ServeReport`]. Fleet-wide percentiles need
+/// the raw latency samples (percentiles of percentiles are meaningless),
+/// so replicas are merged at this level.
+pub(crate) struct RawStats {
+    lat: Vec<f64>,
+    completed: u64,
+    failed: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    cancelled: u64,
+    respawns: u64,
+    stalls: u64,
+    stolen: u64,
+    batches: u64,
+    batched_requests: u64,
+    multi_batches: u64,
+    max_batch_formed: usize,
+    depth_hwm: usize,
+    workers: usize,
+}
+
+fn raw_stats(shared: &Shared) -> RawStats {
+    let depth_hwm = lock(&shared.queue).depth_hwm;
+    let st = lock(&shared.stats);
+    RawStats {
+        lat: st.latencies_us.clone(),
+        completed: st.completed,
+        failed: st.failed,
+        deadline_exceeded: st.deadline_exceeded,
+        shed: st.shed,
+        cancelled: st.cancelled,
+        respawns: st.respawns,
+        stalls: st.stalls,
+        stolen: st.stolen,
+        batches: st.batches,
+        batched_requests: st.batched_requests,
+        multi_batches: st.multi_batches,
+        max_batch_formed: st.max_batch_formed,
+        depth_hwm,
+        workers: 0,
+    }
+}
+
+/// Builds a [`ServeReport`] from raw stats. Percentiles use the
+/// nearest-rank method (`ceil(p/100 · n)`-th smallest sample): exact for
+/// any non-empty set (p50 of one sample is that sample; tiny sets
+/// collapse high percentiles to the max) and NaN when empty — merged
+/// sharded reports with no completions stay NaN, not a bogus 0 ms.
+fn build_report(
+    raw: RawStats,
+    module_batch: usize,
+    arena_bytes_per_context: usize,
+    elapsed_s: f64,
+    health: EngineHealth,
+) -> ServeReport {
+    let mut lat = raw.lat;
+    lat.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return f64::NAN;
+        }
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1] / 1e3
+    };
+    ServeReport {
+        completed: raw.completed,
+        failed: raw.failed,
+        deadline_exceeded: raw.deadline_exceeded,
+        shed: raw.shed,
+        cancelled: raw.cancelled,
+        respawns: raw.respawns,
+        stalls: raw.stalls,
+        stolen: raw.stolen,
+        batches: raw.batches,
+        multi_batches: raw.multi_batches,
+        mean_batch: if raw.batches > 0 {
+            raw.batched_requests as f64 / raw.batches as f64
+        } else {
+            0.0
+        },
+        max_batch_formed: raw.max_batch_formed,
+        queue_depth_hwm: raw.depth_hwm,
+        latency_samples: lat.len(),
+        p50_ms: pct(50.0),
+        p95_ms: pct(95.0),
+        p99_ms: pct(99.0),
+        workers: raw.workers,
+        module_batch,
+        arena_bytes_per_context,
+        elapsed_s,
+        health,
+    }
+}
+
+/// Fleet-wide report over replica engines of one module: counters sum,
+/// latency rings concatenate (percentiles are recomputed over the union,
+/// NaN when every replica is empty), `max_batch_formed` is the largest
+/// anywhere, and `queue_depth_hwm` is the deepest any single replica
+/// queue ever got (per-queue high-water marks peak at different times,
+/// so summing them would overstate fleet backlog).
+pub(crate) fn merged_report(engines: &[ServeEngine], elapsed_s: f64) -> ServeReport {
+    let mut merged: Option<RawStats> = None;
+    for e in engines {
+        let mut raw = raw_stats(&e.shared);
+        raw.workers = e.worker_count;
+        merged = Some(match merged {
+            None => raw,
+            Some(mut acc) => {
+                acc.lat.append(&mut raw.lat);
+                acc.completed += raw.completed;
+                acc.failed += raw.failed;
+                acc.deadline_exceeded += raw.deadline_exceeded;
+                acc.shed += raw.shed;
+                acc.cancelled += raw.cancelled;
+                acc.respawns += raw.respawns;
+                acc.stalls += raw.stalls;
+                acc.stolen += raw.stolen;
+                acc.batches += raw.batches;
+                acc.batched_requests += raw.batched_requests;
+                acc.multi_batches += raw.multi_batches;
+                acc.max_batch_formed = acc.max_batch_formed.max(raw.max_batch_formed);
+                acc.depth_hwm = acc.depth_hwm.max(raw.depth_hwm);
+                acc.workers += raw.workers;
+                acc
+            }
+        });
+    }
+    let raw = merged.expect("merged_report requires at least one replica");
+    let health = aggregate_health(engines.iter().map(ServeEngine::health));
+    let (module_batch, arena) = engines
+        .first()
+        .map(|e| (e.batch, e.module.memory_report().planned_peak_bytes))
+        .unwrap_or((0, 0));
+    build_report(raw, module_batch, arena, elapsed_s, health)
+}
+
+/// Fleet health: the fleet serves as long as *any* replica serves.
+/// `Ready` if any replica is ready, else `Draining` if any is draining,
+/// else `Starting` if any is starting, else `Stopped`.
+pub(crate) fn aggregate_health(states: impl IntoIterator<Item = EngineHealth>) -> EngineHealth {
+    let mut agg = EngineHealth::Stopped;
+    for h in states {
+        match h {
+            EngineHealth::Ready => return EngineHealth::Ready,
+            EngineHealth::Draining => agg = EngineHealth::Draining,
+            EngineHealth::Starting if agg == EngineHealth::Stopped => {
+                agg = EngineHealth::Starting;
+            }
+            _ => {}
+        }
+    }
+    agg
+}
+
+/// Wires `engines` together as replicas of one sharded fleet: each
+/// engine learns the others' queues so its idle workers can steal queued
+/// requests. Call once, right after constructing the replicas (linking
+/// is sticky; a second call is a no-op).
+pub(crate) fn link_replicas(engines: &[ServeEngine]) {
+    for (i, e) in engines.iter().enumerate() {
+        let sibs: Vec<Weak<Shared>> = engines
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, o)| Arc::downgrade(&o.shared))
+            .collect();
+        let _ = e.shared.siblings.set(sibs);
+    }
+}
+
 /// Construction-failure teardown: stop and join whatever was spawned.
 fn abort_startup(shared: &Arc<Shared>) {
     lock(&shared.queue).stopping = true;
@@ -1224,7 +1512,9 @@ struct WorkerTemplate {
     shared: Arc<Shared>,
     max_batch: usize,
     batch_timeout: Duration,
-    bind: bool,
+    /// Cores workers pin inside (`None` = unbound); worker `w` takes the
+    /// `w`-th core, wrapping.
+    cores: Option<CoreSet>,
     input_shape: Shape,
     input_layout: Layout,
 }
@@ -1292,10 +1582,20 @@ fn worker_main(cfg: &WorkerCfg) {
     // Drill point: a panic here kills the nascent worker before it serves
     // anything; the watchdog's respawn loop must converge past it.
     crate::faults::fire_in_worker(crate::faults::WORKER_SPAWN);
-    if cfg.template.bind {
-        let cores = affinity::available_cores().max(1);
-        // Best effort — serving must work on hosts without affinity APIs.
-        let _ = affinity::bind_current_thread(cfg.index % cores);
+    // Pin inside the engine's core set (best effort — serving must work
+    // on hosts without affinity APIs), then read the mask back from the
+    // kernel and record what actually took effect.
+    let target = cfg.template.cores.as_ref().and_then(|set| set.core_at(cfg.index));
+    let bound = target.filter(|&core| affinity::bind_current_thread(core)).and_then(|core| {
+        affinity::current_thread_affinity()
+            .and_then(|mask| (mask.cores() == [core]).then_some(core))
+    });
+    {
+        let mut workers = lock(&shared.workers);
+        let entry = &mut workers[cfg.index];
+        if entry.generation == cfg.generation {
+            entry.bound_core = bound;
+        }
     }
     let mut ctx: RunContext = cfg.template.module.make_context();
     let mut staging = Tensor::zeros(cfg.template.input_shape.clone(), cfg.template.input_layout)
@@ -1348,11 +1648,20 @@ fn worker_main(cfg: &WorkerCfg) {
     }
 }
 
-/// Pops queue items, resolving expired requests (deadline passed, or the
-/// deadline-skew drill fired) without executing them, until a live one is
-/// found. Caller holds the queue lock.
-fn pop_live(shared: &Shared, q: &mut QueueInner) -> Option<(Arc<Request>, u64)> {
-    while let Some((req, seq)) = q.items.pop_front() {
+/// Pops queue items (interactive lane first), resolving expired requests
+/// (deadline passed, or the deadline-skew drill fired) without executing
+/// them, until a live one is found. The returned flag reports whether the
+/// item came from the interactive lane. Caller holds the queue lock.
+fn pop_live(shared: &Shared, q: &mut QueueInner) -> Option<(Arc<Request>, u64, bool)> {
+    loop {
+        let (item, interactive) = match q.hi.pop_front() {
+            Some(item) => (item, true),
+            None => match q.bulk.pop_front() {
+                Some(item) => (item, false),
+                None => return None,
+            },
+        };
+        let (req, seq) = item;
         shared.not_full.notify_one();
         let deadline = lock(&req.inner).deadline;
         if let Some(d) = deadline {
@@ -1364,35 +1673,75 @@ fn pop_live(shared: &Shared, q: &mut QueueInner) -> Option<(Arc<Request>, u64)> 
                 continue;
             }
         }
-        return Some((req, seq));
+        return Some((req, seq, interactive));
     }
-    None
 }
+
+/// How long an idle worker with an empty queue sleeps between steal
+/// sweeps over its sibling replicas. Floor for engines whose batch
+/// timeout is shorter: sweeping is two try-locks per sibling, but a hot
+/// spin here would burn the cores the replicas were partitioned to save.
+const STEAL_POLL_FLOOR: Duration = Duration::from_micros(200);
 
 /// Blocks for the first live request, then coalesces up to `max_batch`
 /// within `batch_timeout`. Returns `false` when the engine is stopping and
 /// the queue is drained (the worker should exit).
+///
+/// Two scheduling rules live here:
+/// * **Work stealing** — when this replica's queue is empty and it has
+///   linked siblings, the worker sweeps their queues before sleeping and
+///   runs whatever it claims immediately. The sleep between sweeps is
+///   bounded so a busy sibling is never ignored for long.
+/// * **Latency classes** — a batch that contains an interactive request
+///   (one popped from the high-priority lane) is capped at what is
+///   already queued: the worker never waits out the batch timeout while
+///   holding latency-sensitive work.
 fn form_batch(cfg: &WorkerCfg, batch: &mut Vec<(Arc<Request>, u64)>) -> bool {
     let tpl = &cfg.template;
+    let can_steal = tpl.shared.siblings.get().is_some_and(|s| !s.is_empty());
+    let steal_poll = tpl.batch_timeout.max(STEAL_POLL_FLOOR);
+    let mut interactive = false;
     let mut q = lock(&tpl.shared.queue);
     loop {
-        if let Some(item) = pop_live(&tpl.shared, &mut q) {
-            batch.push(item);
+        if let Some((req, seq, hi)) = pop_live(&tpl.shared, &mut q) {
+            interactive |= hi;
+            batch.push((req, seq));
             break;
         }
         if q.stopping {
             return false;
         }
-        q = tpl.shared.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+        if can_steal {
+            // Sweep siblings without holding our own queue lock (at most
+            // one queue lock is ever held, so replicas cannot deadlock
+            // stealing from each other).
+            drop(q);
+            if steal_batch(cfg, batch) {
+                return true; // stolen work runs immediately
+            }
+            q = lock(&tpl.shared.queue);
+            if q.len() > 0 || q.stopping {
+                continue;
+            }
+            let (guard, _) = tpl
+                .shared
+                .not_empty
+                .wait_timeout(q, steal_poll)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        } else {
+            q = tpl.shared.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
     }
     if tpl.max_batch > 1 {
         let deadline = Instant::now() + tpl.batch_timeout;
         while batch.len() < tpl.max_batch {
-            if let Some(item) = pop_live(&tpl.shared, &mut q) {
-                batch.push(item);
+            if let Some((req, seq, hi)) = pop_live(&tpl.shared, &mut q) {
+                interactive |= hi;
+                batch.push((req, seq));
                 continue;
             }
-            if q.stopping {
+            if q.stopping || interactive {
                 break;
             }
             let now = Instant::now();
@@ -1405,12 +1754,49 @@ fn form_batch(cfg: &WorkerCfg, batch: &mut Vec<(Arc<Request>, u64)>) -> bool {
                 .wait_timeout(q, deadline - now)
                 .unwrap_or_else(PoisonError::into_inner);
             q = guard;
-            if timeout.timed_out() && q.items.is_empty() {
+            if timeout.timed_out() && q.len() == 0 {
                 break;
             }
         }
     }
     true
+}
+
+/// Sweeps sibling replicas' queues, claiming up to `max_batch` live
+/// requests into `batch`. Returns whether anything was stolen. Sibling
+/// queues are only try-locked: a contended sibling is being served
+/// already, so there is nothing worth blocking for.
+fn steal_batch(cfg: &WorkerCfg, batch: &mut Vec<(Arc<Request>, u64)>) -> bool {
+    let Some(sibs) = cfg.template.shared.siblings.get() else {
+        return false;
+    };
+    for sib in sibs {
+        let Some(sib) = sib.upgrade() else { continue };
+        let mut sq = match sib.queue.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => continue,
+        };
+        // A draining sibling keeps its own queue: its drain protocol owns
+        // (and accounts for) every remaining item.
+        if sq.stopping {
+            continue;
+        }
+        while batch.len() < cfg.template.max_batch {
+            // Expiries found while sweeping resolve against the *owning*
+            // replica's stats, which is where the request was admitted.
+            match pop_live(&sib, &mut sq) {
+                Some((req, seq, _)) => batch.push((req, seq)),
+                None => break,
+            }
+        }
+        drop(sq);
+        if !batch.is_empty() {
+            lock(&cfg.template.shared.stats).stolen += batch.len() as u64;
+            return true;
+        }
+    }
+    false
 }
 
 /// Publishes the formed batch in this worker's supervision entry so the

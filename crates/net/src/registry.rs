@@ -1,16 +1,23 @@
 //! The multi-model registry: compiles a set of `(model, dtype)` routes,
-//! owns one [`ServeEngine`] per route, and answers routing queries for the
-//! TCP server. One process serves ResNet-50, Inception-v3, and MobileNet
-//! (plus int8 variants of the quantized zoo) from independent engines —
-//! each with its own batch memory plan and worker pool, so a slow model
-//! cannot head-of-line-block a fast one.
+//! owns one [`ShardedEngine`] per route, and answers routing queries for
+//! the TCP server. One process serves ResNet-50, Inception-v3, and
+//! MobileNet (plus int8 variants of the quantized zoo) from independent
+//! engine fleets — each with its own batch memory plan and worker pool
+//! partitioned onto its own cores, so a slow model cannot head-of-line
+//! block a fast one and two routes never contend for the same core.
+//!
+//! Routes whose planned working set is small next to the heaviest route
+//! are classed [`LatencyClass::Interactive`]: their requests jump the
+//! high-priority lane and cap batch coalescing, so a MobileNet ping is
+//! not stuck behind a ResNet-50 bulk batch.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use neocpu::{
-    compile, compile_quantized, CompileOptions, CpuTarget, EngineHealth, Module, NeoError,
-    OptLevel, PoolChoice, QuantizeOptions, Result, ServeEngine, ServeOptions, ServeReport,
+    compile, compile_quantized, CompileOptions, CpuTarget, EngineHealth, LatencyClass, Module,
+    NeoError, OptLevel, PoolChoice, QuantizeOptions, Result, ServeOptions, ServeReport,
+    ShardReport, ShardedEngine,
 };
 use neocpu_models::{build, quantized_zoo, ModelKind, ModelScale};
 
@@ -85,8 +92,11 @@ pub struct RegistryEntry {
     /// The compiled module the engine executes — kept so callers (tests,
     /// benches) can run reference inferences without recompiling.
     pub module: Arc<Module>,
-    /// The serve engine executing this route.
-    pub engine: ServeEngine,
+    /// The replicated engine fleet executing this route (`replicas: 1`
+    /// behaves exactly like a single `ServeEngine`).
+    pub engine: ShardedEngine,
+    /// The latency class this route's requests default to.
+    pub latency_class: LatencyClass,
     /// Exact per-request input payload size: one image as LE `f32` bytes.
     pub input_bytes: usize,
     /// Size of an `Ok` response payload: argmax `u32` + one score row.
@@ -129,12 +139,26 @@ impl ModelRegistry {
     /// Fails on a compile error, a duplicate `(model, dtype)` route, or an
     /// empty spec list.
     pub fn compile(specs: &[ModelSpec], opts: &ServeOptions) -> Result<Self> {
+        Self::compile_replicated(specs, opts, 1)
+    }
+
+    /// Compiles every spec and starts a fleet of `replicas` engines per
+    /// route, each replica core-partitioned (see [`ShardedEngine::new`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::compile`], plus invalid replica counts.
+    pub fn compile_replicated(
+        specs: &[ModelSpec],
+        opts: &ServeOptions,
+        replicas: usize,
+    ) -> Result<Self> {
         let mut modules = Vec::with_capacity(specs.len());
         for spec in specs {
             let (module, quantized) = spec.compile()?;
             modules.push((*spec, module, quantized));
         }
-        Self::from_compiled(modules, opts)
+        Self::from_compiled(modules, opts, replicas)
     }
 
     /// Builds a registry from already-compiled modules — the test suites
@@ -147,19 +171,43 @@ impl ModelRegistry {
         modules: Vec<(ModelSpec, Arc<Module>)>,
         opts: &ServeOptions,
     ) -> Result<Self> {
+        Self::from_modules_replicated(modules, opts, 1)
+    }
+
+    /// [`ModelRegistry::from_modules`] with `replicas` engines per route.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::from_modules`], plus invalid
+    /// replica counts.
+    pub fn from_modules_replicated(
+        modules: Vec<(ModelSpec, Arc<Module>)>,
+        opts: &ServeOptions,
+        replicas: usize,
+    ) -> Result<Self> {
         Self::from_compiled(
             modules.into_iter().map(|(spec, m)| (spec, m, 0)).collect(),
             opts,
+            replicas,
         )
     }
 
     fn from_compiled(
         modules: Vec<(ModelSpec, Arc<Module>, usize)>,
         opts: &ServeOptions,
+        replicas: usize,
     ) -> Result<Self> {
         if modules.is_empty() {
             return Err(NeoError::Config("registry needs at least one route".into()));
         }
+        // A route is "small" when its planned working set is at most half
+        // of the heaviest route's: its requests ride the interactive lane
+        // so they overtake bulk batches of the big models at dispatch.
+        let max_peak = modules
+            .iter()
+            .map(|(_, m, _)| m.memory_report().planned_peak_bytes)
+            .max()
+            .unwrap_or(0);
         let mut entries: Vec<RegistryEntry> = Vec::with_capacity(modules.len());
         for (spec, module, quantized_convs) in modules {
             if entries
@@ -187,11 +235,22 @@ impl ModelRegistry {
                 .map(row_elems)
                 .ok_or_else(|| NeoError::Config("module has no output".into()))?
                 * 4;
-            let engine = ServeEngine::new(Arc::clone(&module), opts)?;
+            let small = module.memory_report().planned_peak_bytes * 2 <= max_peak;
+            let latency_class = if opts.latency_class == LatencyClass::Bulk && small {
+                LatencyClass::Interactive
+            } else {
+                opts.latency_class
+            };
+            let engine = ShardedEngine::new(
+                Arc::clone(&module),
+                replicas,
+                &ServeOptions { latency_class, ..opts.clone() },
+            )?;
             entries.push(RegistryEntry {
                 spec,
                 module,
                 engine,
+                latency_class,
                 input_bytes,
                 output_bytes,
                 quantized_convs,
@@ -262,24 +321,38 @@ impl ModelRegistry {
         }
     }
 
-    /// Drains every engine within a shared budget (each engine gets the
-    /// time remaining when its drain starts). Idempotent.
+    /// Drains every route **concurrently**, each against the full
+    /// `budget`. The previous sequential drain handed each route only the
+    /// time its predecessors left over, so the last route of a busy
+    /// registry could get a zero budget and hard-cancel all queued work;
+    /// now every route races the same clock and the whole registry stops
+    /// within one budget. Idempotent.
     pub fn shutdown_within(&self, budget: Duration) {
-        let deadline = Instant::now() + budget;
-        for e in &self.entries {
-            e.engine.shutdown_within(deadline.saturating_duration_since(Instant::now()));
-        }
+        std::thread::scope(|s| {
+            for e in &self.entries {
+                s.spawn(move || e.engine.shutdown_within(budget));
+            }
+        });
     }
 
-    /// Unbounded drain of every engine. Idempotent.
+    /// Unbounded concurrent drain of every engine. Idempotent.
     pub fn shutdown(&self) {
-        for e in &self.entries {
-            e.engine.shutdown();
-        }
+        std::thread::scope(|s| {
+            for e in &self.entries {
+                s.spawn(move || e.engine.shutdown());
+            }
+        });
     }
 
-    /// Per-route serve reports, parallel to [`ModelRegistry::entries`].
+    /// Per-route fleet-level serve reports, parallel to
+    /// [`ModelRegistry::entries`] (counters summed and percentiles pooled
+    /// across each route's replicas).
     pub fn reports(&self) -> Vec<(ModelSpec, ServeReport)> {
+        self.entries.iter().map(|e| (e.spec, e.engine.report().fleet)).collect()
+    }
+
+    /// Per-route sharded reports (fleet plus per-replica breakdown).
+    pub fn shard_reports(&self) -> Vec<(ModelSpec, ShardReport)> {
         self.entries.iter().map(|e| (e.spec, e.engine.report())).collect()
     }
 }

@@ -237,6 +237,112 @@ fn warm_serve_cycle_performs_zero_allocations() {
 }
 
 #[test]
+fn latency_ring_wrap_never_reallocates() {
+    use std::sync::Arc;
+    use neocpu::{ServeEngine, ServeOptions};
+
+    // A tiny `latency_capacity` forces the latency ring to wrap inside
+    // the measured window: recording past capacity must overwrite in
+    // place (ring-style), never grow the sample vector.
+    let mut b = GraphBuilder::new(11);
+    let x = b.input([1, 8, 16, 16]);
+    let c = b.conv_bn_relu(x, 8, 3, 1, 1);
+    let g = b.finish(vec![c]);
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+    let cap = 8usize;
+    let engine = ServeEngine::new(
+        m,
+        &ServeOptions { workers: 1, latency_capacity: cap, ..Default::default() },
+    )
+    .unwrap();
+
+    let req = engine.make_request();
+    let img = Tensor::random([1, 8, 16, 16], Layout::Nchw, 17, 1.0).unwrap();
+    req.fill(&img).unwrap();
+    for _ in 0..3 {
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+
+    // 3 warm-up + 3×cap measured completions: the ring fills and wraps
+    // (several times) strictly inside the measured window.
+    let before = allocation_count();
+    for _ in 0..3 * cap {
+        engine.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "latency recording allocated {delta} time(s) across a ring wrap; samples past \
+         latency_capacity must overwrite in place"
+    );
+
+    let report = engine.report();
+    assert_eq!(report.latency_samples, cap, "ring retains exactly latency_capacity samples");
+    assert!(report.p50_ms.is_finite() && report.p99_ms.is_finite());
+    engine.shutdown();
+}
+
+#[test]
+fn warm_sharded_serve_cycle_performs_zero_allocations() {
+    use std::sync::Arc;
+    use neocpu::{ServeOptions, ShardedEngine};
+
+    // The batch-4 residual tower behind TWO core-partitioned replicas:
+    // the fill → dispatch → steal-eligible execute → wait cycle must be
+    // as allocation-free as the single-engine path.
+    let mut b = GraphBuilder::new(5);
+    let x = b.input([4, 8, 16, 16]);
+    let c0 = b.conv2d(x, 8, 1, 1, 0);
+    let c1 = b.conv_bn_relu(c0, 8, 3, 1, 1);
+    let c2 = b.conv2d_opts(c1, 8, 3, 1, 1, false);
+    let a = b.add(c2, c0);
+    let r = b.relu(a);
+    let p = b.max_pool(r, 2, 2, 0);
+    let f = b.flatten(p);
+    let d = b.dense(f, 10);
+    let s = b.softmax(d);
+    let g = b.finish(vec![s]);
+
+    let opts = CompileOptions::level(OptLevel::O2).with_pool(PoolChoice::Sequential);
+    let m = Arc::new(compile(&g, &CpuTarget::host(), &opts).unwrap());
+    let shard = ShardedEngine::new(
+        m,
+        2,
+        &ServeOptions { workers: 1, ..Default::default() },
+    )
+    .unwrap();
+
+    let req = shard.make_request();
+    let img = Tensor::random([1, 8, 16, 16], Layout::Nchw, 9, 1.0).unwrap();
+    req.fill(&img).unwrap();
+    for _ in 0..4 {
+        shard.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+
+    let before = allocation_count();
+    for _ in 0..10 {
+        shard.submit(&req).unwrap();
+        req.wait().unwrap();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "warm sharded serve cycle allocated {delta} time(s); least-loaded dispatch and \
+         work stealing must preserve the zero-allocation contract"
+    );
+
+    // Merged percentile semantics: real samples pool across replicas.
+    let rep = shard.report();
+    assert!(rep.fleet.completed >= 14);
+    assert!(rep.fleet.p50_ms.is_finite());
+    shard.shutdown();
+}
+
+#[test]
 fn warm_net_serve_path_performs_zero_allocations() {
     use std::io::{Read, Write};
     use std::sync::Arc;

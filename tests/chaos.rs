@@ -416,3 +416,87 @@ fn deadline_skew_expires_only_deadline_requests() {
     assert_eq!(rep.completed, 1);
     engine.shutdown();
 }
+
+/// ISSUE-9 `shard-smoke` drill: kill one replica's only worker and refuse
+/// every respawn — the sibling replica must keep the fleet serving by
+/// stealing whatever dispatch still routes onto the dead replica's queue.
+#[test]
+fn fleet_keeps_serving_after_a_replica_loses_its_worker() {
+    use neocpu::ShardedEngine;
+
+    let _guard = serial();
+    let seed = chaos_seed();
+    with_timeout(120, "sharded replica-kill drill", move || {
+        let shard = ShardedEngine::new(
+            small_module(),
+            2,
+            &ServeOptions {
+                workers: 1,
+                watchdog_interval: Duration::from_millis(10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let warm = shard.make_request();
+        warm.fill(&image(1)).unwrap();
+        for _ in 0..4 {
+            shard.submit(&warm).unwrap();
+            warm.wait().unwrap();
+        }
+
+        // The next worker that picks up a batch dies mid-execution, and
+        // every respawn attempt panics at spawn: one replica permanently
+        // loses its workforce while the fleet stays up.
+        arm(WORKER_SPAWN, Trigger::Always, FaultMode::Panic);
+        arm(BATCHER_WAKEUP, Trigger::Nth(1), FaultMode::Panic);
+        let mut killed = false;
+        for i in 0..1_000 {
+            let req = shard.make_request();
+            req.fill(&image(i)).unwrap();
+            shard.submit(&req).unwrap();
+            match req.wait() {
+                Ok(()) => {}
+                Err(NeoError::WorkerLost { .. }) => {
+                    killed = true;
+                    break;
+                }
+                Err(e) => panic!("seed {seed}: unexpected pre-kill outcome {e}"),
+            }
+        }
+        assert!(killed, "seed {seed}: the batcher failpoint never killed a worker");
+
+        // Fleet-level service continues: the dispatcher still spreads
+        // requests over both replicas (the dead one looks idle), so these
+        // only ever complete if the live replica steals the dead one's
+        // queue. Submit everything first, then wait.
+        const M: usize = 32;
+        let reqs: Vec<_> = (0..M)
+            .map(|i| {
+                let req = shard.make_request();
+                req.fill(&image(1000 + i as u64)).unwrap();
+                shard.submit(&req).unwrap();
+                req
+            })
+            .collect();
+        for (i, req) in reqs.iter().enumerate() {
+            req.wait().unwrap_or_else(|e| {
+                panic!("seed {seed}: post-kill request {i} failed: {e}")
+            });
+        }
+        let rep = shard.report();
+        println!("replica-kill drill report:\n{rep}");
+        assert!(
+            rep.fleet.stolen > 0,
+            "seed {seed}: no request was stolen off the dead replica's queue: {}",
+            rep.fleet
+        );
+        assert!(
+            rep.fleet.respawns > 0,
+            "seed {seed}: the watchdog never tried to respawn the dead worker"
+        );
+
+        disarm_all();
+        shard.shutdown_within(Duration::from_secs(10));
+        assert_eq!(shard.health(), EngineHealth::Stopped, "seed {seed}");
+    });
+}

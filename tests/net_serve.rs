@@ -532,3 +532,106 @@ fn drain_window_is_observable_on_existing_connections() {
         assert_eq!(read_response(&mut stream), None);
     });
 }
+
+/// ISSUE-9 satellite: `ModelRegistry::shutdown_within` must drain every
+/// route **concurrently** against one shared budget. The old sequential
+/// drain only reached route k after routes 0..k finished, so a deep
+/// backlog on the first route delayed (and could zero out) every later
+/// route's drain. Observables: (a) the *last* route leaves `Ready`
+/// almost immediately after the drain starts, not after route 0's
+/// multi-second backlog clears; (b) all queued work still completes;
+/// (c) every route is `Stopped` when one `shutdown_within` call returns.
+#[test]
+fn registry_drain_is_concurrent_across_routes() {
+    with_timeout(120, "concurrent registry drain", move || {
+        let opts = ServeOptions { workers: 1, queue_cap: 512, ..Default::default() };
+        let registry = registry(&opts);
+        let entries = registry.entries();
+        let first = &entries[0];
+        let last = entries.last().expect("registry has routes");
+
+        let image = |module: &Module, seed: u64| {
+            let mut dims = module.input_shapes()[0].dims().to_vec();
+            dims[0] = 1;
+            Tensor::random(dims, Layout::Nchw, seed, 1.0).expect("valid image")
+        };
+
+        // Calibrate route 0's per-request cost so the backlog reliably
+        // outlasts the concurrency assertion's threshold below.
+        let img0 = image(&first.module, 3);
+        let warm = first.engine.make_request();
+        warm.fill(&img0).expect("fill");
+        for _ in 0..2 {
+            first.engine.submit(&warm).expect("warm submit");
+            warm.wait().expect("warm wait");
+        }
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            first.engine.submit(&warm).expect("timed submit");
+            warm.wait().expect("timed wait");
+        }
+        let per_req = t0.elapsed() / 3;
+        // ≥ 3 s of queued work on route 0, even if the batcher halves it
+        // (batch 2); bounded so the test stays quick on slow machines.
+        let backlog0 = ((6.0 / per_req.as_secs_f64().max(1e-4)) as usize).clamp(8, 400);
+
+        let queue_on = |entry: &neocpu_net::RegistryEntry, n: usize, seed: u64| {
+            let img = image(&entry.module, seed);
+            (0..n)
+                .map(|_| {
+                    let req = entry.engine.make_request();
+                    req.fill(&img).expect("fill backlog slot");
+                    entry.engine.submit(&req).expect("queue backlog");
+                    req
+                })
+                .collect::<Vec<_>>()
+        };
+        let backlog_first = queue_on(first, backlog0, 5);
+        let backlog_last = queue_on(last, 8, 7);
+
+        // Watch the last route: with a concurrent drain it leaves `Ready`
+        // as soon as shutdown_within begins, while route 0's backlog is
+        // still seconds deep.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let last_engine_health = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let started = std::time::Instant::now();
+                let last = registry.entries().last().unwrap();
+                while last.engine.health() == EngineHealth::Ready {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                tx.send(started.elapsed()).ok();
+            })
+        };
+
+        let drain_started = std::time::Instant::now();
+        registry.shutdown_within(Duration::from_secs(60));
+        let wall = drain_started.elapsed();
+        last_engine_health.join().expect("health watcher");
+        let left_ready_after = rx.recv().expect("watcher observed the drain");
+
+        // (a) Concurrency: the last route entered its drain while route
+        // 0's backlog (≥ seconds) was still being served. The generous
+        // 1.5 s threshold is still far below the sequential drain's
+        // earliest possible hand-off to the last route.
+        let route0_floor = per_req.mul_f64(backlog0 as f64 / 4.0);
+        if route0_floor > Duration::from_secs(3) {
+            assert!(
+                left_ready_after < Duration::from_millis(1500),
+                "last route only began draining after {left_ready_after:?}; \
+                 drain is not concurrent (route-0 backlog floor {route0_floor:?})"
+            );
+        }
+        // (b) Admitted work is never abandoned when the budget allows it.
+        for req in backlog_first.iter().chain(&backlog_last) {
+            req.wait().expect("queued request resolves Ok within the budget");
+        }
+        // (c) One call, one budget, every route Stopped.
+        assert!(wall < Duration::from_secs(60), "drain overran the budget: {wall:?}");
+        assert_eq!(registry.health(), EngineHealth::Stopped);
+        for e in registry.entries() {
+            assert_eq!(e.engine.health(), EngineHealth::Stopped, "{}", e.spec.kind.name());
+        }
+    });
+}
