@@ -32,7 +32,7 @@ fn blocked_io(p: &Conv2dParams, s: &ConvSchedule) -> (Tensor, Tensor, Tensor) {
 fn bench_layout_families(c: &mut Criterion) {
     // conv3_x-like shape kept small so Criterion stays quick.
     let p = Conv2dParams::square(128, 128, 28, 3, 1, 1);
-    let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true };
+    let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true, ..Default::default() };
     let mut group = c.benchmark_group("conv_layouts");
     group.sample_size(10);
 
@@ -71,7 +71,7 @@ fn bench_reg_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_reg_n");
     group.sample_size(10);
     for reg_n in [2usize, 4, 8, 16, 28] {
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n, unroll_ker: true, ..Default::default() };
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_with_input(BenchmarkId::from_parameter(reg_n), &reg_n, |b, _| {
             b.iter(|| {
@@ -89,7 +89,7 @@ fn bench_unroll(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_unroll");
     group.sample_size(10);
     for unroll in [false, true] {
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: unroll };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: unroll, ..Default::default() };
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |b, _| {
             b.iter(|| {
@@ -110,7 +110,7 @@ fn bench_isa_tiers(c: &mut Criterion) {
     for (label, oc_bn, lanes) in
         [("avx512_16", 16usize, usize::MAX), ("avx2_8", 8, 8), ("scalar", 16, 1)]
     {
-        let s = ConvSchedule { ic_bn: 16, oc_bn, reg_n: 16, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 16, oc_bn, reg_n: 16, unroll_ker: true, ..Default::default() };
         let (bi, bw, mut bo) = blocked_io(&p, &s);
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -122,5 +122,33 @@ fn bench_isa_tiers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layout_families, bench_reg_n, bench_unroll, bench_isa_tiers);
+/// The dataflow axis of the schedule tuple: the same stride-1 3×3 workload
+/// through the output-stationary, weight-stationary, and shift-reuse strip
+/// microkernels (EXPERIMENTS.md E13).
+fn bench_dataflow(c: &mut Criterion) {
+    use neocpu_kernels::conv::Dataflow;
+    let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
+    let mut group = c.benchmark_group("conv_dataflow");
+    group.sample_size(10);
+    for dataflow in Dataflow::ALL {
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true, dataflow };
+        let (bi, bw, mut bo) = blocked_io(&p, &s);
+        group.bench_function(dataflow.token(), |b| {
+            b.iter(|| {
+                conv2d_nchwc(&bi, &bw, &mut bo, &p, &s, &Epilogue::none(), &Sequential, usize::MAX, None)
+                    .expect("conv")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_layout_families,
+    bench_reg_n,
+    bench_unroll,
+    bench_isa_tiers,
+    bench_dataflow
+);
 criterion_main!(benches);

@@ -44,7 +44,7 @@ fn bench_region_overhead(c: &mut Criterion) {
 /// model inference pays end to end.
 fn bench_conv_on_pools(c: &mut Criterion) {
     let p = Conv2dParams::square(64, 64, 28, 3, 1, 1);
-    let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true };
+    let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: true, ..Default::default() };
     let input = Tensor::random([1, 64, 28, 28], Layout::Nchw, 1, 1.0).expect("input");
     let bi = to_layout(&input, Layout::NchwC(16)).expect("blockable");
     let weights = Tensor::random([64, 64, 3, 3], Layout::Oihw, 2, 1.0).expect("weights");

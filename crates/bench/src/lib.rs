@@ -370,12 +370,13 @@ fn avx2_candidates(
     cands
 }
 
-/// Best-of-`reps` time (µs) of one f32 blocked conv at the AVX2 lane cap.
+/// Best-of-`reps` time (µs) of one f32 blocked conv under `max_lanes`.
 fn time_f32_conv(
     p: &Conv2dParams,
     s: &neocpu_kernels::ConvSchedule,
     warmup: usize,
     reps: usize,
+    max_lanes: usize,
 ) -> f64 {
     let input = Tensor::random([1, p.in_channels, p.in_h, p.in_w], Layout::NchwC(s.ic_bn), 1, 1.0)
         .expect("valid microbenchmark input");
@@ -399,7 +400,7 @@ fn time_f32_conv(
             s,
             &Epilogue::none(),
             &Sequential,
-            INT8_MICRO_MAX_LANES,
+            max_lanes,
             None,
         )
         .expect("schedule validated for workload");
@@ -481,7 +482,7 @@ pub fn int8_micro(cfg: &HarnessCfg) -> Vec<Int8MicroRow> {
         .map(|(name, p)| {
             let f32_us = avx2_candidates(&p, |p, s| model.conv_time(p, s), keep)
                 .iter()
-                .map(|s| time_f32_conv(&p, s, warmup, reps))
+                .map(|s| time_f32_conv(&p, s, warmup, reps, INT8_MICRO_MAX_LANES))
                 .fold(f64::INFINITY, f64::min);
             let int8_us = avx2_candidates(&p, |p, s| model.conv_time_i8(p, s), keep)
                 .iter()
@@ -498,6 +499,84 @@ pub fn int8_geomean(rows: &[Int8MicroRow]) -> f64 {
         return f64::NAN;
     }
     (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp()
+}
+
+/// One row of the searched-dataflow-vs-fixed-output-stationary sweep
+/// (EXPERIMENTS.md E13).
+#[derive(Debug, Clone)]
+pub struct DataflowSweepRow {
+    /// Workload label (mirrors the `conv_reg_n`/`conv_isa` microbenchmarks).
+    pub name: String,
+    /// Best measured time (µs) over the fixed output-stationary candidates.
+    pub os_us: f64,
+    /// Best measured time (µs) with the dataflow searched as a dimension.
+    pub best_us: f64,
+    /// Dataflow of the measured winner (`os`/`ws`/`sr`).
+    pub best_dataflow: &'static str,
+    /// Throughput ratio `os_us / best_us` (≥ 1 by construction: the
+    /// searched space contains every output-stationary candidate).
+    pub speedup: f64,
+}
+
+/// The dataflow sweep (E13): the `conv_reg_n`/`conv_isa` microbenchmark
+/// workloads, each timed with the schedule's dataflow fixed to
+/// output-stationary vs searched over all three dataflows. Candidates are
+/// preselected per tier by the analytical model (AVX-512 / AVX2 / scalar
+/// lane caps mirror `conv_isa`), then timed on the real template.
+pub fn dataflow_sweep(cfg: &HarnessCfg) -> Vec<DataflowSweepRow> {
+    use neocpu_kernels::conv::Dataflow;
+    let workloads = [
+        ("reg_n: 3x3 C64->64 @56x56 avx512", Conv2dParams::square(64, 64, 56, 3, 1, 1), usize::MAX),
+        ("isa: 3x3 C64->64 @28x28 avx512", Conv2dParams::square(64, 64, 28, 3, 1, 1), usize::MAX),
+        ("isa: 3x3 C64->64 @28x28 avx2", Conv2dParams::square(64, 64, 28, 3, 1, 1), 8),
+        ("isa: 3x3 C64->64 @28x28 scalar", Conv2dParams::square(64, 64, 28, 3, 1, 1), 1),
+    ];
+    let (warmup, reps) = (cfg.warmup.max(1), cfg.reps.clamp(3, 50));
+    let keep = 4;
+    workloads
+        .into_iter()
+        .map(|(name, p, lanes)| {
+            // The per-tier model mirrors what the lane cap does at runtime
+            // (cost.rs `efficiency` keys vector width off oc_bn).
+            let model = match lanes {
+                8 => AnalyticalModel { vec_lanes: 8, vector_registers: 16, ..Default::default() },
+                1 => AnalyticalModel { vec_lanes: 1, ..Default::default() },
+                _ => AnalyticalModel::default(),
+            };
+            let best_for = |dataflows: &[Dataflow]| -> (f64, Dataflow) {
+                let mut cands: Vec<neocpu_kernels::ConvSchedule> =
+                    neocpu_kernels::ConvSchedule::candidates(&p, 64)
+                        .into_iter()
+                        .filter(|s| dataflows.contains(&s.dataflow))
+                        .collect();
+                cands.sort_by(|a, b| model.conv_time(&p, a).total_cmp(&model.conv_time(&p, b)));
+                cands.truncate(keep);
+                cands
+                    .iter()
+                    .map(|s| (time_f32_conv(&p, s, warmup, reps, lanes), s.dataflow))
+                    .fold((f64::INFINITY, Dataflow::OutputStationary), |acc, cur| {
+                        if cur.0 < acc.0 { cur } else { acc }
+                    })
+            };
+            let (os_us, _) = best_for(&[Dataflow::OutputStationary]);
+            let (searched_us, searched_df) = best_for(&Dataflow::ALL);
+            // The searched space is a superset of the fixed-OS space, so
+            // the sweep reports min(best OS, best searched) — preselect
+            // truncation must never make "searched" look slower than OS.
+            let (best_us, best_df) = if searched_us <= os_us {
+                (searched_us, searched_df)
+            } else {
+                (os_us, Dataflow::OutputStationary)
+            };
+            DataflowSweepRow {
+                name: name.to_string(),
+                os_us,
+                best_us,
+                best_dataflow: best_df.token(),
+                speedup: os_us / best_us,
+            }
+        })
+        .collect()
 }
 
 /// Table 2: overall latency of every model under the three stacks.
@@ -568,6 +647,18 @@ pub fn run_table2(cfg: &HarnessCfg) {
     let geomean = int8_geomean(&micro);
     println!("geomean int8 speedup: {geomean:.2}x (acceptance floor: 1.50x)");
 
+    // E13: searched dataflow vs the fixed output-stationary strip on the
+    // conv_reg_n/conv_isa workloads.
+    let dfs = dataflow_sweep(cfg);
+    println!("\nDataflow sweep (best searched dataflow vs fixed output-stationary):");
+    println!("{:<34} {:>10} {:>12} {:>9} {:>9}", "workload", "os (µs)", "searched (µs)", "winner", "speedup");
+    for r in &dfs {
+        println!(
+            "{:<34} {:>10.1} {:>12.1} {:>9} {:>8.2}x",
+            r.name, r.os_us, r.best_us, r.best_dataflow, r.speedup
+        );
+    }
+
     if cfg.json {
         let micro_rows: Vec<String> = micro
             .iter()
@@ -581,14 +672,28 @@ pub fn run_table2(cfg: &HarnessCfg) {
                 )
             })
             .collect();
+        let df_rows: Vec<String> = dfs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"workload\":\"{}\",\"os_us\":{},\"best_us\":{},\"best_dataflow\":\"{}\",\"speedup\":{}}}",
+                    r.name,
+                    jnum(r.os_us),
+                    jnum(r.best_us),
+                    r.best_dataflow,
+                    jnum(r.speedup),
+                )
+            })
+            .collect();
         println!(
-            "{{\"bench\":\"table2\",\"scale\":\"{}\",\"reps\":{},\"threads\":{},\"neo_wins\":{neo_wins},\"total\":{total},\"models\":[{}],\"int8_micro\":{{\"max_lanes\":{INT8_MICRO_MAX_LANES},\"rows\":[{}],\"geomean_speedup\":{}}}}}",
+            "{{\"bench\":\"table2\",\"scale\":\"{}\",\"reps\":{},\"threads\":{},\"neo_wins\":{neo_wins},\"total\":{total},\"models\":[{}],\"int8_micro\":{{\"max_lanes\":{INT8_MICRO_MAX_LANES},\"rows\":[{}],\"geomean_speedup\":{}}},\"dataflow_sweep\":[{}]}}",
             if cfg.full { "full" } else { "reduced" },
             cfg.reps,
             cfg.threads,
             json_rows.join(","),
             micro_rows.join(","),
             jnum(geomean),
+            df_rows.join(","),
         );
     }
 }

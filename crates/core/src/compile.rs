@@ -498,7 +498,7 @@ fn default_schedule(params: &Conv2dParams, target: &CpuTarget) -> ConvSchedule {
         factors_descending(params.in_channels, block).first().copied().unwrap_or(1)
     };
     let reg_n = default_reg_n(target).min(params.out_w().max(1)).clamp(1, 28);
-    ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker: true }
+    ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker: true, ..Default::default() }
 }
 
 /// Checks a ranked database entry against the workload and target:
@@ -520,8 +520,12 @@ fn verify_ranked_for_target(
 ///
 /// The register rule: when `oc_bn` is a (positive) multiple of the SIMD
 /// width, the vector microkernel holds `reg_n × (oc_bn / lanes)`
-/// accumulator tiles live, which must fit the architectural register file.
-/// Narrower `oc_bn` runs the scalar path and carries no such constraint.
+/// accumulator tiles live — plus, in the single-row case where a dedicated
+/// strip kernel dispatches, the dataflow's resident vectors (kernel vector
+/// and broadcast for output-stationary; `kernel_w` kernel vectors for
+/// weight-stationary/shift-reuse) — which must all fit the architectural
+/// register file. Narrower `oc_bn` runs the scalar path and carries no
+/// such constraint.
 fn verify_schedule_for_target(
     params: &Conv2dParams,
     s: &ConvSchedule,
@@ -531,12 +535,13 @@ fn verify_schedule_for_target(
     let lanes = target.max_lanes();
     if lanes > 1 && s.oc_bn >= lanes && s.oc_bn.is_multiple_of(lanes) {
         let rows = s.oc_bn / lanes;
-        let regs = s.reg_n * rows;
+        let resident = if rows == 1 { s.dataflow.resident_regs(params.kernel_w) } else { 0 };
+        let regs = s.reg_n * rows + resident;
         let budget = target.isa.vector_registers();
         if regs > budget {
             return Err(format!(
-                "schedule needs {regs} accumulator registers (reg_n {} × {rows} vector row(s) \
-                 of oc_bn {}) but {:?} has only {budget}",
+                "schedule needs {regs} vector registers (reg_n {} × {rows} vector row(s) \
+                 of oc_bn {} + {resident} resident) but {:?} has only {budget}",
                 s.reg_n, s.oc_bn, target.isa
             ));
         }
@@ -871,7 +876,7 @@ mod tests {
             &target.name,
             &w1,
             vec![RankedScheme {
-                schedule: ConvSchedule { ic_bn: 5, oc_bn: 16, reg_n: 8, unroll_ker: true },
+                schedule: ConvSchedule { ic_bn: 5, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() },
                 time: 1e-4,
             }],
         );
@@ -907,7 +912,7 @@ mod tests {
             &target.name,
             &w1,
             vec![RankedScheme {
-                schedule: ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: true },
+                schedule: ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() },
                 time: f32::NAN,
             }],
         );
@@ -923,13 +928,13 @@ mod tests {
         let target = CpuTarget::epyc_avx2();
         let p = Conv2dParams::square(8, 8, 28, 3, 1, 1);
         // 28 × (8/8) = 28 accumulators > 16 AVX2 registers.
-        let bad = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 28, unroll_ker: true };
+        let bad = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 28, unroll_ker: true, ..Default::default() };
         assert!(verify_schedule_for_target(&p, &bad, &target).is_err());
         // Within budget.
-        let ok = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true };
+        let ok = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true, ..Default::default() };
         assert!(verify_schedule_for_target(&p, &ok, &target).is_ok());
         // Scalar path (oc_bn below the vector width) has no register rule.
-        let scalar = ConvSchedule { ic_bn: 8, oc_bn: 4, reg_n: 28, unroll_ker: false };
+        let scalar = ConvSchedule { ic_bn: 8, oc_bn: 4, reg_n: 28, unroll_ker: false, ..Default::default() };
         assert!(verify_schedule_for_target(&p, &scalar, &target).is_ok());
     }
 

@@ -56,6 +56,7 @@ fn uniform_schedule(p: &neocpu_kernels::Conv2dParams, cfg: &UniformPlanCfg) -> C
         oc_bn: best_factor(p.out_channels, cfg.block),
         reg_n: cfg.reg_n.min(p.out_w().max(1)).min(28),
         unroll_ker: cfg.unroll,
+        ..Default::default()
     }
 }
 
@@ -419,11 +420,11 @@ mod tests {
         let mut schedules = HashMap::new();
         schedules.insert(
             convs[0],
-            ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+            ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false, ..Default::default() },
         );
         schedules.insert(
             convs[1],
-            ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 8, unroll_ker: false },
+            ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 8, unroll_ker: false, ..Default::default() },
         );
         let cfg = UniformPlanCfg::default();
         let planned = plan_assigned(&g, &schedules, &cfg).unwrap();

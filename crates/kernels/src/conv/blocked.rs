@@ -135,6 +135,7 @@ pub fn conv2d_nchwc(
     let oc_chunks = p.out_channels / oc_bn;
     let reg_n = schedule.reg_n;
     let unroll = schedule.unroll_ker;
+    let dataflow = schedule.dataflow;
     let sh = p.stride_h;
 
     let w_data = weights.data();
@@ -168,6 +169,7 @@ pub fn conv2d_nchwc(
                     microkernel::run_strip(
                         isa,
                         &geo,
+                        dataflow,
                         in_n,
                         w_oc,
                         out_row.add(x0 * oc_bn),
@@ -308,7 +310,7 @@ mod tests {
     #[test]
     fn matches_reference_scalar_blocks() {
         let p = Conv2dParams::square(6, 10, 9, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 3, oc_bn: 5, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 3, oc_bn: 5, reg_n: 4, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 21);
         assert!(a.approx_eq(&b, 1e-4), "diff {}", a.max_abs_diff(&b));
     }
@@ -317,7 +319,7 @@ mod tests {
     fn matches_reference_avx2_blocks() {
         // oc_bn = 8 exercises the AVX2 path where available.
         let p = Conv2dParams::square(16, 16, 14, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 22);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -326,7 +328,7 @@ mod tests {
     fn matches_reference_avx512_blocks() {
         // oc_bn = 16 exercises the AVX-512 path where available.
         let p = Conv2dParams::square(32, 32, 14, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 23);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -336,7 +338,7 @@ mod tests {
         // out_w = 7 with reg_n = 4 forces a 3-wide tail strip.
         let p = Conv2dParams::square(8, 8, 14, 3, 2, 1);
         assert_eq!(p.out_w(), 7);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 24);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -344,12 +346,12 @@ mod tests {
     #[test]
     fn matches_reference_1x1_and_7x7() {
         let p1 = Conv2dParams::square(12, 8, 8, 1, 1, 0);
-        let s1 = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 2, unroll_ker: true };
+        let s1 = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 2, unroll_ker: true, ..Default::default() };
         let (a, b) = run_both(&p1, &s1, 1, 25);
         assert!(a.approx_eq(&b, 1e-3));
 
         let p7 = Conv2dParams::square(3, 8, 17, 7, 2, 3);
-        let s7 = ConvSchedule { ic_bn: 3, oc_bn: 8, reg_n: 8, unroll_ker: false };
+        let s7 = ConvSchedule { ic_bn: 3, oc_bn: 8, reg_n: 8, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p7, &s7, 1, 26);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -357,7 +359,7 @@ mod tests {
     #[test]
     fn batch_greater_than_one() {
         let p = Conv2dParams::square(4, 4, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 2, oc_bn: 2, reg_n: 2, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 2, oc_bn: 2, reg_n: 2, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 3, 27);
         assert!(a.approx_eq(&b, 1e-4));
     }
@@ -365,7 +367,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let p = Conv2dParams::square(8, 16, 12, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() };
         let input = Tensor::random([1, 8, 12, 12], Layout::NchwC(8), 31, 1.0).unwrap();
         let weights =
             Tensor::random([16, 8, 3, 3], Layout::OihwIo { i: 8, o: 16 }, 32, 1.0).unwrap();
@@ -382,7 +384,7 @@ mod tests {
     #[test]
     fn fused_epilogue_matches_reference_epilogue() {
         let p = Conv2dParams::square(8, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([1, 8, 6, 6], Layout::Nchw, 41, 1.0).unwrap();
         let weights = Tensor::random([8, 8, 3, 3], Layout::Oihw, 42, 1.0).unwrap();
         let residual = Tensor::random([1, 8, 6, 6], Layout::Nchw, 43, 1.0).unwrap();
@@ -404,7 +406,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_layouts() {
         let p = Conv2dParams::square(8, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(8)).unwrap(); // wrong block
         let weights = Tensor::zeros([8, 8, 3, 3], Layout::OihwIo { i: 4, o: 4 }).unwrap();
         let mut out = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(4)).unwrap();
@@ -425,7 +427,7 @@ mod tests {
     #[test]
     fn caller_scratch_matches_internal_padding() {
         let p = Conv2dParams::square(8, 8, 10, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([2, 8, 10, 10], Layout::NchwC(4), 61, 1.0).unwrap();
         let weights =
             Tensor::random([8, 8, 3, 3], Layout::OihwIo { i: 4, o: 8 }, 62, 1.0).unwrap();
@@ -477,7 +479,7 @@ mod tests {
     fn scalar_isa_cap_matches_simd_result() {
         // Forcing max_lanes = 1 must still give identical results.
         let p = Conv2dParams::square(16, 16, 8, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([1, 16, 8, 8], Layout::NchwC(16), 51, 1.0).unwrap();
         let weights =
             Tensor::random([16, 16, 3, 3], Layout::OihwIo { i: 16, o: 16 }, 52, 1.0).unwrap();

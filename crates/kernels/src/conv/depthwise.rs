@@ -123,6 +123,7 @@ pub fn depthwise_conv2d_nchwc(
     let c_chunks = p.out_channels / c_bn;
     let reg_n = schedule.reg_n;
     let unroll = schedule.unroll_ker;
+    let dataflow = schedule.dataflow;
     let sh = p.stride_h;
 
     let w_data = weights.data();
@@ -157,6 +158,7 @@ pub fn depthwise_conv2d_nchwc(
                     microkernel::run_dw_strip(
                         isa,
                         &geo,
+                        dataflow,
                         in_cc,
                         w_cc,
                         out_row.add(x0 * c_bn),
@@ -240,7 +242,7 @@ mod tests {
     #[test]
     fn matches_reference_scalar_blocks() {
         let p = Conv2dParams::depthwise(6, 9, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 3, oc_bn: 3, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 3, oc_bn: 3, reg_n: 4, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 71);
         assert!(a.approx_eq(&b, 1e-4), "diff {}", a.max_abs_diff(&b));
     }
@@ -249,7 +251,7 @@ mod tests {
     fn matches_reference_avx2_blocks() {
         // c_bn = 8 exercises the AVX2 depthwise path where available.
         let p = Conv2dParams::depthwise(16, 14, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 72);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -258,7 +260,7 @@ mod tests {
     fn matches_reference_avx512_blocks() {
         // c_bn = 16 exercises the AVX-512 depthwise path where available.
         let p = Conv2dParams::depthwise(32, 14, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 16, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 73);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -269,7 +271,7 @@ mod tests {
         // so reg_n = 4 leaves a tail strip.
         let p = Conv2dParams::depthwise(8, 14, 3, 2, 1);
         assert_eq!(p.out_w(), 7);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let (a, b) = run_both(&p, &s, 1, 74);
         assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b));
     }
@@ -277,7 +279,7 @@ mod tests {
     #[test]
     fn batch_greater_than_one() {
         let p = Conv2dParams::depthwise(4, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 2, oc_bn: 2, reg_n: 2, unroll_ker: true };
+        let s = ConvSchedule { ic_bn: 2, oc_bn: 2, reg_n: 2, unroll_ker: true, ..Default::default() };
         let (a, b) = run_both(&p, &s, 3, 75);
         assert!(a.approx_eq(&b, 1e-4));
     }
@@ -285,7 +287,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let p = Conv2dParams::depthwise(16, 12, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([1, 16, 12, 12], Layout::NchwC(8), 81, 1.0).unwrap();
         let weights =
             Tensor::random([16, 1, 3, 3], Layout::OihwIo { i: 1, o: 8 }, 82, 1.0).unwrap();
@@ -306,7 +308,7 @@ mod tests {
     #[test]
     fn fused_epilogue_matches_reference_epilogue() {
         let p = Conv2dParams::depthwise(8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([1, 8, 6, 6], Layout::Nchw, 91, 1.0).unwrap();
         let weights = Tensor::random([8, 1, 3, 3], Layout::Oihw, 92, 1.0).unwrap();
         let residual = Tensor::random([1, 8, 6, 6], Layout::Nchw, 93, 1.0).unwrap();
@@ -331,7 +333,7 @@ mod tests {
     #[test]
     fn poisoned_scratch_matches_internal_padding() {
         let p = Conv2dParams::depthwise(8, 10, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::random([2, 8, 10, 10], Layout::NchwC(4), 95, 1.0).unwrap();
         let weights =
             Tensor::random([8, 1, 3, 3], Layout::OihwIo { i: 1, o: 4 }, 96, 1.0).unwrap();
@@ -374,7 +376,7 @@ mod tests {
     #[test]
     fn rejects_non_depthwise_and_unequal_blocks() {
         let dense = Conv2dParams::square(8, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 4, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(4)).unwrap();
         let weights = Tensor::zeros([8, 1, 3, 3], Layout::OihwIo { i: 1, o: 4 }).unwrap();
         let mut out = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(4)).unwrap();
@@ -392,7 +394,7 @@ mod tests {
         .is_err());
 
         let dw = Conv2dParams::depthwise(8, 6, 3, 1, 1);
-        let bad = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let bad = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         assert!(depthwise_conv2d_nchwc(
             &input,
             &weights,

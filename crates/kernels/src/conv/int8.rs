@@ -34,7 +34,7 @@ use neocpu_threadpool::Parallelism;
 
 use super::blocked::padded_input_len;
 use super::microkernel::{Geo, Isa};
-use super::{Conv2dParams, ConvSchedule, Epilogue};
+use super::{Conv2dParams, ConvSchedule, Dataflow, Epilogue};
 use crate::util::SendPtr;
 use crate::{KernelError, Result};
 
@@ -73,6 +73,12 @@ pub fn conv2d_nchwc_u8(
     scratch: Option<&mut [u8]>,
 ) -> Result<()> {
     schedule.validate(p)?;
+    if schedule.dataflow != Dataflow::OutputStationary {
+        return Err(KernelError::BadSchedule(format!(
+            "int8 conv only implements the output-stationary dataflow, got {:?}",
+            schedule.dataflow
+        )));
+    }
     let (ic_bn, oc_bn) = (schedule.ic_bn, schedule.oc_bn);
     if !ic_bn.is_multiple_of(4) {
         return Err(KernelError::BadSchedule(format!(
@@ -262,6 +268,12 @@ pub fn depthwise_conv2d_nchwc_u8(
         )));
     }
     schedule.validate(p)?;
+    if schedule.dataflow != Dataflow::OutputStationary {
+        return Err(KernelError::BadSchedule(format!(
+            "int8 depthwise conv only implements the output-stationary dataflow, got {:?}",
+            schedule.dataflow
+        )));
+    }
     let c_bn = schedule.oc_bn;
     if input.dtype() != DType::U8 || input.layout() != Layout::NchwC(c_bn) {
         return Err(KernelError::BadOperand(format!(
@@ -536,10 +548,13 @@ unsafe fn run_strip_i8(
 ) {
     match isa {
         Isa::Scalar => strip_i8_scalar(geo, in_n, w_oc, mult, out, ih0, iw0, rn),
+        // 28/16-accumulator variants are gone: with acc + weight + activation
+        // + ones vectors resident, anything past ~12 accumulators spills the
+        // 16-register YMM file.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => match rn {
-            28 => strip_i8_avx2::<28>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
-            16 => strip_i8_avx2::<16>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
+            14 => strip_i8_avx2::<14>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
+            12 => strip_i8_avx2::<12>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
             8 => strip_i8_avx2::<8>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
             4 => strip_i8_avx2::<4>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
             2 => strip_i8_avx2::<2>(geo, in_n, w_oc, mult, out, ih0, iw0, unroll),
@@ -782,10 +797,11 @@ unsafe fn run_dw_strip_i8(
 ) {
     match isa {
         Isa::Scalar => dw_strip_i8_scalar(geo, in_c, w_c, mult, out, ih0, iw0, rn),
+        // Same YMM-file cap as run_strip_i8: no 28/16-accumulator variants.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => match rn {
-            28 => dw_strip_i8_avx2::<28>(geo, in_c, w_c, mult, out, ih0, iw0),
-            16 => dw_strip_i8_avx2::<16>(geo, in_c, w_c, mult, out, ih0, iw0),
+            14 => dw_strip_i8_avx2::<14>(geo, in_c, w_c, mult, out, ih0, iw0),
+            12 => dw_strip_i8_avx2::<12>(geo, in_c, w_c, mult, out, ih0, iw0),
             8 => dw_strip_i8_avx2::<8>(geo, in_c, w_c, mult, out, ih0, iw0),
             4 => dw_strip_i8_avx2::<4>(geo, in_c, w_c, mult, out, ih0, iw0),
             2 => dw_strip_i8_avx2::<2>(geo, in_c, w_c, mult, out, ih0, iw0),
@@ -1029,7 +1045,7 @@ mod tests {
     #[test]
     fn int8_matches_dequantized_reference_scalar() {
         let p = Conv2dParams::square(8, 6, 9, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 3, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 3, reg_n: 4, unroll_ker: false, ..Default::default() };
         let case = make_case(&p, 4, 3, 101);
         let got = run_int8(&case, &p, &s, 1);
         let want = dequantized_reference(&case, &p);
@@ -1043,7 +1059,7 @@ mod tests {
         // the comparison is then trivially exact).
         for &(oc_bn, lanes) in &[(8usize, 8usize), (16, 16)] {
             let p = Conv2dParams::square(16, 32, 11, 3, 2, 1);
-            let s = ConvSchedule { ic_bn: 8, oc_bn, reg_n: 4, unroll_ker: true };
+            let s = ConvSchedule { ic_bn: 8, oc_bn, reg_n: 4, unroll_ker: true, ..Default::default() };
             let case = make_case(&p, 8, oc_bn, 202);
             let scalar = run_int8(&case, &p, &s, 1);
             let simd = run_int8(&case, &p, &s, lanes);
@@ -1057,12 +1073,12 @@ mod tests {
         let case = make_case(&p, 8, 8, 303);
         let a = run_int8(
             &case, &p,
-            &ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true },
+            &ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: true, ..Default::default() },
             usize::MAX,
         );
         let b = run_int8(
             &case, &p,
-            &ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false },
+            &ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false, ..Default::default() },
             usize::MAX,
         );
         assert_eq!(a.data(), b.data());
@@ -1071,7 +1087,7 @@ mod tests {
     #[test]
     fn int8_depthwise_matches_dequantized_reference() {
         let p = Conv2dParams::depthwise(16, 9, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let case = make_case(&p, 8, 8, 404);
         let got = run_int8(&case, &p, &s, usize::MAX);
         let want = dequantized_reference(&case, &p);
@@ -1084,7 +1100,7 @@ mod tests {
     #[test]
     fn int8_depthwise_avx512_matches_scalar() {
         let p = Conv2dParams::depthwise(32, 9, 3, 2, 1);
-        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 2, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 2, unroll_ker: false, ..Default::default() };
         let case = make_case(&p, 16, 16, 505);
         let scalar = run_int8(&case, &p, &s, 1);
         let simd = run_int8(&case, &p, &s, 16);
@@ -1094,7 +1110,7 @@ mod tests {
     #[test]
     fn planned_scratch_matches_internal_padding() {
         let p = Conv2dParams::square(8, 8, 10, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let case = make_case(&p, 4, 8, 606);
         let auto = run_int8(&case, &p, &s, usize::MAX);
         let mut planned =
@@ -1122,7 +1138,7 @@ mod tests {
     #[test]
     fn rejects_unquaddable_ic_bn_and_wrong_dtypes() {
         let p = Conv2dParams::square(6, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 3, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 3, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let input =
             Tensor::zeros_dtyped([1, 6, 6, 6], Layout::NchwC(3), DType::U8).unwrap();
         let weights =
@@ -1138,7 +1154,7 @@ mod tests {
 
         // f32 input with an int8-valid schedule: dtype check fires.
         let p = Conv2dParams::square(8, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let f32_input = Tensor::zeros([1, 8, 6, 6], Layout::NchwC(4)).unwrap();
         let weights =
             Tensor::zeros_dtyped([8, 8, 3, 3], Layout::OihwIo4 { i: 4, o: 8 }, DType::I8).unwrap();
@@ -1153,7 +1169,7 @@ mod tests {
     #[test]
     fn fused_epilogue_applies_after_dequant() {
         let p = Conv2dParams::square(8, 8, 6, 3, 1, 1);
-        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false };
+        let s = ConvSchedule { ic_bn: 4, oc_bn: 8, reg_n: 4, unroll_ker: false, ..Default::default() };
         let case = make_case(&p, 4, 8, 707);
         let plain = run_int8(&case, &p, &s, usize::MAX);
 

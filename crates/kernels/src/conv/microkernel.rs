@@ -1,23 +1,36 @@
 //! Inner strip microkernels for the blocked convolution template.
 //!
 //! A *strip* is `rn` consecutive output pixels of one output row within one
-//! output-channel chunk. Following Figure 1 of the paper, the microkernel
-//! keeps one SIMD register loaded with `oc_bn` kernel values and `rn`
-//! accumulator registers holding the strip's partial sums; each input scalar
-//! is broadcast and FMA-ed against the kernel vector. Three implementations
-//! exist:
+//! output-channel chunk. Per [`Dataflow`] the strip keeps different
+//! operands register-resident:
+//!
+//! * **Output-stationary** (Figure 1 of the paper) — `rn` accumulators stay
+//!   resident; one kernel vector and one broadcast input scalar stream
+//!   through.
+//! * **Weight-stationary** — the `kw` kernel vectors of one kernel row stay
+//!   resident across the whole strip while the inputs stream through.
+//! * **Shift-reuse** (stride-1 only) — weight-stationary residency, plus
+//!   each overlapping input column is broadcast once per kernel row and
+//!   reused across the `kw` taps that touch it (`rn + kw - 1` broadcasts
+//!   per row instead of `rn × kw`).
+//!
+//! Three ISA backends exist per dataflow:
 //!
 //! * **AVX-512** — `oc_bn == 16`, ZMM registers, up to 28 accumulators
 //!   (leaving headroom in the 32-register file exactly as §3.1.1 describes);
-//! * **AVX2** — `oc_bn == 8`, YMM registers (the AMD EPYC configuration);
+//! * **AVX2** — `oc_bn == 8`, YMM registers (the AMD EPYC configuration) —
+//!   capped at 14 accumulators so the strip plus its resident vectors fits
+//!   the 16-register YMM file (the old 28/16-accumulator monomorphizations
+//!   silently spilled to the stack);
 //! * **scalar** — any `oc_bn`, accumulating in memory; the portable fallback
 //!   that also stands in for NEON-class 4-lane targets.
 //!
-//! SIMD variants are monomorphized per `reg_n` candidate value so the
-//! accumulators actually live in registers; non-candidate strip lengths
-//! (output-width tails) fall back to the scalar path.
+//! SIMD variants are monomorphized per `reg_n` candidate value (and per
+//! kernel width for the row-resident dataflows) so the accumulators
+//! actually live in registers; non-candidate strip lengths (output-width
+//! tails) and kernel widths fall back to the scalar path.
 
-use super::Conv2dParams;
+use super::{Conv2dParams, Dataflow};
 
 /// Loop geometry shared by every strip invocation of one convolution call.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +116,69 @@ pub(super) fn select_isa(oc_bn: usize, max_lanes: usize) -> Isa {
 pub(super) unsafe fn run_strip(
     isa: Isa,
     geo: &Geo,
+    dataflow: Dataflow,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    match dataflow {
+        Dataflow::OutputStationary => {
+            run_strip_os(isa, geo, in_n, w_oc, out, ih0, iw0, rn, unroll)
+        }
+        Dataflow::WeightStationary => run_strip_ws(isa, geo, in_n, w_oc, out, ih0, iw0, rn),
+        Dataflow::ShiftReuse => run_strip_sr(isa, geo, in_n, w_oc, out, ih0, iw0, rn),
+    }
+}
+
+/// Dispatches one `(rn, kw)`-monomorphized row-resident strip, falling back
+/// to the given scalar expression for combinations without a SIMD kernel
+/// (output-width tails, unusual kernel widths).
+#[cfg(target_arch = "x86_64")]
+macro_rules! dispatch_rn_kw {
+    ($f:ident, $rn:expr, $kw:expr, $args:tt, $fallback:expr,
+     [$(($r:literal, $k:literal)),+ $(,)?]) => {
+        match ($rn, $kw) {
+            $( ($r, $k) => $f::<$r, $k> $args, )+
+            _ => $fallback,
+        }
+    };
+}
+
+/// `(reg_n, kw)` pairs with a monomorphized AVX2 row-resident strip: the
+/// accumulators plus `kw + 1` resident vectors fit the 16-register file.
+#[cfg(target_arch = "x86_64")]
+macro_rules! avx2_rn_kw {
+    ($f:ident, $rn:expr, $kw:expr, $args:tt, $fallback:expr) => {
+        dispatch_rn_kw!($f, $rn, $kw, $args, $fallback, [
+            (12, 3), (8, 3), (4, 3), (2, 3), (1, 3),
+            (10, 5), (8, 5), (4, 5), (2, 5), (1, 5),
+            (8, 7), (4, 7), (2, 7), (1, 7),
+        ])
+    };
+}
+
+/// `(reg_n, kw)` pairs with a monomorphized AVX-512 row-resident strip:
+/// the accumulators plus `kw + 1` resident vectors fit the 32-register
+/// file.
+#[cfg(target_arch = "x86_64")]
+macro_rules! avx512_rn_kw {
+    ($f:ident, $rn:expr, $kw:expr, $args:tt, $fallback:expr) => {
+        dispatch_rn_kw!($f, $rn, $kw, $args, $fallback, [
+            (28, 3), (16, 3), (8, 3), (4, 3), (2, 3), (1, 3),
+            (24, 5), (16, 5), (8, 5), (4, 5), (2, 5), (1, 5),
+            (24, 7), (16, 7), (8, 7), (4, 7), (2, 7), (1, 7),
+        ])
+    };
+}
+
+/// Output-stationary strip dispatch (the Figure 1 kernel).
+unsafe fn run_strip_os(
+    isa: Isa,
+    geo: &Geo,
     in_n: *const f32,
     w_oc: *const f32,
     out: *mut f32,
@@ -113,10 +189,14 @@ pub(super) unsafe fn run_strip(
 ) {
     match isa {
         Isa::Scalar => strip_scalar(geo, in_n, w_oc, out, ih0, iw0, rn, unroll),
+        // 28- and 16-accumulator AVX2 monomorphizations are deliberately
+        // absent: with only 16 YMM registers they spilled every iteration.
+        // 12 accumulators is the widest strip that stays in the file once
+        // the kernel vector and the pipelined broadcast temps are counted
+        // (a 14-wide strip nominally fits but measurably spills).
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => match rn {
-            28 => strip_avx2::<28>(geo, in_n, w_oc, out, ih0, iw0, unroll),
-            16 => strip_avx2::<16>(geo, in_n, w_oc, out, ih0, iw0, unroll),
+            12 => strip_avx2::<12>(geo, in_n, w_oc, out, ih0, iw0, unroll),
             8 => strip_avx2::<8>(geo, in_n, w_oc, out, ih0, iw0, unroll),
             4 => strip_avx2::<4>(geo, in_n, w_oc, out, ih0, iw0, unroll),
             2 => strip_avx2::<2>(geo, in_n, w_oc, out, ih0, iw0, unroll),
@@ -133,6 +213,72 @@ pub(super) unsafe fn run_strip(
             1 => strip_avx512::<1>(geo, in_n, w_oc, out, ih0, iw0, unroll),
             _ => strip_scalar(geo, in_n, w_oc, out, ih0, iw0, rn, unroll),
         },
+    }
+}
+
+/// Weight-stationary strip dispatch.
+unsafe fn run_strip_ws(
+    isa: Isa,
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    match isa {
+        Isa::Scalar => strip_ws_scalar(geo, in_n, w_oc, out, ih0, iw0, rn),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => avx2_rn_kw!(
+            strip_ws_avx2,
+            rn,
+            geo.kw,
+            (geo, in_n, w_oc, out, ih0, iw0),
+            strip_ws_scalar(geo, in_n, w_oc, out, ih0, iw0, rn)
+        ),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => avx512_rn_kw!(
+            strip_ws_avx512,
+            rn,
+            geo.kw,
+            (geo, in_n, w_oc, out, ih0, iw0),
+            strip_ws_scalar(geo, in_n, w_oc, out, ih0, iw0, rn)
+        ),
+    }
+}
+
+/// Shift-reuse strip dispatch. Callers guarantee `geo.sw == 1` (validated
+/// at the schedule level).
+unsafe fn run_strip_sr(
+    isa: Isa,
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    debug_assert_eq!(geo.sw, 1, "shift-reuse requires stride_w == 1");
+    match isa {
+        Isa::Scalar => strip_sr_scalar(geo, in_n, w_oc, out, ih0, iw0, rn),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => avx2_rn_kw!(
+            strip_sr_avx2,
+            rn,
+            geo.kw,
+            (geo, in_n, w_oc, out, ih0, iw0),
+            strip_sr_scalar(geo, in_n, w_oc, out, ih0, iw0, rn)
+        ),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => avx512_rn_kw!(
+            strip_sr_avx512,
+            rn,
+            geo.kw,
+            (geo, in_n, w_oc, out, ih0, iw0),
+            strip_sr_scalar(geo, in_n, w_oc, out, ih0, iw0, rn)
+        ),
     }
 }
 
@@ -334,6 +480,309 @@ unsafe fn strip_avx512<const RN: usize>(
     }
 }
 
+/// Portable weight-stationary strip: the kernel row is walked innermost per
+/// pixel so each row's `kw` taps are consumed while "resident" (the scalar
+/// analogue of pinning the row's kernel vectors in registers). Accumulates
+/// in memory like [`strip_scalar`].
+///
+/// # Safety
+///
+/// See [`run_strip`].
+unsafe fn strip_ws_scalar(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    let Geo { ic_chunks, ic_bn, oc_bn, pw, kh, kw, sw, .. } = *geo;
+    for i in 0..rn * oc_bn {
+        // SAFETY: `out` is valid for `rn * oc_bn` elements per contract.
+        unsafe { *out.add(i) = 0.0 };
+    }
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * kw * ic_bn * oc_bn);
+        for r in 0..kh {
+            let in_r = in_c.add((ih0 + r) * pw * ic_bn);
+            let w_r = w_c.add(r * kw * ic_bn * oc_bn);
+            for ici in 0..ic_bn {
+                for i in 0..rn {
+                    let px = in_r.add((iw0 + i * sw) * ic_bn + ici);
+                    let o = out.add(i * oc_bn);
+                    for s in 0..kw {
+                        // SAFETY: pixel `i`, tap `s` reads padded-input
+                        // column `iw0 + i*sw + s`, in bounds because the
+                        // padded width covers `(rn-1)*sw + kw`.
+                        let x = unsafe { *px.add(s * ic_bn) };
+                        let w_vec = w_r.add((s * ic_bn + ici) * oc_bn);
+                        for oci in 0..oc_bn {
+                            // SAFETY: `out` strip holds `rn * oc_bn`.
+                            unsafe { *o.add(oci) += x * *w_vec.add(oci) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Portable shift-reuse strip (`sw == 1`): each padded-input column of the
+/// strip's footprint is read once per `(row, ici)` and applied to every
+/// kernel tap that overlaps it.
+///
+/// # Safety
+///
+/// See [`run_strip`]; additionally `geo.sw` must be 1.
+unsafe fn strip_sr_scalar(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    let Geo { ic_chunks, ic_bn, oc_bn, pw, kh, kw, .. } = *geo;
+    for i in 0..rn * oc_bn {
+        // SAFETY: `out` is valid for `rn * oc_bn` elements per contract.
+        unsafe { *out.add(i) = 0.0 };
+    }
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * kw * ic_bn * oc_bn);
+        for r in 0..kh {
+            let in_r = in_c.add(((ih0 + r) * pw + iw0) * ic_bn);
+            let w_r = w_c.add(r * kw * ic_bn * oc_bn);
+            for ici in 0..ic_bn {
+                // The strip touches `rn + kw - 1` overlapping columns; tap
+                // `s` of pixel `i` reads column `i + s`.
+                for col in 0..rn + kw - 1 {
+                    // SAFETY: column `col < rn + kw - 1 = (rn-1)*sw + kw`
+                    // lies inside the strip's padded footprint.
+                    let x = unsafe { *in_r.add(col * ic_bn + ici) };
+                    let s_lo = (col + 1).saturating_sub(rn);
+                    let s_hi = col.min(kw - 1);
+                    for s in s_lo..=s_hi {
+                        let w_vec = w_r.add((s * ic_bn + ici) * oc_bn);
+                        let o = out.add((col - s) * oc_bn);
+                        for oci in 0..oc_bn {
+                            // SAFETY: `col - s < rn` by the `s_lo` bound.
+                            unsafe { *o.add(oci) += x * *w_vec.add(oci) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 weight-stationary strip for `oc_bn == 8`: `RN` YMM accumulators
+/// plus the `KW` kernel vectors of the current row held resident.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and the pointer contract of
+/// [`run_strip`]; `geo.oc_bn` must be 8 and `geo.kw` must equal `KW`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn strip_ws_avx2<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 8);
+    debug_assert_eq!(geo.kw, KW);
+    let Geo { ic_chunks, ic_bn, pw, kh, sw, .. } = *geo;
+    let mut acc = [_mm256_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * KW * ic_bn * 8);
+        for r in 0..kh {
+            let in_r = in_c.add((ih0 + r) * pw * ic_bn);
+            let w_r = w_c.add(r * KW * ic_bn * 8);
+            for ici in 0..ic_bn {
+                let mut wv = [_mm256_setzero_ps(); KW];
+                for s in 0..KW {
+                    wv[s] = _mm256_loadu_ps(w_r.add((s * ic_bn + ici) * 8));
+                }
+                for i in 0..RN {
+                    let px = in_r.add((iw0 + i * sw) * ic_bn + ici);
+                    for s in 0..KW {
+                        let x = _mm256_set1_ps(*px.add(s * ic_bn));
+                        acc[i] = _mm256_fmadd_ps(x, wv[s], acc[i]);
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm256_storeu_ps(out.add(i * 8), acc[i]);
+    }
+}
+
+/// AVX-512 weight-stationary strip for `oc_bn == 16`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the pointer contract of
+/// [`run_strip`]; `geo.oc_bn` must be 16 and `geo.kw` must equal `KW`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn strip_ws_avx512<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 16);
+    debug_assert_eq!(geo.kw, KW);
+    let Geo { ic_chunks, ic_bn, pw, kh, sw, .. } = *geo;
+    let mut acc = [_mm512_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * KW * ic_bn * 16);
+        for r in 0..kh {
+            let in_r = in_c.add((ih0 + r) * pw * ic_bn);
+            let w_r = w_c.add(r * KW * ic_bn * 16);
+            for ici in 0..ic_bn {
+                let mut wv = [_mm512_setzero_ps(); KW];
+                for s in 0..KW {
+                    wv[s] = _mm512_loadu_ps(w_r.add((s * ic_bn + ici) * 16));
+                }
+                for i in 0..RN {
+                    let px = in_r.add((iw0 + i * sw) * ic_bn + ici);
+                    for s in 0..KW {
+                        let x = _mm512_set1_ps(*px.add(s * ic_bn));
+                        acc[i] = _mm512_fmadd_ps(x, wv[s], acc[i]);
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm512_storeu_ps(out.add(i * 16), acc[i]);
+    }
+}
+
+/// AVX2 shift-reuse strip for `oc_bn == 8` (`sw == 1`): `RN` YMM
+/// accumulators, the row's `KW` kernel vectors resident, and each of the
+/// `RN + KW - 1` overlapping input columns broadcast exactly once per
+/// `(row, ici)` — the register-shift reuse scheme.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and the pointer contract of
+/// [`run_strip`]; `geo.oc_bn` must be 8, `geo.kw` must equal `KW`, and
+/// `geo.sw` must be 1.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn strip_sr_avx2<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 8);
+    debug_assert_eq!(geo.kw, KW);
+    debug_assert_eq!(geo.sw, 1);
+    let Geo { ic_chunks, ic_bn, pw, kh, .. } = *geo;
+    let mut acc = [_mm256_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * KW * ic_bn * 8);
+        for r in 0..kh {
+            let in_r = in_c.add(((ih0 + r) * pw + iw0) * ic_bn);
+            let w_r = w_c.add(r * KW * ic_bn * 8);
+            for ici in 0..ic_bn {
+                let mut wv = [_mm256_setzero_ps(); KW];
+                for s in 0..KW {
+                    wv[s] = _mm256_loadu_ps(w_r.add((s * ic_bn + ici) * 8));
+                }
+                for col in 0..RN + KW - 1 {
+                    let x = _mm256_set1_ps(*in_r.add(col * ic_bn + ici));
+                    // Constant-bound tap loop with guards instead of a
+                    // runtime `s_lo..=s_hi` range: both loops fully unroll,
+                    // so `acc` indexing is constant and the accumulators
+                    // stay in registers instead of spilling as an array.
+                    for s in 0..KW {
+                        if s <= col && col - s < RN {
+                            acc[col - s] = _mm256_fmadd_ps(x, wv[s], acc[col - s]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm256_storeu_ps(out.add(i * 8), acc[i]);
+    }
+}
+
+/// AVX-512 shift-reuse strip for `oc_bn == 16` (`sw == 1`).
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the pointer contract of
+/// [`run_strip`]; `geo.oc_bn` must be 16, `geo.kw` must equal `KW`, and
+/// `geo.sw` must be 1.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn strip_sr_avx512<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_n: *const f32,
+    w_oc: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 16);
+    debug_assert_eq!(geo.kw, KW);
+    debug_assert_eq!(geo.sw, 1);
+    let Geo { ic_chunks, ic_bn, pw, kh, .. } = *geo;
+    let mut acc = [_mm512_setzero_ps(); RN];
+    for icc in 0..ic_chunks {
+        let in_c = in_n.add(icc * geo.ph * pw * ic_bn);
+        let w_c = w_oc.add(icc * kh * KW * ic_bn * 16);
+        for r in 0..kh {
+            let in_r = in_c.add(((ih0 + r) * pw + iw0) * ic_bn);
+            let w_r = w_c.add(r * KW * ic_bn * 16);
+            for ici in 0..ic_bn {
+                let mut wv = [_mm512_setzero_ps(); KW];
+                for s in 0..KW {
+                    wv[s] = _mm512_loadu_ps(w_r.add((s * ic_bn + ici) * 16));
+                }
+                for col in 0..RN + KW - 1 {
+                    let x = _mm512_set1_ps(*in_r.add(col * ic_bn + ici));
+                    // Constant-bound tap loop with guards (see the AVX2
+                    // strip): keeps the accumulator array in registers.
+                    for s in 0..KW {
+                        if s <= col && col - s < RN {
+                            acc[col - s] = _mm512_fmadd_ps(x, wv[s], acc[col - s]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm512_storeu_ps(out.add(i * 16), acc[i]);
+    }
+}
+
 /// Runs one *depthwise* output strip.
 ///
 /// Depthwise convolution pairs each channel of the block with its own
@@ -354,6 +803,30 @@ unsafe fn strip_avx512<const RN: usize>(
 pub(super) unsafe fn run_dw_strip(
     isa: Isa,
     geo: &Geo,
+    dataflow: Dataflow,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+    unroll: bool,
+) {
+    match dataflow {
+        // Weight-stationary is rejected at the schedule level for depthwise
+        // workloads (each tap already is one kernel vector); route it to
+        // the output-stationary kernel defensively.
+        Dataflow::OutputStationary | Dataflow::WeightStationary => {
+            run_dw_strip_os(isa, geo, in_c, w_c, out, ih0, iw0, rn, unroll)
+        }
+        Dataflow::ShiftReuse => run_dw_strip_sr(isa, geo, in_c, w_c, out, ih0, iw0, rn),
+    }
+}
+
+/// Output-stationary depthwise strip dispatch.
+unsafe fn run_dw_strip_os(
+    isa: Isa,
+    geo: &Geo,
     in_c: *const f32,
     w_c: *const f32,
     out: *mut f32,
@@ -364,10 +837,12 @@ pub(super) unsafe fn run_dw_strip(
 ) {
     match isa {
         Isa::Scalar => dw_strip_scalar(geo, in_c, w_c, out, ih0, iw0, rn, unroll),
+        // As in the dense kernel, the 28/16-accumulator AVX2 strips spilled
+        // the 16-register YMM file and are gone; 12 is the widest resident
+        // strip once the pipelined temps are counted.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => match rn {
-            28 => dw_strip_avx2::<28>(geo, in_c, w_c, out, ih0, iw0, unroll),
-            16 => dw_strip_avx2::<16>(geo, in_c, w_c, out, ih0, iw0, unroll),
+            12 => dw_strip_avx2::<12>(geo, in_c, w_c, out, ih0, iw0, unroll),
             8 => dw_strip_avx2::<8>(geo, in_c, w_c, out, ih0, iw0, unroll),
             4 => dw_strip_avx2::<4>(geo, in_c, w_c, out, ih0, iw0, unroll),
             2 => dw_strip_avx2::<2>(geo, in_c, w_c, out, ih0, iw0, unroll),
@@ -384,6 +859,39 @@ pub(super) unsafe fn run_dw_strip(
             1 => dw_strip_avx512::<1>(geo, in_c, w_c, out, ih0, iw0, unroll),
             _ => dw_strip_scalar(geo, in_c, w_c, out, ih0, iw0, rn, unroll),
         },
+    }
+}
+
+/// Shift-reuse depthwise strip dispatch (`sw == 1`).
+unsafe fn run_dw_strip_sr(
+    isa: Isa,
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    debug_assert_eq!(geo.sw, 1, "shift-reuse requires stride_w == 1");
+    match isa {
+        Isa::Scalar => dw_strip_sr_scalar(geo, in_c, w_c, out, ih0, iw0, rn),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => avx2_rn_kw!(
+            dw_strip_sr_avx2,
+            rn,
+            geo.kw,
+            (geo, in_c, w_c, out, ih0, iw0),
+            dw_strip_sr_scalar(geo, in_c, w_c, out, ih0, iw0, rn)
+        ),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => avx512_rn_kw!(
+            dw_strip_sr_avx512,
+            rn,
+            geo.kw,
+            (geo, in_c, w_c, out, ih0, iw0),
+            dw_strip_sr_scalar(geo, in_c, w_c, out, ih0, iw0, rn)
+        ),
     }
 }
 
@@ -525,6 +1033,137 @@ unsafe fn dw_strip_avx512<const RN: usize>(
                 for i in 0..RN {
                     let xv = _mm512_loadu_ps(in_rs.add(i * sw * 16));
                     acc[i] = _mm512_fmadd_ps(xv, wv, acc[i]);
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm512_storeu_ps(out.add(i * 16), acc[i]);
+    }
+}
+
+/// Portable shift-reuse depthwise strip (`sw == 1`): each of the
+/// `rn + kw - 1` overlapping input columns of a kernel row is loaded once
+/// and applied to every tap it participates in.
+///
+/// # Safety
+///
+/// See [`run_dw_strip`]; additionally `geo.sw` must be 1.
+unsafe fn dw_strip_sr_scalar(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+    rn: usize,
+) {
+    let Geo { ic_bn: c_bn, pw, kh, kw, .. } = *geo;
+    for i in 0..rn * c_bn {
+        // SAFETY: `out` is valid for `rn * c_bn` elements per contract.
+        unsafe { *out.add(i) = 0.0 };
+    }
+    for r in 0..kh {
+        // SAFETY: row r of the receptive field, within the padded input.
+        let in_r = unsafe { in_c.add(((ih0 + r) * pw + iw0) * c_bn) };
+        let w_r = unsafe { w_c.add(r * kw * c_bn) };
+        for col in 0..rn + kw - 1 {
+            // Pixel i and tap s touch column `i + s`; solve for the taps
+            // this column feeds.
+            let s_lo = (col + 1).saturating_sub(rn);
+            let s_hi = col.min(kw - 1);
+            for ci in 0..c_bn {
+                // SAFETY: pointer extents per the run_dw_strip contract.
+                let x = unsafe { *in_r.add(col * c_bn + ci) };
+                for s in s_lo..=s_hi {
+                    unsafe {
+                        *out.add((col - s) * c_bn + ci) += x * *w_r.add(s * c_bn + ci);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 shift-reuse depthwise strip for `c_bn == 8`, `sw == 1`: the `KW`
+/// kernel vectors of a row stay resident and each overlapping input column
+/// is loaded exactly once.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and the pointer contract of
+/// [`run_dw_strip`]; `geo.oc_bn` must be 8 and `geo.sw` must be 1.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dw_strip_sr_avx2<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 8);
+    debug_assert_eq!(geo.kw, KW);
+    let Geo { pw, kh, .. } = *geo;
+    let mut acc = [_mm256_setzero_ps(); RN];
+    for r in 0..kh {
+        let in_r = in_c.add(((ih0 + r) * pw + iw0) * 8);
+        let mut wv = [_mm256_setzero_ps(); KW];
+        for (s, w) in wv.iter_mut().enumerate() {
+            *w = _mm256_loadu_ps(w_c.add((r * KW + s) * 8));
+        }
+        for col in 0..RN + KW - 1 {
+            let xv = _mm256_loadu_ps(in_r.add(col * 8));
+            // Constant-bound tap loop with guards (see the dense strips):
+            // keeps the accumulator array in registers.
+            for s in 0..KW {
+                if s <= col && col - s < RN {
+                    acc[col - s] = _mm256_fmadd_ps(xv, wv[s], acc[col - s]);
+                }
+            }
+        }
+    }
+    for i in 0..RN {
+        _mm256_storeu_ps(out.add(i * 8), acc[i]);
+    }
+}
+
+/// AVX-512 shift-reuse depthwise strip for `c_bn == 16`, `sw == 1`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the pointer contract of
+/// [`run_dw_strip`]; `geo.oc_bn` must be 16 and `geo.sw` must be 1.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dw_strip_sr_avx512<const RN: usize, const KW: usize>(
+    geo: &Geo,
+    in_c: *const f32,
+    w_c: *const f32,
+    out: *mut f32,
+    ih0: usize,
+    iw0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(geo.oc_bn, 16);
+    debug_assert_eq!(geo.kw, KW);
+    let Geo { pw, kh, .. } = *geo;
+    let mut acc = [_mm512_setzero_ps(); RN];
+    for r in 0..kh {
+        let in_r = in_c.add(((ih0 + r) * pw + iw0) * 16);
+        let mut wv = [_mm512_setzero_ps(); KW];
+        for (s, w) in wv.iter_mut().enumerate() {
+            *w = _mm512_loadu_ps(w_c.add((r * KW + s) * 16));
+        }
+        for col in 0..RN + KW - 1 {
+            let xv = _mm512_loadu_ps(in_r.add(col * 16));
+            // Constant-bound tap loop with guards (see the dense strips):
+            // keeps the accumulator array in registers.
+            for s in 0..KW {
+                if s <= col && col - s < RN {
+                    acc[col - s] = _mm512_fmadd_ps(xv, wv[s], acc[col - s]);
                 }
             }
         }

@@ -123,13 +123,126 @@ impl Conv2dParams {
     }
 }
 
+/// SIMD dataflow of the strip microkernel — which operands stay pinned in
+/// registers while the strip executes (the YFlows axis: a fixed dataflow is
+/// never optimal for every workload, so the dataflow itself is a schedule
+/// dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dataflow {
+    /// Figure 1 of the paper: `reg_n` accumulators stay resident; one
+    /// kernel vector and one broadcast input scalar stream through.
+    #[default]
+    OutputStationary,
+    /// The `kw` kernel vectors of one kernel row stay resident across the
+    /// whole strip; inputs stream through as broadcasts.
+    WeightStationary,
+    /// Stride-1 variant of weight-stationary that also reuses each input
+    /// column across the `kw` overlapping kernel taps, loading
+    /// `reg_n + kw - 1` broadcasts per kernel row instead of
+    /// `reg_n × kw`.
+    ShiftReuse,
+}
+
+impl Dataflow {
+    /// All dataflows, in the order the candidate generator emits them.
+    pub const ALL: [Dataflow; 3] =
+        [Dataflow::OutputStationary, Dataflow::WeightStationary, Dataflow::ShiftReuse];
+
+    /// Short on-disk token (scheme-DB v3 sixth field).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Self::OutputStationary => "os",
+            Self::WeightStationary => "ws",
+            Self::ShiftReuse => "sr",
+        }
+    }
+
+    /// Inverse of [`Dataflow::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "os" => Some(Self::OutputStationary),
+            "ws" => Some(Self::WeightStationary),
+            "sr" => Some(Self::ShiftReuse),
+            _ => None,
+        }
+    }
+
+    /// Vector registers the strip keeps live *besides* the `reg_n`
+    /// accumulators: output-stationary cycles one kernel vector plus one
+    /// broadcast; the row-resident dataflows pin the `kw` kernel vectors of
+    /// a row plus the in-flight input.
+    pub fn resident_regs(&self, kernel_w: usize) -> usize {
+        match self {
+            Self::OutputStationary => 2,
+            Self::WeightStationary | Self::ShiftReuse => kernel_w + 1,
+        }
+    }
+
+    /// Whether a dedicated SIMD strip kernel is monomorphized for this
+    /// dataflow at kernel width `kw` (other widths run the scalar
+    /// fallback, so the candidate generator skips them).
+    pub fn simd_kernel_exists(&self, kw: usize) -> bool {
+        match self {
+            Self::OutputStationary => true,
+            Self::WeightStationary | Self::ShiftReuse => matches!(kw, 3 | 5 | 7),
+        }
+    }
+}
+
+/// SIMD register file implied by a channel block, mirroring the microkernel
+/// dispatch: `oc_bn == 16` maps to AVX-512 ZMM (32 registers), `oc_bn == 8`
+/// to AVX2 YMM (16 registers); every other block runs the scalar kernel and
+/// carries no architectural register constraint.
+pub fn register_file_for_block(oc_bn: usize) -> Option<usize> {
+    match oc_bn {
+        16 => Some(32),
+        8 => Some(16),
+        _ => None,
+    }
+}
+
+/// Strip lengths with a monomorphized SIMD kernel, largest first. Lengths
+/// outside this list (and output-width tails) run the scalar fallback, so
+/// the candidate generator only proposes these.
+pub const STRIP_LENGTHS: [usize; 10] = [28, 24, 16, 14, 12, 10, 8, 4, 2, 1];
+
+/// `reg_n` candidates for one `(oc_bn, dataflow)` pair: the classic
+/// `[28, 16, 8, 4, 2]` ladder, capped so the accumulators plus the
+/// dataflow's resident vectors fit the register file the block dispatches
+/// to, topped up with the largest monomorphized strip that still fits
+/// (e.g. 12 on the 16-register AVX2 file under output-stationary).
+pub fn reg_n_candidates(oc_bn: usize, dataflow: Dataflow, kernel_w: usize) -> Vec<usize> {
+    let max_rn = match register_file_for_block(oc_bn) {
+        Some(file) => {
+            // The output-stationary strip re-broadcasts the input scalar
+            // per accumulator in its innermost loop; the compiler pipelines
+            // those broadcasts, so it needs ~2 scratch vectors beyond
+            // acc + weight (reg_n 14 on AVX2 measurably spills even though
+            // 14 + 2 = 16 nominally fits). Row-resident dataflows broadcast
+            // once per column and run a full file without spilling.
+            let headroom =
+                if dataflow == Dataflow::OutputStationary { 2 } else { 0 };
+            file.saturating_sub(dataflow.resident_regs(kernel_w) + headroom).max(1)
+        }
+        None => 28,
+    };
+    let mut v: Vec<usize> = [28usize, 16, 8, 4, 2].into_iter().filter(|&r| r <= max_rn).collect();
+    if let Some(&top) = STRIP_LENGTHS.iter().find(|&&r| r <= max_rn) {
+        if !v.contains(&top) {
+            v.insert(0, top);
+        }
+    }
+    v
+}
+
 /// The paper's convolution schedule tuple `(ic_bn, oc_bn, reg_n,
-/// unroll_ker)` (§3.3.1).
+/// unroll_ker)` (§3.3.1), extended with the strip [`Dataflow`].
 ///
 /// `ic_bn`/`oc_bn` are the input/output channel split factors (the `x` and
 /// `y` of `NCHW[x]c` / `OIHW[x]i[y]o`), `reg_n` is the number of SIMD
-/// accumulator registers blocking the output width, and `unroll_ker`
-/// selects an unrolled kernel-loop body.
+/// accumulator registers blocking the output width, `unroll_ker`
+/// selects an unrolled kernel-loop body, and `dataflow` picks the strip
+/// microkernel's register-residency scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvSchedule {
     /// Input-channel block (`x` in `NCHW[x]c`).
@@ -140,12 +253,26 @@ pub struct ConvSchedule {
     pub reg_n: usize,
     /// Whether to use the unrolled kernel-loop body (line 12 of Alg. 1).
     pub unroll_ker: bool,
+    /// Strip microkernel dataflow.
+    pub dataflow: Dataflow,
+}
+
+impl Default for ConvSchedule {
+    fn default() -> Self {
+        Self::fallback()
+    }
 }
 
 impl ConvSchedule {
     /// A conservative schedule valid for any workload.
     pub fn fallback() -> Self {
-        Self { ic_bn: 1, oc_bn: 1, reg_n: 4, unroll_ker: false }
+        Self {
+            ic_bn: 1,
+            oc_bn: 1,
+            reg_n: 4,
+            unroll_ker: false,
+            dataflow: Dataflow::OutputStationary,
+        }
     }
 
     /// Checks the divisibility requirements of Algorithm 1 (PARAM lines
@@ -170,6 +297,19 @@ impl ConvSchedule {
                 self.reg_n
             )));
         }
+        if self.dataflow == Dataflow::ShiftReuse && p.stride_w != 1 {
+            return Err(KernelError::BadSchedule(format!(
+                "shift-reuse dataflow requires stride_w == 1, got {}",
+                p.stride_w
+            )));
+        }
+        if p.groups > 1 && self.dataflow == Dataflow::WeightStationary {
+            return Err(KernelError::BadSchedule(
+                "depthwise conv has one kernel vector per tap already; the \
+                 weight-stationary dataflow is not defined for it"
+                    .into(),
+            ));
+        }
         if p.groups > 1 {
             if !p.is_depthwise() {
                 return Err(KernelError::BadSchedule(format!(
@@ -189,14 +329,20 @@ impl ConvSchedule {
     }
 
     /// Enumerates the candidate schedule space of §3.3.1 for a workload:
-    /// all channel factors for `ic_bn`/`oc_bn`, `reg_n` from the fixed
-    /// candidate list capped by the output width, both unroll settings.
+    /// all channel factors for `ic_bn`/`oc_bn`, every applicable
+    /// [`Dataflow`], `reg_n` from the per-dataflow register-file-capped
+    /// ladder (further capped by the output width), and both unroll
+    /// settings for the output-stationary kernel (the row-resident
+    /// dataflows fix their kernel-loop structure, so only one unroll
+    /// variant is emitted for them).
     ///
     /// Depthwise workloads constrain the space to `ic_bn == oc_bn` (the
     /// channel block is convolved element-wise with its own filters, so
-    /// input and output blocking must agree). The result is never empty:
-    /// irregular shapes (prime channel counts, `out_w == 1`) still yield
-    /// the 1×1-blocked fallback.
+    /// input and output blocking must agree) and skip weight-stationary
+    /// (each tap is one kernel vector already). Shift-reuse requires
+    /// `stride_w == 1` and a kernel width with a monomorphized strip.
+    /// The result is never empty: irregular shapes (prime channel counts,
+    /// `out_w == 1`) still yield the 1×1-blocked fallback.
     pub fn candidates(p: &Conv2dParams, max_block: usize) -> Vec<ConvSchedule> {
         let ic: Vec<usize> = factors_descending(p.in_channels, max_block);
         let oc: Vec<usize> = factors_descending(p.out_channels, max_block);
@@ -206,21 +352,45 @@ impl ConvSchedule {
                 if p.groups > 1 && ic_bn != oc_bn {
                     continue;
                 }
-                let mut pushed = false;
-                for &reg_n in &[28usize, 16, 8, 4, 2] {
-                    if reg_n > p.out_w().max(1) {
-                        continue;
+                for dataflow in Dataflow::ALL {
+                    match dataflow {
+                        Dataflow::OutputStationary => {}
+                        // Row-resident dataflows only pay off when a kernel
+                        // row has several taps *and* a SIMD strip exists for
+                        // the width; elsewhere they duplicate the
+                        // output-stationary candidates.
+                        Dataflow::WeightStationary => {
+                            if p.groups > 1 || !dataflow.simd_kernel_exists(p.kernel_w) {
+                                continue;
+                            }
+                        }
+                        Dataflow::ShiftReuse => {
+                            if p.stride_w != 1 || !dataflow.simd_kernel_exists(p.kernel_w) {
+                                continue;
+                            }
+                        }
                     }
-                    for unroll_ker in [true, false] {
-                        out.push(ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker });
+                    let unrolls: &[bool] = if dataflow == Dataflow::OutputStationary {
+                        &[true, false]
+                    } else {
+                        &[true]
+                    };
+                    let mut pushed = false;
+                    for reg_n in reg_n_candidates(oc_bn, dataflow, p.kernel_w) {
+                        if reg_n > p.out_w().max(1) {
+                            continue;
+                        }
+                        for &unroll_ker in unrolls {
+                            out.push(ConvSchedule { ic_bn, oc_bn, reg_n, unroll_ker, dataflow });
+                        }
+                        pushed = true;
                     }
-                    pushed = true;
-                }
-                if !pushed {
-                    // out_w too small for every listed reg_n (e.g. 1×1
-                    // spatial output): a single-register strip still works.
-                    for unroll_ker in [true, false] {
-                        out.push(ConvSchedule { ic_bn, oc_bn, reg_n: 1, unroll_ker });
+                    if !pushed && dataflow == Dataflow::OutputStationary {
+                        // out_w too small for every listed reg_n (e.g. 1×1
+                        // spatial output): a single-register strip still works.
+                        for &unroll_ker in unrolls {
+                            out.push(ConvSchedule { ic_bn, oc_bn, reg_n: 1, unroll_ker, dataflow });
+                        }
                     }
                 }
             }
@@ -237,7 +407,13 @@ impl ConvSchedule {
     /// A conservative schedule valid for the given workload (1×1 channel
     /// blocking, depthwise-safe).
     pub fn fallback_for(p: &Conv2dParams) -> Self {
-        Self { ic_bn: 1, oc_bn: 1, reg_n: p.out_w().clamp(1, 4), unroll_ker: false }
+        Self {
+            ic_bn: 1,
+            oc_bn: 1,
+            reg_n: p.out_w().clamp(1, 4),
+            unroll_ker: false,
+            dataflow: Dataflow::OutputStationary,
+        }
     }
 }
 
@@ -320,13 +496,13 @@ mod tests {
     #[test]
     fn schedule_validation() {
         let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
-        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true }
+        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() }
             .validate(&p)
             .is_ok());
-        assert!(ConvSchedule { ic_bn: 48, oc_bn: 16, reg_n: 8, unroll_ker: true }
+        assert!(ConvSchedule { ic_bn: 48, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() }
             .validate(&p)
             .is_err());
-        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 0, unroll_ker: true }
+        assert!(ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 0, unroll_ker: true, ..Default::default() }
             .validate(&p)
             .is_err());
     }
@@ -336,13 +512,99 @@ mod tests {
         let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
         let cands = ConvSchedule::candidates(&p, 64);
         assert!(!cands.is_empty());
-        // ic/oc candidates are each ≤ 7, reg_n ≤ 5, unroll 2 → ≤ 490; the
-        // paper bounds per-CONV pair counts at ~100.
-        assert!(cands.len() <= 7 * 7 * 5 * 2);
+        // ic/oc candidates are each ≤ 7; per pair: output-stationary emits
+        // ≤ 5 reg_n × 2 unroll, weight-stationary and shift-reuse ≤ 5 reg_n
+        // each at one unroll setting → ≤ 20.
+        assert!(cands.len() <= 7 * 7 * 20);
         for c in &cands {
             c.validate(&p).unwrap();
             assert!(c.reg_n <= 56);
         }
+        // A stride-1 3×3 workload explores all three dataflows.
+        for df in Dataflow::ALL {
+            assert!(cands.iter().any(|c| c.dataflow == df), "missing {df:?}");
+        }
+        // Strided workloads drop shift-reuse; 1×1 kernels drop both
+        // row-resident dataflows (no SIMD strip is monomorphized for them).
+        let strided = Conv2dParams::square(64, 64, 56, 3, 2, 1);
+        assert!(ConvSchedule::candidates(&strided, 64)
+            .iter()
+            .all(|c| c.dataflow != Dataflow::ShiftReuse));
+        let pointwise = Conv2dParams::square(64, 64, 56, 1, 1, 0);
+        assert!(ConvSchedule::candidates(&pointwise, 64)
+            .iter()
+            .all(|c| c.dataflow == Dataflow::OutputStationary));
+    }
+
+    #[test]
+    fn reg_n_candidates_respect_the_register_file() {
+        // AVX2 (oc_bn 8, 16 YMM registers): output-stationary keeps 2
+        // resident vectors plus 2 pipelined broadcast temps → 12
+        // accumulators max; the old 28/16 candidates spilled the file and
+        // must be gone (and so does 14, empirically).
+        assert_eq!(reg_n_candidates(8, Dataflow::OutputStationary, 3), vec![12, 8, 4, 2]);
+        // Row-resident dataflows pin kw + 1 vectors, shrinking the cap.
+        assert_eq!(reg_n_candidates(8, Dataflow::WeightStationary, 3), vec![12, 8, 4, 2]);
+        assert_eq!(reg_n_candidates(8, Dataflow::ShiftReuse, 5), vec![10, 8, 4, 2]);
+        assert_eq!(reg_n_candidates(8, Dataflow::ShiftReuse, 7), vec![8, 4, 2]);
+        // AVX-512 (oc_bn 16, 32 ZMM registers) keeps the full ladder for
+        // output-stationary and 3-wide kernels.
+        assert_eq!(reg_n_candidates(16, Dataflow::OutputStationary, 3), vec![28, 16, 8, 4, 2]);
+        assert_eq!(reg_n_candidates(16, Dataflow::WeightStationary, 3), vec![28, 16, 8, 4, 2]);
+        assert_eq!(reg_n_candidates(16, Dataflow::ShiftReuse, 5), vec![24, 16, 8, 4, 2]);
+        // Scalar-path blocks carry no architectural constraint.
+        assert_eq!(reg_n_candidates(4, Dataflow::OutputStationary, 3), vec![28, 16, 8, 4, 2]);
+        // Every candidate fits its register file.
+        for oc_bn in [8, 16] {
+            let file = register_file_for_block(oc_bn).unwrap();
+            for df in Dataflow::ALL {
+                for kw in [3, 5, 7] {
+                    for rn in reg_n_candidates(oc_bn, df, kw) {
+                        assert!(
+                            rn + df.resident_regs(kw) <= file,
+                            "{df:?} kw={kw} rn={rn} overflows the {file}-register file"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_tokens_round_trip() {
+        for df in Dataflow::ALL {
+            assert_eq!(Dataflow::from_token(df.token()), Some(df));
+        }
+        assert_eq!(Dataflow::from_token("nope"), None);
+        assert_eq!(Dataflow::default(), Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn dataflow_validation_rules() {
+        // Shift-reuse needs stride_w == 1.
+        let strided = Conv2dParams::square(64, 64, 28, 3, 2, 1);
+        let sr = ConvSchedule {
+            ic_bn: 16,
+            oc_bn: 16,
+            reg_n: 8,
+            unroll_ker: true,
+            dataflow: Dataflow::ShiftReuse,
+        };
+        assert!(sr.validate(&strided).is_err());
+        let unit = Conv2dParams::square(64, 64, 28, 3, 1, 1);
+        assert!(sr.validate(&unit).is_ok());
+        // Weight-stationary is undefined for depthwise workloads.
+        let dw = Conv2dParams::depthwise(32, 28, 3, 1, 1);
+        let ws = ConvSchedule {
+            ic_bn: 8,
+            oc_bn: 8,
+            reg_n: 8,
+            unroll_ker: true,
+            dataflow: Dataflow::WeightStationary,
+        };
+        assert!(ws.validate(&dw).is_err());
+        let sr_dw = ConvSchedule { dataflow: Dataflow::ShiftReuse, ..ws };
+        assert!(sr_dw.validate(&dw).is_ok());
     }
 
     #[test]
@@ -357,10 +619,10 @@ mod tests {
     #[test]
     fn depthwise_schedule_requires_equal_blocks() {
         let p = Conv2dParams::depthwise(32, 28, 3, 1, 1);
-        assert!(ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false }
+        assert!(ConvSchedule { ic_bn: 8, oc_bn: 8, reg_n: 8, unroll_ker: false, ..Default::default() }
             .validate(&p)
             .is_ok());
-        assert!(ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: false }
+        assert!(ConvSchedule { ic_bn: 8, oc_bn: 16, reg_n: 8, unroll_ker: false, ..Default::default() }
             .validate(&p)
             .is_err());
         for c in ConvSchedule::candidates(&p, 64) {

@@ -24,7 +24,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use neocpu_kernels::conv::{Conv2dParams, ConvSchedule};
+use neocpu_kernels::conv::{Conv2dParams, ConvSchedule, Dataflow};
 use neocpu_tensor::DType;
 
 use crate::local::RankedScheme;
@@ -68,7 +68,8 @@ impl fmt::Display for DbError {
             Self::BadHeader { found } => {
                 write!(
                     f,
-                    "bad scheme-db header: expected 'neocpu-scheme-db v1' or 'v2', found '{found}'"
+                    "bad scheme-db header: expected 'neocpu-scheme-db v1', 'v2' or 'v3', \
+                     found '{found}'"
                 )
             }
             Self::Line { line, reason } => write!(f, "scheme-db line {line}: {reason}"),
@@ -211,11 +212,23 @@ impl SchemeDatabase {
     /// A database holding only f32 workloads writes the v1 header and the
     /// v1 key format, byte-identical to what earlier releases produced; the
     /// v2 header appears only once a non-f32 entry (whose key needs the
-    /// `d{dtype}` suffix) exists.
+    /// `d{dtype}` suffix) exists, and the v3 header only once some scheme
+    /// carries a non-output-stationary dataflow (whose row needs the sixth
+    /// field). Output-stationary rows never write the dataflow token, so
+    /// pre-dataflow databases still round-trip byte-for-byte.
     pub fn to_text(&self) -> String {
+        let v3 = self
+            .entries
+            .values()
+            .any(|l| l.iter().any(|r| r.schedule.dataflow != Dataflow::OutputStationary));
         let v2 = self.entries.keys().any(|k| k.dtype != DType::F32);
-        let mut s =
-            String::from(if v2 { "neocpu-scheme-db v2\n" } else { "neocpu-scheme-db v1\n" });
+        let mut s = String::from(if v3 {
+            "neocpu-scheme-db v3\n"
+        } else if v2 {
+            "neocpu-scheme-db v2\n"
+        } else {
+            "neocpu-scheme-db v1\n"
+        });
         let mut keys: Vec<&WorkloadKey> = self.entries.keys().collect();
         keys.sort_by(|a, b| {
             (&a.target, fmt_workload(&a.params, a.dtype))
@@ -224,15 +237,21 @@ impl SchemeDatabase {
         for k in keys {
             for r in &self.entries[k] {
                 let sch = r.schedule;
+                let df = if sch.dataflow != Dataflow::OutputStationary {
+                    format!(" {}", sch.dataflow.token())
+                } else {
+                    String::new()
+                };
                 writeln!(
                     s,
-                    "{} {} {} {} {} {} {:e}",
+                    "{} {} {} {} {} {}{} {:e}",
                     k.target,
                     fmt_workload(&k.params, k.dtype),
                     sch.ic_bn,
                     sch.oc_bn,
                     sch.reg_n,
                     u8::from(sch.unroll_ker),
+                    df,
                     r.time,
                 )
                 .expect("writing to String cannot fail");
@@ -326,7 +345,10 @@ fn parse_into(
 ) -> Result<(), DbError> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
-    if header != "neocpu-scheme-db v1" && header != "neocpu-scheme-db v2" {
+    if header != "neocpu-scheme-db v1"
+        && header != "neocpu-scheme-db v2"
+        && header != "neocpu-scheme-db v3"
+    {
         on_err(DbError::BadHeader { found: header.to_string() })?;
     }
     for (no, line) in lines.enumerate() {
@@ -360,11 +382,21 @@ fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
     let (params, dtype) =
         parse_workload(params_field).ok_or_else(|| format!("bad workload '{params_field}'"))?;
     let nums: Vec<&str> = f.collect();
-    if nums.len() != 5 {
-        return Err(format!("expected 5 scheme fields, found {}", nums.len()));
+    // v1/v2 rows carry 5 scheme fields; v3 rows insert a dataflow token
+    // before the time. An absent token means output-stationary, so old
+    // files parse unchanged.
+    if nums.len() != 5 && nums.len() != 6 {
+        return Err(format!("expected 5 scheme fields (v1/v2) or 6 (v3), found {}", nums.len()));
     }
     let int = |s: &str, what: &str| -> Result<usize, String> {
         s.parse().map_err(|_| format!("{what} '{s}' is not an unsigned integer"))
+    };
+    let dataflow = if nums.len() == 6 {
+        Dataflow::from_token(nums[4]).ok_or_else(|| {
+            format!("dataflow token '{}' is not one of os/ws/sr", nums[4])
+        })?
+    } else {
+        Dataflow::OutputStationary
     };
     let schedule = ConvSchedule {
         ic_bn: int(nums[0], "ic_bn")?,
@@ -375,9 +407,12 @@ fn parse_line(line: &str) -> Result<(WorkloadKey, RankedScheme), String> {
             "1" => true,
             other => return Err(format!("unroll flag '{other}' is not 0 or 1")),
         },
+        dataflow,
     };
     schedule.validate(&params).map_err(|e| format!("invalid scheme for its workload: {e}"))?;
-    let time: f32 = nums[4].parse().map_err(|_| format!("time '{}' is not a number", nums[4]))?;
+    let time_field = nums[nums.len() - 1];
+    let time: f32 =
+        time_field.parse().map_err(|_| format!("time '{time_field}' is not a number"))?;
     if !time.is_finite() || time < 0.0 {
         return Err(format!("time {time} is not finite and non-negative"));
     }
@@ -458,11 +493,11 @@ mod tests {
         let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
         let schemes = vec![
             RankedScheme {
-                schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true },
+                schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() },
                 time: 1.25e-4,
             },
             RankedScheme {
-                schedule: ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 4, unroll_ker: false },
+                schedule: ConvSchedule { ic_bn: 8, oc_bn: 32, reg_n: 4, unroll_ker: false, ..Default::default() },
                 time: 2.5e-4,
             },
         ];
@@ -486,7 +521,7 @@ mod tests {
     fn depthwise_workloads_round_trip_with_groups_suffix() {
         let p = Conv2dParams::depthwise(64, 28, 3, 1, 1);
         let schemes = vec![RankedScheme {
-            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false, ..Default::default() },
             time: 3.0e-5,
         }];
         let mut db = SchemeDatabase::new();
@@ -528,7 +563,7 @@ mod tests {
     fn depthwise_int8_keys_stack_both_suffixes() {
         let p = Conv2dParams::depthwise(64, 28, 3, 1, 1);
         let schemes = vec![RankedScheme {
-            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false },
+            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: false, ..Default::default() },
             time: 3.0e-5,
         }];
         let mut db = SchemeDatabase::new();
@@ -572,6 +607,75 @@ mod tests {
         assert!(db.get("host", &dw).is_some());
         // Round-tripping a file with no non-f32 entries keeps the v1 header.
         assert_eq!(db.to_text(), text);
+    }
+
+    #[test]
+    fn v3_dataflow_keys_survive_put_get_merge_and_text() {
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        let os = RankedScheme {
+            schedule: ConvSchedule { ic_bn: 16, oc_bn: 16, reg_n: 8, unroll_ker: true, ..Default::default() },
+            time: 1.25e-4,
+        };
+        let sr = RankedScheme {
+            schedule: ConvSchedule {
+                ic_bn: 16,
+                oc_bn: 16,
+                reg_n: 8,
+                unroll_ker: true,
+                dataflow: Dataflow::ShiftReuse,
+            },
+            time: 1.0e-4,
+        };
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, vec![os]);
+        // Merging a shift-reuse scheme must not collide with the
+        // output-stationary one: same knobs, distinct dataflow.
+        db.put("host", &p, vec![sr]);
+        let got = db.get("host", &p).unwrap();
+        assert_eq!(got.len(), 2, "dataflow must be part of the dedup identity");
+        assert_eq!(got[0].schedule.dataflow, Dataflow::ShiftReuse);
+        let text = db.to_text();
+        assert!(text.starts_with("neocpu-scheme-db v3\n"), "non-OS db must be v3: {text}");
+        assert!(text.contains(" sr "), "shift-reuse row missing token: {text}");
+        let back = SchemeDatabase::from_text(&text).unwrap();
+        let got = back.get("host", &p).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].schedule.dataflow, Dataflow::ShiftReuse);
+        assert_eq!(got[1].schedule.dataflow, Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn v3_rows_parse_all_tokens_and_reject_junk() {
+        let text = "neocpu-scheme-db v3\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 ws 1e-4\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 sr 2e-4\n\
+            host 64x128x28x28k3x3s1x1p1x1 16 16 8 1 os 3e-4\n";
+        let db = SchemeDatabase::from_text(text).unwrap();
+        let p = Conv2dParams::square(64, 128, 28, 3, 1, 1);
+        assert_eq!(db.get("host", &p).unwrap().len(), 3);
+        let bad = "neocpu-scheme-db v3\nhost 64x128x28x28k3x3s1x1p1x1 16 16 8 1 xx 1e-4\n";
+        let err = SchemeDatabase::from_text(bad).unwrap_err();
+        match err {
+            DbError::Line { line: 2, reason } => {
+                assert!(reason.contains("dataflow token"), "reason was: {reason}")
+            }
+            other => panic!("expected line-2 dataflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn os_only_db_never_writes_v3() {
+        // A database whose schemes are all output-stationary — even one
+        // built after the dataflow dimension existed — keeps the old header
+        // and 5-field rows so older readers stay compatible.
+        let (p, schemes) = sample();
+        let mut db = SchemeDatabase::new();
+        db.put("host", &p, schemes);
+        let text = db.to_text();
+        assert!(text.starts_with("neocpu-scheme-db v1\n"));
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split_whitespace().count(), 7, "unexpected field count: {line}");
+        }
     }
 
     #[test]

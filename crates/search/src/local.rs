@@ -164,6 +164,24 @@ mod tests {
     }
 
     #[test]
+    fn analytical_search_selects_shift_reuse_on_stride1_conv() {
+        use neocpu_kernels::conv::Dataflow;
+        // The dataflow is a searched dimension: on a stride-1 3×3 workload
+        // the shift-reuse strip issues fewer loads per FMA, so the
+        // analytical winner must be non-output-stationary — and never
+        // slower than the best fixed-OS schedule.
+        let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
+        let m = AnalyticalModel::default();
+        let r = local_search(&p, &m, &LocalSearchCfg::default());
+        assert_eq!(r[0].schedule.dataflow, Dataflow::ShiftReuse, "winner: {:?}", r[0].schedule);
+        let best_os = r
+            .iter()
+            .find(|s| s.schedule.dataflow == Dataflow::OutputStationary)
+            .expect("output-stationary candidates are always ranked");
+        assert!(r[0].time <= best_os.time);
+    }
+
+    #[test]
     fn best_schedule_beats_fallback_under_model() {
         let p = Conv2dParams::square(64, 64, 56, 3, 1, 1);
         let m = AnalyticalModel::default();

@@ -178,6 +178,7 @@ fn db_load_failpoint_blocks_both_loaders() {
                 oc_bn: 16,
                 reg_n: 8,
                 unroll_ker: true,
+                ..Default::default()
             },
             time: 1e-4,
         }],
